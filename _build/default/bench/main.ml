@@ -1,0 +1,200 @@
+(* Benchmark harness: regenerates every table and figure in the paper's
+   evaluation (§5), plus wall-clock microbenchmarks of this library's own
+   primitives via Bechamel.
+
+   Sections:
+     TABLE 2    primitive rates from the calibrated cost models
+     FIGURE 1   throughput vs record size, all witnessing modes
+     §4.3       the bus-limited HMAC-witnessing claim
+     §5         the I/O-bottleneck observation (disk-latency sweep)
+     ABLATION   window scheme vs Merkle tree update costs (§2.3/§4.1)
+     BECHAMEL   real wall-clock rates of the pure-OCaml primitives
+                (this machine's analogue of Table 2's columns) *)
+
+open Bechamel
+open Toolkit
+module Sim = Worm_sim.Sim
+open Worm_crypto
+
+let hr title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 76 '=') title (String.make 76 '=')
+
+(* ------------------------------------------------------------------ *)
+
+let print_table2 () =
+  hr "TABLE 2 -- primitive rates (calibrated cost models vs the paper's anchors)";
+  Printf.printf "%-28s %14s %14s\n" "Function" "IBM 4764" "P4 @ 3.4GHz";
+  List.iter
+    (fun r -> Printf.printf "%-28s %14s %14s\n" r.Sim.operation r.Sim.scpu r.Sim.host)
+    (Sim.table2 ());
+  Printf.printf
+    "\n(paper: 4200/848/316-470 sig/s; 1.42/18.6 MB/s; 75-90 MB/s DMA on the 4764\n\
+    \        1315/261/43 sig/s; 80/120+ MB/s; 1+ GB/s on the P4)\n"
+
+let print_figure1 env =
+  hr "FIGURE 1 -- throughput vs record size (records/s, fast disk)";
+  let measurements = Sim.figure1 env () in
+  let sizes = Worm_workload.Workload.figure1_sizes in
+  let mode_labels = List.map (fun (m : Sim.mode) -> m.Sim.label) Sim.all_modes in
+  Printf.printf "%-10s" "size";
+  List.iter (Printf.printf "%23s") mode_labels;
+  Printf.printf "\n";
+  List.iter
+    (fun size ->
+      Printf.printf "%7d KB" (size / 1024);
+      List.iter
+        (fun label ->
+          match
+            List.find_opt
+              (fun (m : Sim.measurement) -> m.Sim.record_bytes = size && String.equal m.Sim.label label)
+              measurements
+          with
+          | Some m -> Printf.printf "%23.0f" m.Sim.throughput_rps
+          | None -> Printf.printf "%23s" "-")
+        mode_labels;
+      Printf.printf "\n")
+    sizes;
+  Printf.printf
+    "\n(paper: 450-500 rec/s sustained without deferring; 2000-2500 rec/s with\n\
+    \ deferred 512-bit constructs, in bursts of at most the security lifetime)\n"
+
+let print_hmac env =
+  hr "SECTION 4.3 -- HMAC witnessing removes the signature bottleneck";
+  Printf.printf "%-26s %12s %12s %16s\n" "mode (1 KB records)" "rec/s" "bottleneck" "idle SCPU (ms)";
+  List.iter
+    (fun mode ->
+      let m = Sim.run_write_burst env ~mode ~record_bytes:1024 ~records:24 () in
+      Printf.printf "%-26s %12.0f %12s %16.2f\n" m.Sim.label m.Sim.throughput_rps m.Sim.bottleneck
+        (m.Sim.idle_scpu_s *. 1e3))
+    [ Sim.mode_strong_host_hash; Sim.mode_weak_host_hash; Sim.mode_mac_host_hash ]
+
+let print_iobound env =
+  hr "SECTION 5 -- I/O seek latency becomes the dominant bottleneck";
+  Printf.printf "%-12s %12s %12s\n" "seek (ms)" "rec/s" "bottleneck";
+  List.iter
+    (fun (seek_ms, m) -> Printf.printf "%-12.1f %12.0f %12s\n" seek_ms m.Sim.throughput_rps m.Sim.bottleneck)
+    (Sim.io_bottleneck env ~record_bytes:1024 ());
+  Printf.printf "\n(paper: 3-4ms enterprise-disk latencies are ~2x the projected SCPU overhead)\n"
+
+let print_ablation env =
+  hr "ABLATION -- O(1) window authentication vs O(log n) Merkle maintenance";
+  Printf.printf "%-12s %18s %18s %18s\n" "records" "window us/update" "merkle us/update" "merkle hashes/up";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12d %18.1f %18.1f %18.1f\n" r.Sim.n r.Sim.window_scpu_us_per_update
+        r.Sim.merkle_scpu_us_per_update r.Sim.merkle_hashes_per_update)
+    (Sim.window_vs_merkle env ~ns:[ 256; 1024; 4096; 16384; 65536 ])
+
+let print_storage env =
+  hr "SECTION 4.2.1 -- VRDT storage reduction via deletion windows";
+  Printf.printf "%-32s %14s %10s %10s\n" "stage" "VRDT bytes" "entries" "windows";
+  List.iter
+    (fun r -> Printf.printf "%-32s %14d %10d %10d\n" r.Sim.stage r.Sim.vrdt_bytes r.Sim.entries r.Sim.windows)
+    (Sim.storage_reduction env ())
+
+let print_burst_sustainability () =
+  hr "SECTION 4.3 -- maximum safe burst length per arrival rate (2h weak lifetime)";
+  Printf.printf "%-16s %20s %20s\n" "arrivals (rec/s)" "debt (sigs/s)" "max burst (min)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-16.0f %20.0f %20.1f\n" r.Sim.arrival_rps r.Sim.debt_per_sec r.Sim.max_burst_min)
+    (Sim.burst_sustainability ());
+  Printf.printf
+    "\n(paper: 2000-2500 rec/s \"in bursts of no more than 60-180 minutes\";\n\
+    \ at 2096 rec/s the FIFO repayment bound is the binding one)\n"
+
+let print_read_mix env =
+  hr "SECTION 4.1 -- the SCPU witnesses updates only; reads are free of it";
+  Printf.printf "%-16s %14s %18s %12s\n" "write fraction" "ops/s" "SCPU us/op" "bottleneck";
+  List.iter
+    (fun r ->
+      Printf.printf "%-16.2f %14.0f %18.1f %12s\n" r.Sim.write_fraction r.Sim.ops_per_sec r.Sim.scpu_us_per_op
+        r.Sim.mix_bottleneck)
+    (Sim.read_mix env ~record_bytes:1024 ())
+
+let print_adaptive_day env =
+  hr "SECTION 4.3 -- adaptive witness strength across a day of load phases";
+  Printf.printf "%-18s %8s %8s %8s %8s %14s\n" "phase" "writes" "strong" "weak" "mac" "overdue after";
+  List.iter
+    (fun r ->
+      Printf.printf "%-18s %8d %8d %8d %8d %14d\n" r.Sim.phase r.Sim.writes r.Sim.strong r.Sim.weak r.Sim.mac
+        r.Sim.overdue_after)
+    (Sim.adaptive_day env ())
+
+let print_scaling () =
+  hr "SECTION 5 -- \"results naturally scale if multiple SCPUs are available\"";
+  Printf.printf "%-8s %16s %10s %12s\n" "SCPUs" "aggregate rec/s" "speedup" "bottleneck";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8d %16.0f %9.2fx %12s\n" r.Sim.scpus r.Sim.aggregate_rps r.Sim.speedup
+        r.Sim.scaling_bottleneck)
+    (Sim.multi_scpu_scaling ~seed:"bench-scaling" ~scpus_list:[ 1; 2; 4; 8 ] ())
+
+(* ------------------------------------------------------------------ *)
+
+let rng = Drbg.create ~seed:"bench"
+let key512 = lazy (Rsa.generate rng ~bits:512)
+let key1024 = lazy (Rsa.generate rng ~bits:1024)
+let block_1k = lazy (Drbg.generate rng 1024)
+let block_64k = lazy (Drbg.generate rng 65536)
+let sig1024 = lazy (Rsa.sign (Lazy.force key1024) "msg")
+
+let tests =
+  [
+    Test.make ~name:"rsa-512-sign" (Staged.stage (fun () -> Rsa.sign (Lazy.force key512) "msg"));
+    Test.make ~name:"rsa-1024-sign" (Staged.stage (fun () -> Rsa.sign (Lazy.force key1024) "msg"));
+    Test.make ~name:"rsa-1024-verify"
+      (Staged.stage (fun () ->
+           Rsa.verify (Rsa.public_of (Lazy.force key1024)) ~msg:"msg" ~signature:(Lazy.force sig1024)));
+    Test.make ~name:"sha1-1KB" (Staged.stage (fun () -> Sha1.digest (Lazy.force block_1k)));
+    Test.make ~name:"sha1-64KB" (Staged.stage (fun () -> Sha1.digest (Lazy.force block_64k)));
+    Test.make ~name:"sha256-1KB" (Staged.stage (fun () -> Sha256.digest (Lazy.force block_1k)));
+    Test.make ~name:"sha256-64KB" (Staged.stage (fun () -> Sha256.digest (Lazy.force block_64k)));
+    Test.make ~name:"hmac-sha256-1KB"
+      (Staged.stage (fun () -> Hmac.sha256 ~key:"0123456789abcdef" (Lazy.force block_1k)));
+    Test.make ~name:"chained-hash-64KB"
+      (Staged.stage (fun () -> Chained_hash.add Chained_hash.empty (Lazy.force block_64k)));
+  ]
+
+let run_bechamel () =
+  hr "BECHAMEL -- wall-clock rates of the pure-OCaml primitives on this host";
+  (* force the lazies outside the measured region *)
+  ignore (Lazy.force sig1024);
+  ignore (Lazy.force block_1k);
+  ignore (Lazy.force block_64k);
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (Test.make_grouped ~name:"prims" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        match Analyze.OLS.estimates ols_result with
+        | Some (ns :: _) -> (name, ns) :: acc
+        | Some [] | None -> (name, nan) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Printf.printf "%-28s %16s %16s\n" "primitive" "ns/op" "ops/s";
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "%-28s %16s %16s\n" name "-" "-"
+      else Printf.printf "%-28s %16.0f %16.0f\n" name ns (1e9 /. ns))
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  print_table2 ();
+  let env = Sim.make_env ~seed:"bench-harness" () in
+  print_figure1 env;
+  print_hmac env;
+  print_iobound env;
+  print_ablation env;
+  print_read_mix env;
+  print_storage env;
+  print_burst_sustainability ();
+  print_adaptive_day env;
+  print_scaling ();
+  run_bechamel ();
+  Printf.printf "\nAll benchmark sections completed.\n"

@@ -1,0 +1,1 @@
+bin/wormctl.ml: Adversary Attr Authority Client Firmware Format In_channel Int64 Journal List Policy Printf Serial String Vrd Vrdt Worm Worm_core Worm_crypto Worm_scpu Worm_simclock Worm_util

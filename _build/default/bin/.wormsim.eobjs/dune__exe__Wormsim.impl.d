@@ -1,0 +1,1 @@
+bin/wormsim.ml: Arg Cmd Cmdliner Format Lazy List Printf Term Worm_sim

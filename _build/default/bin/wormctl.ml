@@ -1,0 +1,170 @@
+(* wormctl: an interactive (or scripted) console over an in-memory
+   Strong WORM store. Reads commands from stdin, one per line:
+
+     write <retention-seconds> <data...>    store a record
+     read <sn>                              read + client-verify
+     advance <seconds>                      advance the virtual clock
+     expire                                 run the Retention Monitor
+     hold <sn> <case-id> <timeout-seconds>  place a litigation hold
+     release <sn>                           release this console's hold
+     idle                                   idle-period maintenance round
+     compact                                collapse deletion windows
+     extend <sn> <new-retention-seconds>    lengthen a record's retention
+     journal                                print the operation journal
+     anchor                                 SCPU-anchor the journal
+     tamper <sn>                            insider: flip a data byte
+     hide <sn>                              insider: expunge the record
+     rewrite-history <seq>                  insider: falsify a journal entry
+     status                                 store counters
+     help                                   this text
+     quit
+
+   Example session:
+     printf 'write 60 hello\nread 1\nadvance 61\nexpire\nread 1\n' | \
+       dune exec bin/wormctl.exe *)
+
+open Worm_core
+module Device = Worm_scpu.Device
+module Clock = Worm_simclock.Clock
+module Rsa = Worm_crypto.Rsa
+module Drbg = Worm_crypto.Drbg
+
+let usage =
+  "commands: write <secs> <data> | read <sn> | advance <secs> | expire |\n\
+  \          hold <sn> <case> <secs> | release <sn> | extend <sn> <secs> |\n\
+  \          idle | compact | journal | anchor | status |\n\
+  \          tamper <sn> | hide <sn> | rewrite-history <seq> | help | quit"
+
+let () =
+  let rng = Drbg.create ~seed:"wormctl" in
+  let ca = Rsa.generate rng ~bits:1024 in
+  let clock = Clock.create () in
+  let device = Device.provision ~seed:"wormctl-scpu" ~clock ~ca ~name:"scpu-ctl" () in
+  let config = { Worm.default_config with Worm.journal = true } in
+  let store = Worm.create ~config ~device ~ca:(Rsa.public_of ca) () in
+  let client = Client.for_store ~ca:(Rsa.public_of ca) ~clock store in
+  let authority = Authority.create ~ca ~clock ~rng ~name:"wormctl-authority" in
+  let mallory = Adversary.create store in
+  Printf.printf "wormctl: store %s ready (type 'help')\n%!" (Worm_util.Hex.encode (Worm.store_id store));
+  let sn_of s = Serial.of_int64 (Int64.of_string s) in
+  let rec loop () =
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        (match String.split_on_char ' ' (String.trim line) with
+        | [ "" ] | [] -> ()
+        | "write" :: secs :: rest when rest <> [] ->
+            let retention_ns = Clock.ns_of_sec (float_of_string secs) in
+            let policy = Policy.custom ~name:"ctl" ~retention_ns ~shred_passes:3 in
+            let sn = Worm.write store ~policy ~blocks:[ String.concat " " rest ] in
+            Printf.printf "-> %s\n" (Serial.to_string sn)
+        | [ "read"; s ] -> begin
+            let sn = sn_of s in
+            match Client.verify_read client ~sn (Worm.read store sn) with
+            | Client.Valid_data { blocks; _ } -> Printf.printf "-> valid: %s\n" (String.concat " | " blocks)
+            | v -> Printf.printf "-> %s\n" (Client.verdict_name v)
+          end
+        | [ "advance"; secs ] ->
+            Clock.advance clock (Clock.ns_of_sec (float_of_string secs));
+            Printf.printf "-> t = %s\n" (Format.asprintf "%a" Clock.pp_duration (Clock.now clock))
+        | [ "expire" ] ->
+            let outcomes = Worm.expire_due store in
+            List.iter
+              (fun (sn, r) ->
+                match r with
+                | Ok () -> Printf.printf "-> %s deleted\n" (Serial.to_string sn)
+                | Error e -> Printf.printf "-> %s: %s\n" (Serial.to_string sn) (Firmware.error_to_string e))
+              outcomes;
+            if outcomes = [] then Printf.printf "-> nothing due\n"
+        | [ "hold"; s; case; secs ] -> begin
+            let timeout = Int64.add (Clock.now clock) (Clock.ns_of_sec (float_of_string secs)) in
+            match Authority.place_hold authority ~store ~sn:(sn_of s) ~lit_id:case ~timeout with
+            | Ok () -> Printf.printf "-> held under %s\n" case
+            | Error e -> Printf.printf "-> %s\n" (Firmware.error_to_string e)
+          end
+        | [ "release"; s ] -> begin
+            match Authority.release_hold authority ~store ~sn:(sn_of s) with
+            | Ok () -> Printf.printf "-> released\n"
+            | Error e -> Printf.printf "-> %s\n" (Firmware.error_to_string e)
+          end
+        | [ "extend"; s; secs ] -> begin
+            let sn = sn_of s in
+            match Vrdt.find (Worm.vrdt store) sn with
+            | Some (Vrdt.Active vrd) -> begin
+                match
+                  Firmware.extend_retention (Worm.firmware store) ~vrd_bytes:(Vrd.to_bytes vrd)
+                    ~new_retention_ns:(Clock.ns_of_sec (float_of_string secs))
+                with
+                | Ok vrd' ->
+                    Vrdt.set_active (Worm.vrdt store) vrd';
+                    Printf.printf "-> retention now %s\n"
+                      (Format.asprintf "%a" Clock.pp_duration
+                         vrd'.Vrd.attr.Attr.policy.Policy.retention_ns)
+                | Error e -> Printf.printf "-> %s\n" (Firmware.error_to_string e)
+              end
+            | _ -> Printf.printf "-> no such active record\n"
+          end
+        | [ "journal" ] -> begin
+            match Worm.journal store with
+            | Some j ->
+                List.iter
+                  (fun e ->
+                    Printf.printf "-> #%d %s\n" e.Journal.seq (Journal.op_to_string e.Journal.op))
+                  (Journal.entries j);
+                let ok = Journal.verify_chain ~entries:(Journal.entries j) in
+                let anchors = Journal.anchors j in
+                let anchored =
+                  List.for_all
+                    (Journal.verify_anchor
+                       ~signing:(Firmware.signing_cert (Worm.firmware store)).Worm_crypto.Cert.key
+                       ~store_id:(Worm.store_id store) ~entries:(Journal.entries j))
+                    anchors
+                in
+                Printf.printf "-> chain %s, %d anchor(s) %s\n"
+                  (if ok then "consistent" else "BROKEN")
+                  (List.length anchors)
+                  (if anchored then "verified" else "REJECTED")
+            | None -> Printf.printf "-> journal disabled\n"
+          end
+        | [ "anchor" ] -> begin
+            match Worm.journal store with
+            | Some j ->
+                let a = Journal.anchor j in
+                Printf.printf "-> anchored through #%d\n" a.Journal.upto_seq
+            | None -> Printf.printf "-> journal disabled\n"
+          end
+        | [ "rewrite-history"; seq ] -> begin
+            match Worm.journal store with
+            | Some j ->
+                Printf.printf "-> %s\n"
+                  (if
+                     Journal.Raw.rewrite_entry j ~seq:(int_of_string seq)
+                       ~op:(Journal.Op_custom "nothing happened here")
+                   then "rewritten (try 'journal')"
+                   else "no such entry")
+            | None -> Printf.printf "-> journal disabled\n"
+          end
+        | [ "idle" ] ->
+            Worm.idle_tick store;
+            Printf.printf "-> idle maintenance done\n"
+        | [ "compact" ] -> Printf.printf "-> expelled %d entries\n" (Worm.compact_windows store)
+        | [ "tamper"; s ] ->
+            Printf.printf "-> %s\n"
+              (if Adversary.tamper_record_data mallory (sn_of s) then "tampered (try 'read')" else "no such record")
+        | [ "hide"; s ] ->
+            Printf.printf "-> %s\n"
+              (if Adversary.hide_record mallory (sn_of s) then "hidden (try 'read')" else "no such record")
+        | [ "status" ] ->
+            Printf.printf "-> t=%s | %s | scpu-busy=%s\n"
+              (Format.asprintf "%a" Clock.pp_duration (Clock.now clock))
+              (Format.asprintf "%a" Worm.pp_metrics (Worm.metrics store))
+              (Format.asprintf "%a" Clock.pp_duration (Device.busy_ns device))
+        | [ "help" ] -> print_endline usage
+        | [ "quit" ] | [ "exit" ] -> exit 0
+        | _ -> Printf.printf "-> unrecognized (try 'help')\n");
+        Printf.printf "%!";
+        loop ()
+  in
+  try loop () with
+  | Failure msg -> Printf.printf "error: %s\n" msg
+  | Device.Tamper_detected -> Printf.printf "error: SCPU zeroized\n"

@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Adversary Client Firmware List Policy Printf Serial String Vrd Vrdt Worm Worm_baseline Worm_core Worm_crypto Worm_scpu Worm_simclock

@@ -1,0 +1,1 @@
+examples/burst_ingest.ml: Client Firmware Format Int64 List Policy Printf Worm Worm_core Worm_crypto Worm_scpu Worm_simclock Worm_workload

@@ -1,0 +1,1 @@
+examples/burst_ingest.mli:

@@ -1,0 +1,1 @@
+examples/email_archive.ml: Authority Client Firmware Format Int64 List Policy Printf Serial Vrdt Worm Worm_core Worm_crypto Worm_scpu Worm_simclock

@@ -1,0 +1,1 @@
+examples/market_day.ml: Adaptive Client Dedup_store Firmware Format Hashtbl Int64 List Option Policy Printf String Worm Worm_core Worm_crypto Worm_scpu Worm_simclock

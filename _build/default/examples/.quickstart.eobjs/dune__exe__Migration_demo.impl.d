@@ -1,0 +1,1 @@
+examples/migration_demo.ml: Client List Migration Policy Printf Serial Worm Worm_core Worm_crypto Worm_scpu Worm_simclock

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Client Format List Policy Printf Serial Worm Worm_core Worm_crypto Worm_scpu Worm_simclock Worm_util

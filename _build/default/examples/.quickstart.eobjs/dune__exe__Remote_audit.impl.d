@@ -1,0 +1,1 @@
+examples/remote_audit.ml: Bytes Char Client Firmware List Policy Printf Serial String Worm Worm_core Worm_crypto Worm_fs Worm_proto Worm_scpu Worm_simclock Worm_util

@@ -1,0 +1,108 @@
+(* The insider, twice: every attack from the paper's threat model run
+   against (a) a soft-WORM store of the kind §3 criticizes, where each
+   one SUCCEEDS undetected, and (b) Strong WORM, where each one is
+   DETECTED by a verifying client.
+
+   Run with: dune exec examples/adversary_demo.exe *)
+
+open Worm_core
+module Device = Worm_scpu.Device
+module Clock = Worm_simclock.Clock
+module Rsa = Worm_crypto.Rsa
+module Drbg = Worm_crypto.Drbg
+module Soft_worm = Worm_baseline.Soft_worm
+
+let line = String.make 72 '-'
+
+let () =
+  Printf.printf "=== Mallory vs. compliance storage ===\n\n";
+  let rng = Drbg.create ~seed:"adversary-demo" in
+  let ca = Rsa.generate rng ~bits:1024 in
+  let clock = Clock.create () in
+  let policy = Policy.of_regulation Policy.Sec17a4 in
+
+  (* ------------------------------------------------------------------ *)
+  Printf.printf "%s\nPart 1: soft-WORM (software-only enforcement, cf. §3)\n%s\n" line line;
+  let soft = Soft_worm.create ~clock () in
+  let incriminating = "2026-07-01: CFO authorized off-book transfer of $4.2M" in
+  let id = Soft_worm.write soft ~policy ~blocks:[ incriminating ] in
+  Printf.printf "Stored record %d: %S\n\n" id incriminating;
+
+  Printf.printf "Attack 1 — rewrite history (tamper + recompute checksum):\n";
+  ignore (Soft_worm.Raw.tamper_and_fix_checksum soft id [ "2026-07-01: routine operating expense, $4,200" ]);
+  (match Soft_worm.read soft id with
+  | Soft_worm.Ok_data [ d ] -> Printf.printf "  read -> OK (checksum valid!): %S\n  >>> UNDETECTED\n" d
+  | _ -> Printf.printf "  unexpected\n");
+
+  Printf.printf "\nAttack 2 — premature destruction (bypass the software switch):\n";
+  let id2 = Soft_worm.write soft ~policy ~blocks:[ "exhibit B" ] in
+  ignore (Soft_worm.Raw.force_delete soft id2);
+  (match Soft_worm.read soft id2 with
+  | Soft_worm.Deleted -> Printf.printf "  read -> 'deleted' (looks lawful)\n  >>> UNDETECTED\n"
+  | _ -> Printf.printf "  unexpected\n");
+
+  Printf.printf "\nAttack 3 — hide the record entirely:\n";
+  let id3 = Soft_worm.write soft ~policy ~blocks:[ "exhibit C" ] in
+  ignore (Soft_worm.Raw.hide soft id3);
+  (match Soft_worm.read soft id3 with
+  | Soft_worm.Never_written -> Printf.printf "  read -> 'never written'\n  >>> UNDETECTED\n"
+  | _ -> Printf.printf "  unexpected\n");
+
+  (* ------------------------------------------------------------------ *)
+  Printf.printf "\n%s\nPart 2: Strong WORM (SCPU-witnessed)\n%s\n" line line;
+  let device = Device.provision ~seed:"demo-scpu" ~clock ~ca ~name:"scpu-demo" () in
+  let store = Worm.create ~device ~ca:(Rsa.public_of ca) () in
+  let client = Client.for_store ~ca:(Rsa.public_of ca) ~clock store in
+  let mallory = Adversary.create store in
+  let report sn =
+    match Client.verify_read client ~sn (Worm.read store sn) with
+    | Client.Violation vs ->
+        Printf.printf "  client verdict -> VIOLATION: %s\n  >>> DETECTED\n"
+          (String.concat "; " (List.map Client.violation_to_string vs))
+    | v -> Printf.printf "  client verdict -> %s\n" (Client.verdict_name v)
+  in
+
+  let sn = Worm.write store ~policy ~blocks:[ incriminating ] in
+  Printf.printf "Stored record %s\n\n" (Serial.to_string sn);
+
+  Printf.printf "Attack 1 — rewrite history (tamper data + fix cached hash):\n";
+  ignore (Adversary.substitute_record_data mallory sn "2026-07-01: routine operating expense, $4,200");
+  report sn;
+
+  Printf.printf "\nAttack 2 — shorten the retention period in the VRDT:\n";
+  let sn2 = Worm.write store ~policy ~blocks:[ "exhibit B" ] in
+  ignore (Adversary.tamper_attr_retention mallory sn2 ~new_retention_ns:1L);
+  report sn2;
+  Printf.printf "  ...and the SCPU refuses to issue a deletion proof for forged attributes:\n";
+  Clock.advance clock (Clock.ns_of_sec 5.);
+  (match Vrdt.find (Worm.vrdt store) sn2 with
+  | Some (Vrdt.Active forged) -> begin
+      match Firmware.delete (Worm.firmware store) ~vrd_bytes:(Vrd.to_bytes forged) with
+      | Error e -> Printf.printf "  firmware -> refused: %s\n  >>> DETECTED\n" (Firmware.error_to_string e)
+      | Ok _ -> Printf.printf "  firmware deleted!?\n"
+    end
+  | _ -> ());
+
+  Printf.printf "\nAttack 3 — hide the record entirely:\n";
+  let sn3 = Worm.write store ~policy ~blocks:[ "exhibit C" ] in
+  Worm.heartbeat store;
+  ignore (Adversary.hide_record mallory sn3);
+  Clock.advance clock (Clock.ns_of_min 6.);
+  report sn3;
+
+  Printf.printf "\nAttack 4 — replicate the store, roll back to the copy:\n";
+  Adversary.capture mallory;
+  let sn4 = Worm.write store ~policy ~blocks:[ "the regretted record" ] in
+  ignore (Adversary.rollback mallory);
+  Clock.advance clock (Clock.ns_of_min 6.);
+  Printf.printf "  (media restored from the pre-write image; SCPU counter survived)\n";
+  report sn4;
+
+  Printf.printf "\nAttack 5 — physical attack on the SCPU itself:\n";
+  Device.tamper_respond device;
+  (match Worm.write store ~policy ~blocks:[ "one more" ] with
+  | exception Device.Tamper_detected ->
+      Printf.printf "  device zeroized its keys and halted\n  >>> store fails SAFE: no forged witnesses possible\n"
+  | _ -> Printf.printf "  unexpected\n");
+
+  Printf.printf "\n%s\nSummary: 3/3 attacks undetected on soft-WORM; 0/5 on Strong WORM.\n" line

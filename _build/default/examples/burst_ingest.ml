@@ -1,0 +1,70 @@
+(* Burst ingest with deferred witnessing (§4.3): a market-open burst is
+   absorbed with short-lived 512-bit signatures (and, in the fastest
+   variant, HMACs), then strengthened to 1024-bit signatures during the
+   idle period — all inside the weak constructs' security lifetime.
+
+   The run prints SCPU busy time per mode under the calibrated IBM 4764
+   cost model, reproducing the paper's burst-vs-sustained throughput gap.
+
+   Run with: dune exec examples/burst_ingest.exe *)
+
+open Worm_core
+module Device = Worm_scpu.Device
+module Clock = Worm_simclock.Clock
+module Rsa = Worm_crypto.Rsa
+module Drbg = Worm_crypto.Drbg
+module Workload = Worm_workload.Workload
+
+let burst_records = 40
+let record_bytes = 1024
+
+let run_mode ~ca ~clock ~rng label witness =
+  let device = Device.provision ~seed:("burst-" ^ label) ~clock ~ca ~name:("scpu-" ^ label) () in
+  let config = { Worm.default_config with Worm.datasig_mode = Worm.Host_hash; default_witness = witness } in
+  let store = Worm.create ~config ~device ~ca:(Rsa.public_of ca) () in
+  let client = Client.for_store ~ca:(Rsa.public_of ca) ~clock store in
+  let policy = Policy.of_regulation Policy.Sec17a4 in
+  let payloads = List.init burst_records (fun _ -> Workload.record rng ~bytes:record_bytes) in
+
+  (* --- the burst --- *)
+  Device.reset_busy device;
+  let sns = List.map (fun blocks -> Worm.write store ~policy ~blocks) payloads in
+  let burst_busy = Device.busy_ns device in
+  let throughput = float_of_int burst_records /. (Int64.to_float burst_busy /. 1e9) in
+
+  (* --- how clients see freshly burst-written records --- *)
+  let first = List.hd sns in
+  let during = Client.verdict_name (Client.verify_read client ~sn:first (Worm.read store first)) in
+
+  (* --- the idle period: strengthen within the security lifetime --- *)
+  Device.reset_busy device;
+  Clock.advance clock (Clock.ns_of_min 10.);
+  let overdue_before = List.length (Worm.deferred_overdue store ~now:(Clock.now clock)) in
+  Worm.idle_tick store;
+  let idle_busy = Device.busy_ns device in
+  let after = Client.verdict_name (Client.verify_read client ~sn:first (Worm.read store first)) in
+
+  Printf.printf "%-22s burst: %7.0f rec/s (SCPU %6.2f ms)   idle: %6.2f ms   read during burst: %s, after: %s\n"
+    label throughput
+    (Int64.to_float burst_busy /. 1e6)
+    (Int64.to_float idle_busy /. 1e6)
+    during after;
+  assert (overdue_before = 0);
+  assert (Worm.deferred_backlog store = []);
+  ()
+
+let () =
+  Printf.printf "=== Deferred-strength burst ingest (%d records x %d B, IBM 4764 cost model) ===\n\n"
+    burst_records record_bytes;
+  let rng = Drbg.create ~seed:"burst-ingest" in
+  let ca = Rsa.generate rng ~bits:1024 in
+  let clock = Clock.create () in
+  run_mode ~ca ~clock ~rng "strong-1024 (sustained)" Firmware.Strong_now;
+  run_mode ~ca ~clock ~rng "deferred-512 (burst)" Firmware.Weak_deferred;
+  run_mode ~ca ~clock ~rng "hmac (burst, fastest)" Firmware.Mac_deferred;
+  Printf.printf
+    "\nDeferred modes shift signature cost out of the burst window;\n\
+     HMAC-witnessed records read as 'committed-unverifiable' until the\n\
+     idle-period strengthening upgrades them to client-checkable\n\
+     signatures — within the 512-bit constructs' security lifetime (%s).\n"
+    (Format.asprintf "%a" Clock.pp_duration Device.default_config.Device.weak_lifetime_ns)

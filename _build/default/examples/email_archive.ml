@@ -1,0 +1,105 @@
+(* A broker-dealer email archive under SEC rule 17a-4 — the paper's
+   motivating workload class. Messages are ingested with six-year
+   retention; a court places a litigation hold on a thread; the CFO's
+   purge order bounces off the SCPU; after release and (simulated) six
+   years, records expire and the VRDT compacts into deletion windows.
+
+   Run with: dune exec examples/email_archive.exe *)
+
+open Worm_core
+module Device = Worm_scpu.Device
+module Clock = Worm_simclock.Clock
+module Rsa = Worm_crypto.Rsa
+module Drbg = Worm_crypto.Drbg
+
+let message ~from_ ~to_ ~subject ~body =
+  Printf.sprintf "From: %s\nTo: %s\nSubject: %s\n\n%s" from_ to_ subject body
+
+let () =
+  Printf.printf "=== SEC 17a-4 email archive ===\n\n";
+  let rng = Drbg.create ~seed:"email-archive" in
+  let ca = Rsa.generate rng ~bits:1024 in
+  let clock = Clock.create () in
+  let device = Device.provision ~seed:"archive-scpu" ~clock ~ca ~name:"archive-scpu" () in
+  let store = Worm.create ~device ~ca:(Rsa.public_of ca) () in
+  let client = Client.for_store ~ca:(Rsa.public_of ca) ~clock store in
+  let sec17a4 = Policy.of_regulation Policy.Sec17a4 in
+
+  (* --- Ingest a day of mail --- *)
+  let mails =
+    [
+      message ~from_:"cfo@firm.example" ~to_:"trader@firm.example" ~subject:"Q2 numbers"
+        ~body:"Keep this between us.";
+      message ~from_:"trader@firm.example" ~to_:"cfo@firm.example" ~subject:"Re: Q2 numbers"
+        ~body:"Understood. Moving the position before the filing.";
+      message ~from_:"compliance@firm.example" ~to_:"all@firm.example" ~subject:"Reminder"
+        ~body:"All trades must be reported same-day.";
+      message ~from_:"hr@firm.example" ~to_:"all@firm.example" ~subject:"Summer party"
+        ~body:"Friday 6pm on the roof.";
+    ]
+  in
+  let sns = List.map (fun m -> Worm.write store ~policy:sec17a4 ~blocks:[ m ]) mails in
+  Printf.printf "Ingested %d messages under %s\n" (List.length sns)
+    (Format.asprintf "%a" Policy.pp sec17a4);
+  List.iter (fun sn -> Printf.printf "  %s\n" (Serial.to_string sn)) sns;
+
+  (* --- Three years in: the SEC investigates the Q2 thread --- *)
+  Clock.advance clock (Clock.ns_of_years 3.);
+  let authority = Authority.create ~ca ~clock ~rng ~name:"US-District-Court-SDNY" in
+  let q2_thread = [ List.nth sns 0; List.nth sns 1 ] in
+  let hold_until = Int64.add (Clock.now clock) (Clock.ns_of_years 10.) in
+  List.iter
+    (fun sn ->
+      match Authority.place_hold authority ~store ~sn ~lit_id:"SDNY-26-cv-01337" ~timeout:hold_until with
+      | Ok () -> Printf.printf "Litigation hold placed on %s (SDNY-26-cv-01337)\n" (Serial.to_string sn)
+      | Error e -> Printf.printf "hold failed: %s\n" (Firmware.error_to_string e))
+    q2_thread;
+
+  (* --- Four more years: ordinary retention (6y) has lapsed --- *)
+  Clock.advance clock (Clock.ns_of_years 4.);
+  let outcomes = Worm.expire_due store in
+  Printf.printf "\nAt year 7, the Retention Monitor ran: %d candidates\n" (List.length outcomes);
+  List.iter
+    (fun (sn, result) ->
+      match result with
+      | Ok () -> Printf.printf "  %s expired and was shredded\n" (Serial.to_string sn)
+      | Error (Firmware.On_litigation_hold lit) ->
+          Printf.printf "  %s deletion BLOCKED by hold %s\n" (Serial.to_string sn) lit
+      | Error e -> Printf.printf "  %s: %s\n" (Serial.to_string sn) (Firmware.error_to_string e))
+    outcomes;
+
+  (* the held thread is still fully readable and verifiable *)
+  List.iter
+    (fun sn ->
+      match Client.verify_read client ~sn (Worm.read store sn) with
+      | Client.Valid_data _ -> Printf.printf "  %s still readable under hold\n" (Serial.to_string sn)
+      | v -> Printf.printf "  %s: %s\n" (Serial.to_string sn) (Client.verdict_name v))
+    q2_thread;
+
+  (* --- The case closes; the court releases the hold --- *)
+  List.iter
+    (fun sn ->
+      match Authority.release_hold authority ~store ~sn with
+      | Ok () -> Printf.printf "Hold released on %s\n" (Serial.to_string sn)
+      | Error e -> Printf.printf "release failed: %s\n" (Firmware.error_to_string e))
+    q2_thread;
+  let outcomes = Worm.expire_due store in
+  Printf.printf "RM re-ran: %d more records expired\n" (List.length (List.filter (fun (_, r) -> r = Ok ()) outcomes));
+
+  (* --- Housekeeping: compact deletion proofs into windows --- *)
+  Printf.printf "\nVRDT before compaction: %d entries, ~%d bytes\n"
+    (Vrdt.entry_count (Worm.vrdt store))
+    (Worm.vrdt_bytes store);
+  let expelled = Worm.compact_windows store in
+  Printf.printf "Compacted: %d entries expelled, %d deletion window(s), ~%d bytes\n" expelled
+    (List.length (Worm.deletion_windows store))
+    (Worm.vrdt_bytes store);
+
+  (* --- An auditor replays history --- *)
+  Printf.printf "\nAuditor sweep over all serial numbers:\n";
+  List.iter
+    (fun sn ->
+      Printf.printf "  %s -> %s\n" (Serial.to_string sn)
+        (Client.verdict_name (Client.verify_read client ~sn (Worm.read store sn))))
+    sns;
+  Printf.printf "\nEvery absence is proven, every record verified. Done.\n"

@@ -1,0 +1,81 @@
+(* Compliant migration: a 2008-era store reaches end of life and its
+   records — with their original retention clocks — move to a new store
+   behind a different SCPU. The source SCPU attests the transfer; the
+   target SCPU independently re-verifies every record before
+   re-witnessing it.
+
+   Run with: dune exec examples/migration_demo.exe *)
+
+open Worm_core
+module Device = Worm_scpu.Device
+module Clock = Worm_simclock.Clock
+module Rsa = Worm_crypto.Rsa
+module Drbg = Worm_crypto.Drbg
+
+let () =
+  Printf.printf "=== Compliant migration ===\n\n";
+  let rng = Drbg.create ~seed:"migration-demo" in
+  let ca = Rsa.generate rng ~bits:1024 in
+  let clock = Clock.create () in
+
+  (* The aging store. *)
+  let old_device = Device.provision ~seed:"old-scpu" ~clock ~ca ~name:"scpu-2008" () in
+  let old_store = Worm.create ~device:old_device ~ca:(Rsa.public_of ca) () in
+  let old_client = Client.for_store ~ca:(Rsa.public_of ca) ~clock old_store in
+
+  (* Populate: patient records under HIPAA (6y) and DOD files (25y). *)
+  let hipaa = Policy.of_regulation Policy.Hipaa in
+  let dod = Policy.of_regulation Policy.Dod5015_2 in
+  let patients =
+    List.map (fun i -> Worm.write old_store ~policy:hipaa ~blocks:[ Printf.sprintf "patient-chart-%03d" i ])
+      [ 1; 2; 3 ]
+  in
+  let dossiers =
+    List.map (fun i -> Worm.write old_store ~policy:dod ~blocks:[ Printf.sprintf "classified-dossier-%02d" i ])
+      [ 1; 2 ]
+  in
+  Printf.printf "Old store holds %d HIPAA + %d DOD records\n" (List.length patients) (List.length dossiers);
+
+  (* Four years pass: HIPAA records now have 2 years left on the clock. *)
+  Clock.advance clock (Clock.ns_of_years 4.);
+  Printf.printf "Four years later the hardware is obsolete; migrating...\n\n";
+
+  (* The replacement store. *)
+  let new_device = Device.provision ~seed:"new-scpu" ~clock ~ca ~name:"scpu-2030" () in
+  let new_store = Worm.create ~device:new_device ~ca:(Rsa.public_of ca) () in
+  let new_client = Client.for_store ~ca:(Rsa.public_of ca) ~clock new_store in
+
+  match Migration.migrate ~source:old_store ~target:new_store with
+  | Error e -> Printf.printf "migration failed: %s\n" e
+  | Ok report ->
+      Printf.printf "Migrated %d records (%d already-deleted skipped)\n"
+        (List.length report.Migration.mapping)
+        report.Migration.skipped_deleted;
+      List.iter
+        (fun (src, dst) -> Printf.printf "  %s -> %s\n" (Serial.to_string src) (Serial.to_string dst))
+        report.Migration.mapping;
+
+      (* The source SCPU's attestation binds window + content to the
+         target store: an auditor can later prove completeness. *)
+      Printf.printf "\nSource attestation verifies: %b\n"
+        (Migration.verify_report ~source_client:old_client ~target_store_id:(Worm.store_id new_store) report);
+
+      (* Records verify on the new store under the new SCPU's keys. *)
+      let sample = List.assoc (List.hd patients) report.Migration.mapping in
+      (match Client.verify_read new_client ~sn:sample (Worm.read new_store sample) with
+      | Client.Valid_data { blocks; _ } -> Printf.printf "Target read of %s: OK -> %s\n" (Serial.to_string sample) (List.hd blocks)
+      | v -> Printf.printf "Target read: %s\n" (Client.verdict_name v));
+
+      (* Retention clocks carried over: 2 more years expire the HIPAA
+         records on the target, while DOD records live on. *)
+      Clock.advance clock (Clock.ns_of_years 2.1);
+      let outcomes = Worm.expire_due new_store in
+      let deleted = List.length (List.filter (fun (_, r) -> r = Ok ()) outcomes) in
+      Printf.printf "\n2 years later on the target: %d HIPAA records expired on their ORIGINAL schedule\n" deleted;
+      List.iter
+        (fun src ->
+          let dst = List.assoc src report.Migration.mapping in
+          Printf.printf "  %s -> %s\n" (Serial.to_string dst)
+            (Client.verdict_name (Client.verify_read new_client ~sn:dst (Worm.read new_store dst))))
+        (patients @ dossiers);
+      Printf.printf "\nDone: assurances survived the media generation change.\n"

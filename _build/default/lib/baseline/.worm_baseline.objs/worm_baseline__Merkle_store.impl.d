@@ -1,0 +1,1 @@
+lib/baseline/merkle_store.ml: List Option String Worm_crypto Worm_scpu

@@ -1,0 +1,1 @@
+lib/baseline/merkle_store.mli: Worm_crypto Worm_scpu

@@ -1,0 +1,1 @@
+lib/baseline/optical_worm.ml: Array List

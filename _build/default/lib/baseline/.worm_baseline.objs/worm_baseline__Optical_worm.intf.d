@@ -1,0 +1,1 @@
+lib/baseline/optical_worm.mli:

@@ -1,0 +1,1 @@
+lib/baseline/soft_worm.ml: Fun Hashtbl Int64 List Option Policy String Worm_core Worm_crypto Worm_simclock Worm_simdisk

@@ -1,0 +1,1 @@
+lib/baseline/soft_worm.mli: Worm_core Worm_simclock Worm_simdisk

@@ -1,0 +1,68 @@
+open Worm_core
+module Codec = Worm_util.Codec
+
+type t = { store : Worm.t; client : Client.t; block_size : int; policy : Policy.t }
+
+let create ?(block_size = 4096) ?policy ~store ~client () =
+  if block_size < 16 then invalid_arg "Worm_blockdev.create: block size too small";
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> Policy.of_regulation Policy.Sec17a4
+  in
+  { store; client; block_size; policy }
+
+let block_size t = t.block_size
+
+(* Fixed-width framing inside the block: u32 length then payload then
+   NUL padding, so blocks are uniform on the medium and contents exact. *)
+let frame t payload =
+  let n = String.length payload in
+  if n > t.block_size - 4 then invalid_arg "Worm_blockdev.append: payload exceeds block size";
+  let framed =
+    Codec.encode
+      (fun enc () ->
+        Codec.u32 enc n;
+        ())
+      ()
+    ^ payload
+  in
+  framed ^ String.make (t.block_size - String.length framed) '\000'
+
+let unframe t block =
+  if String.length block <> t.block_size then None
+  else begin
+    match Codec.decode Codec.read_u32 (String.sub block 0 4) with
+    | Ok n when n <= t.block_size - 4 -> Some (String.sub block 4 n)
+    | Ok _ | Error _ -> None
+  end
+
+(* LBA <-> serial: serials start at 1, LBAs at 0. *)
+let sn_of_lba lba = Serial.of_int64 (Int64.add lba 1L)
+
+let append t payload =
+  let sn = Worm.write t.store ~policy:t.policy ~blocks:[ frame t payload ] in
+  Int64.sub (Serial.to_int64 sn) 1L
+
+let capacity_used t = Serial.to_int64 (Firmware.sn_current (Worm.firmware t.store))
+
+type read_result = Data of string | Expired | Unwritten | Compromised of string
+
+let read t lba =
+  if Int64.compare lba 0L < 0 then Unwritten
+  else begin
+    let sn = sn_of_lba lba in
+    match Client.verify_read t.client ~sn (Worm.read t.store sn) with
+    | Client.Valid_data { blocks = [ block ]; _ } -> begin
+        match unframe t block with
+        | Some payload -> Data payload
+        | None -> Compromised "block framing invalid"
+      end
+    | Client.Valid_data _ -> Compromised "unexpected block shape"
+    | Client.Committed_unverifiable -> Compromised "witness not yet strengthened"
+    | Client.Properly_deleted -> Expired
+    | Client.Never_written -> Unwritten
+    | Client.Violation vs -> Compromised (String.concat "; " (List.map Client.violation_to_string vs))
+  end
+
+let expire t = List.length (List.filter (fun (_, r) -> r = Ok ()) (Worm.expire_due t.store))

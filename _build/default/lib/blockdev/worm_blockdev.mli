@@ -1,0 +1,47 @@
+(** Block-level WORM device interface.
+
+    §4.1 names two deployment points for the record-level layer: inside
+    a file system ({!Worm_fs}), or "inside a block-level storage device
+    interface (e.g., in embedded scenarios without namespaces or
+    indexing constraints)". This is the latter: a device of fixed-size
+    write-once blocks where the logical block address {e is} the serial
+    number — consecutive monotonic allocation means no mapping table at
+    all, the degenerate (and cheapest) namespace.
+
+    Every block read is client-verified; the device surfaces the WORM
+    vocabulary (verified data / proven deleted / never written /
+    violation) instead of a bare I/O error, which is the whole point of
+    putting compliance below the namespace. *)
+
+type t
+
+val create :
+  ?block_size:int ->
+  ?policy:Worm_core.Policy.t ->
+  store:Worm_core.Worm.t ->
+  client:Worm_core.Client.t ->
+  unit ->
+  t
+(** [block_size] defaults to 4096; [policy] (retention of every block)
+    defaults to SEC 17a-4. *)
+
+val block_size : t -> int
+
+val append : t -> string -> int64
+(** Write one block (padded to [block_size] with NULs; an embedded
+    length header preserves exact contents). Returns the LBA.
+    @raise Invalid_argument if the payload exceeds the block size. *)
+
+val capacity_used : t -> int64
+(** Number of LBAs allocated so far; the next append returns this. *)
+
+type read_result =
+  | Data of string  (** verified, exact original contents *)
+  | Expired  (** proven rightfully deleted *)
+  | Unwritten  (** proven never allocated *)
+  | Compromised of string  (** verification failed: the violations *)
+
+val read : t -> int64 -> read_result
+
+val expire : t -> int
+(** Run the retention monitor; returns blocks deleted. *)

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Firmware Int64 List Printf Worm_scpu Worm_simclock

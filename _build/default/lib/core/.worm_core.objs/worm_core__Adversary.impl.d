@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Attr Bytes Char Firmware List Option Policy Proof Serial String Vrd Vrdt Worm Worm_crypto Worm_simdisk

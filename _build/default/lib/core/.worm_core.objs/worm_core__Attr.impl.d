@@ -1,0 +1,1 @@
+lib/core/attr.ml: Format Int64 Policy Printf Worm_simclock Worm_util

@@ -1,0 +1,1 @@
+lib/core/authority.ml: Attr Cert Firmware Int64 Rsa Vrd Vrdt Wire Worm Worm_crypto Worm_simclock

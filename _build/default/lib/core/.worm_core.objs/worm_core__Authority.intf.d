@@ -1,0 +1,1 @@
+lib/core/authority.mli: Firmware Serial Worm Worm_crypto Worm_simclock

@@ -1,0 +1,1 @@
+lib/core/client.ml: Attr Cert Chained_hash Firmware Int64 List Option Proof Rsa Serial String Vrd Wire Witness Worm Worm_crypto Worm_simclock Worm_util

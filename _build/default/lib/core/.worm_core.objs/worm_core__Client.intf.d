@@ -1,0 +1,1 @@
+lib/core/client.mli: Firmware Proof Serial Vrd Worm Worm_crypto Worm_simclock

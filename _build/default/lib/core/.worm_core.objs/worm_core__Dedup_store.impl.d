@@ -1,0 +1,1 @@
+lib/core/dedup_store.ml: Hashtbl List String Worm_crypto Worm_simdisk

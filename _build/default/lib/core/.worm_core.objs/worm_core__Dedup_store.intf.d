@@ -1,0 +1,1 @@
+lib/core/dedup_store.mli: Worm_simdisk

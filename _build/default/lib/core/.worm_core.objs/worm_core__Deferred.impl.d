@@ -1,0 +1,1 @@
+lib/core/deferred.ml: Hashtbl Int64 List Option Serial Set

@@ -1,0 +1,1 @@
+lib/core/deferred.mli: Serial

@@ -1,0 +1,1 @@
+lib/core/firmware.ml: Attr Cert Chained_hash Hashtbl Int64 List Logs Nat Option Policy Printf Result Rsa Serial String Vexp Vrd Wire Witness Worm_crypto Worm_scpu Worm_simclock Worm_util

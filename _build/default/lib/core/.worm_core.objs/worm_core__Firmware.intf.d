@@ -1,0 +1,1 @@
+lib/core/firmware.mli: Attr Serial Vrd Worm_crypto Worm_scpu Worm_util

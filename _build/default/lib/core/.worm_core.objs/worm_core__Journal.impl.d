@@ -1,0 +1,1 @@
+lib/core/journal.ml: Firmware List Printf Serial Worm_crypto Worm_scpu Worm_util

@@ -1,0 +1,1 @@
+lib/core/migration.ml: Client Firmware List Printf Proof Serial Vrd Worm Worm_crypto Worm_util

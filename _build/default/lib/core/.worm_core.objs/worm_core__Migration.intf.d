@@ -1,0 +1,1 @@
+lib/core/migration.mli: Client Serial Worm

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Format Int64 Printf Worm_simclock Worm_util

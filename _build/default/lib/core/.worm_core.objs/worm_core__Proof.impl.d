@@ -1,0 +1,1 @@
+lib/core/proof.ml: Firmware List Printf Serial Vrd

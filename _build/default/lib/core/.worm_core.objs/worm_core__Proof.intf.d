@@ -1,0 +1,1 @@
+lib/core/proof.mli: Firmware Serial Vrd

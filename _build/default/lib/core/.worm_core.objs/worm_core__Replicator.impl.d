@@ -1,0 +1,1 @@
+lib/core/replicator.ml: Client Firmware Hashtbl List Proof Result Serial String Vrd Vrdt Worm Worm_crypto Worm_simdisk Worm_util

@@ -1,0 +1,1 @@
+lib/core/replicator.mli: Client Firmware Policy Serial Worm

@@ -1,0 +1,1 @@
+lib/core/serial.ml: Format Int64 Map Printf Set Stdlib Worm_util

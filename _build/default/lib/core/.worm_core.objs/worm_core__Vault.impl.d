@@ -1,0 +1,1 @@
+lib/core/vault.ml: Bytes Char Firmware Int64 Serial String Worm_crypto Worm_scpu

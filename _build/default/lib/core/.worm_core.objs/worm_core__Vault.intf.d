@@ -1,0 +1,1 @@
+lib/core/vault.mli: Firmware Serial

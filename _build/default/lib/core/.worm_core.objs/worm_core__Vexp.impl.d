@@ -1,0 +1,1 @@
+lib/core/vexp.ml: Hashtbl Int64 List Serial Set

@@ -1,0 +1,1 @@
+lib/core/vexp.mli: Serial

@@ -1,0 +1,1 @@
+lib/core/vrd.ml: Attr Format List Serial Witness Worm_simdisk Worm_util

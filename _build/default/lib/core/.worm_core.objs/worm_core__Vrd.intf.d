@@ -1,0 +1,1 @@
+lib/core/vrd.mli: Attr Format Serial Witness Worm_simdisk Worm_util

@@ -1,0 +1,1 @@
+lib/core/vrdt.ml: Hashtbl List Serial String Vrd

@@ -1,0 +1,1 @@
+lib/core/vrdt.mli: Serial Vrd

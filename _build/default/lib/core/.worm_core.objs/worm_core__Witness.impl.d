@@ -1,0 +1,1 @@
+lib/core/witness.ml: Format Printf Worm_crypto Worm_util

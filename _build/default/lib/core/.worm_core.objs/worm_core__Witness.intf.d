@@ -1,0 +1,1 @@
+lib/core/witness.mli: Format Worm_crypto Worm_util

@@ -1,0 +1,1 @@
+lib/core/worm.mli: Attr Dedup_store Deferred Firmware Format Journal Policy Proof Serial Vault Vrdt Worm_crypto Worm_scpu Worm_simdisk

@@ -1,0 +1,63 @@
+module Cost_model = Worm_scpu.Cost_model
+module Device = Worm_scpu.Device
+module Clock = Worm_simclock.Clock
+
+type config = { window_ns : int64; headroom : float; signatures_per_record : float }
+
+let default_config = { window_ns = Clock.ns_of_sec 1.; headroom = 0.8; signatures_per_record = 2. }
+
+type t = {
+  config : config;
+  profile : Cost_model.profile;
+  device_config : Device.config;
+  mutable arrivals : int64 list; (* recent write timestamps, newest first *)
+}
+
+let create ?(config = default_config) ~profile ~device_config () =
+  if config.headroom <= 0. || config.headroom > 1. then invalid_arg "Adaptive.create: headroom in (0,1]";
+  { config; profile; device_config; arrivals = [] }
+
+let prune t ~now =
+  let horizon = Int64.sub now t.config.window_ns in
+  t.arrivals <- List.filter (fun ts -> Int64.compare ts horizon >= 0) t.arrivals
+
+let note_write t ~now =
+  prune t ~now;
+  t.arrivals <- now :: t.arrivals
+
+let arrival_rate t ~now =
+  prune t ~now;
+  float_of_int (List.length t.arrivals) /. (Int64.to_float t.config.window_ns /. 1e9)
+
+let rate_for_bits t bits =
+  Cost_model.rsa_sign_per_sec t.profile ~bits /. t.config.signatures_per_record *. t.config.headroom
+
+let sustainable_strong_rate t = rate_for_bits t t.device_config.Device.strong_bits
+let sustainable_weak_rate t = rate_for_bits t t.device_config.Device.weak_bits
+
+(* The strengthening debt is serviced during idle periods at the strong
+   key's signing rate; a backlog that would take longer than half the
+   weak lifetime to clear means new weak witnesses may not be
+   strengthened in time, so stop adding to it. *)
+let backlog_at_risk t ~deferred_backlog =
+  let drain_seconds =
+    float_of_int deferred_backlog *. t.config.signatures_per_record
+    /. Cost_model.rsa_sign_per_sec t.profile ~bits:t.device_config.Device.strong_bits
+  in
+  drain_seconds > Int64.to_float t.device_config.Device.weak_lifetime_ns /. 1e9 /. 2.
+
+let recommend t ~now ~deferred_backlog =
+  let rate = arrival_rate t ~now in
+  if rate <= sustainable_strong_rate t || backlog_at_risk t ~deferred_backlog then Firmware.Strong_now
+  else if rate <= sustainable_weak_rate t then Firmware.Weak_deferred
+  else Firmware.Mac_deferred
+
+let describe t ~now ~deferred_backlog =
+  let mode =
+    match recommend t ~now ~deferred_backlog with
+    | Firmware.Strong_now -> "strong"
+    | Firmware.Weak_deferred -> "weak"
+    | Firmware.Mac_deferred -> "mac"
+  in
+  Printf.sprintf "arrivals %.0f/s (strong budget %.0f/s, weak %.0f/s), backlog %d -> %s"
+    (arrival_rate t ~now) (sustainable_strong_rate t) (sustainable_weak_rate t) deferred_backlog mode

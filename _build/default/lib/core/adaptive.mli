@@ -1,0 +1,52 @@
+(** Adaptive witness-strength selection (§4.3).
+
+    "To achieve an adaptive behavior, optimally balancing the
+    performance–security trade-off, we need to determine the maximum
+    signature strength we can afford for a given throughput update
+    rate." This controller watches the recent write arrival rate and the
+    deferred-strengthening debt and recommends, per write, the strongest
+    witness mode the SCPU can sustain:
+
+    - arrivals within the strong-signature budget → [Strong_now];
+    - beyond it but within the weak-signature budget, with strengthening
+      debt still clearable inside the security lifetime → [Weak_deferred];
+    - genuine overload → [Mac_deferred] (bus-limited, §4.3's HMAC mode).
+
+    The controller is advisory: pass its recommendation as [?witness] to
+    {!Worm.write}. It never lowers strength when the queue of deferred
+    work is already at risk of outliving the weak constructs. *)
+
+type t
+
+type config = {
+  window_ns : int64;  (** arrival-rate estimation window (default 1 s) *)
+  headroom : float;
+      (** fraction of the theoretical budget actually usable, leaving
+          slack for bounds/holds/deletions (default 0.8) *)
+  signatures_per_record : float;  (** metasig + datasig = 2. *)
+}
+
+val default_config : config
+
+val create : ?config:config -> profile:Worm_scpu.Cost_model.profile -> device_config:Worm_scpu.Device.config -> unit -> t
+
+val note_write : t -> now:int64 -> unit
+(** Record one write arrival (call on every ingest). *)
+
+val arrival_rate : t -> now:int64 -> float
+(** Writes/second over the trailing window. *)
+
+val sustainable_strong_rate : t -> float
+(** Records/second the strong key supports (rate anchors ÷ sigs/record,
+    scaled by headroom). *)
+
+val sustainable_weak_rate : t -> float
+
+val recommend : t -> now:int64 -> deferred_backlog:int -> Firmware.witness_mode
+(** The strongest affordable mode right now. A backlog that could no
+    longer be strengthened within the weak lifetime (at the strong key's
+    signing rate) forces the recommendation back UP to [Strong_now] so
+    the debt stops growing. *)
+
+val describe : t -> now:int64 -> deferred_backlog:int -> string
+(** One-line state summary for logs and demos. *)

@@ -1,0 +1,121 @@
+module Disk = Worm_simdisk.Disk
+
+type snapshot = {
+  disk_image : (Disk.addr * string) list;
+  vrdt_image : (Serial.t * Vrdt.entry) list;
+  current_bound : Firmware.current_bound;
+  base_bound : Firmware.base_bound;
+}
+
+type t = { store : Worm.t; mutable snapshot : snapshot option; forge_rng : Worm_crypto.Drbg.t }
+
+let create store =
+  { store; snapshot = None; forge_rng = Worm_crypto.Drbg.create ~seed:"mallory-forge" }
+
+let disk t = Worm.disk t.store
+let vrdt t = Worm.vrdt t.store
+
+let with_active t sn f =
+  match Vrdt.find (vrdt t) sn with
+  | Some (Vrdt.Active vrd) -> f vrd
+  | Some (Vrdt.Deleted _) | None -> false
+
+let flip_first_byte s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+    Bytes.unsafe_to_string b
+  end
+
+let tamper_record_data t sn =
+  with_active t sn (fun vrd ->
+      match vrd.Vrd.rdl with
+      | [] -> false
+      | rd :: _ -> Disk.Raw.tamper (disk t) rd ~f:flip_first_byte)
+
+let substitute_record_data t sn replacement =
+  with_active t sn (fun vrd ->
+      match vrd.Vrd.rdl with
+      | [] -> false
+      | first :: rest ->
+          ignore (Disk.Raw.tamper (disk t) first ~f:(fun _ -> replacement));
+          List.iter (fun rd -> ignore (Disk.Raw.tamper (disk t) rd ~f:(fun _ -> ""))) rest;
+          let blocks = replacement :: List.map (fun _ -> "") rest in
+          let data_hash = Worm_crypto.Chained_hash.(value (of_blocks blocks)) in
+          Vrdt.Raw.put (vrdt t) sn (Vrdt.Active { vrd with Vrd.data_hash });
+          true)
+
+let tamper_attr_retention t sn ~new_retention_ns =
+  with_active t sn (fun vrd ->
+      let policy = { vrd.Vrd.attr.Attr.policy with Policy.retention_ns = new_retention_ns } in
+      let attr = { vrd.Vrd.attr with Attr.policy } in
+      Vrdt.Raw.put (vrdt t) sn (Vrdt.Active { vrd with Vrd.attr });
+      true)
+
+let premature_destroy t sn =
+  with_active t sn (fun vrd ->
+      List.for_all (fun rd -> Disk.Raw.delete (disk t) rd) vrd.Vrd.rdl)
+
+let hide_record t sn =
+  with_active t sn (fun vrd ->
+      List.iter (fun rd -> ignore (Disk.Raw.delete (disk t) rd)) vrd.Vrd.rdl;
+      Vrdt.Raw.remove (vrdt t) sn;
+      true)
+
+let forge_deletion_proof t sn =
+  (* A plausible-length signature of garbage. *)
+  let fake = Worm_crypto.Drbg.generate t.forge_rng 128 in
+  Vrdt.Raw.put (vrdt t) sn (Vrdt.Deleted { proof = fake })
+
+let replay_deletion_proof t ~victim ~donor =
+  match Vrdt.find (vrdt t) donor with
+  | Some (Vrdt.Deleted { proof }) ->
+      Vrdt.Raw.put (vrdt t) victim (Vrdt.Deleted { proof });
+      true
+  | Some (Vrdt.Active _) | None -> false
+
+let forge_window ~lo_from ~hi_from =
+  Proof.Proof_in_window
+    {
+      Firmware.window_id = lo_from.Firmware.window_id;
+      lo = lo_from.Firmware.lo;
+      hi = hi_from.Firmware.hi;
+      sig_lo = lo_from.Firmware.sig_lo;
+      sig_hi = hi_from.Firmware.sig_hi;
+    }
+
+let capture t =
+  t.snapshot <-
+    Some
+      {
+        disk_image = Disk.Raw.snapshot (disk t);
+        vrdt_image = Vrdt.Raw.snapshot (vrdt t);
+        current_bound = Worm.cached_current_bound t.store;
+        base_bound = Worm.cached_base_bound t.store;
+      }
+
+let rollback t =
+  match t.snapshot with
+  | None -> false
+  | Some snap ->
+      Disk.Raw.restore (disk t) snap.disk_image;
+      Vrdt.Raw.restore (vrdt t) snap.vrdt_image;
+      true
+
+let read_with_stale_current t sn =
+  match t.snapshot with
+  | None -> None
+  | Some snap -> if Serial.(sn > snap.current_bound.Firmware.sn) then Some (Proof.Proof_unallocated snap.current_bound) else None
+
+let stale_base_response t =
+  Option.map (fun snap -> Proof.Proof_below_base snap.base_bound) t.snapshot
+
+let read_denying t sn =
+  match read_with_stale_current t sn with
+  | Some response -> response
+  | None -> begin
+      match stale_base_response t with
+      | Some (Proof.Proof_below_base b) when Serial.(sn < b.Firmware.sn) -> Proof.Proof_below_base b
+      | Some _ | None -> Proof.Refused "no such record"
+    end

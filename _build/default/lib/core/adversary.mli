@@ -1,0 +1,75 @@
+(** Mallory's toolkit: the super-user insider of §2.1.
+
+    Every function here exercises only powers the paper grants the
+    adversary — direct physical access to disk platters and to the
+    host-maintained VRDT, plus the ability to run a dishonest read
+    server that replays captured signatures. None touches the SCPU's
+    innards. The attack test-suite mounts each of these against
+    {!Client.verify_read} and asserts detection (Theorems 1 and 2); the
+    same attacks against the soft-WORM baseline succeed. *)
+
+type t
+
+val create : Worm.t -> t
+
+(** {2 Media and table manipulation (Theorem 1 attacks)} *)
+
+val tamper_record_data : t -> Serial.t -> bool
+(** Flip a byte in the record's first data block on the platter. *)
+
+val substitute_record_data : t -> Serial.t -> string -> bool
+(** Replace the record's data wholesale and update the VRDT's cached
+    [data_hash] field to match (the signatures, of course, cannot be
+    updated). *)
+
+val tamper_attr_retention : t -> Serial.t -> new_retention_ns:int64 -> bool
+(** Rewrite the VRDT attributes to shorten the retention period —
+    the "expire my regrets early" attack. *)
+
+val premature_destroy : t -> Serial.t -> bool
+(** Destroy the data blocks with raw media access, leaving the VRDT
+    entry in place (a crash-faking attack). *)
+
+(** {2 Hiding and fake-deletion (Theorem 2 attacks)} *)
+
+val hide_record : t -> Serial.t -> bool
+(** Expunge the VRDT entry and the data, as if never written. *)
+
+val forge_deletion_proof : t -> Serial.t -> unit
+(** Replace the record's VRDT entry with a fabricated deletion proof
+    (random bytes of plausible length). *)
+
+val replay_deletion_proof : t -> victim:Serial.t -> donor:Serial.t -> bool
+(** Replace the victim's entry with the {e genuine} deletion proof of a
+    different, rightfully deleted record. *)
+
+val forge_window : lo_from:Firmware.deletion_window -> hi_from:Firmware.deletion_window -> Proof.read_response
+(** Combine the lower bound of one signed deletion window with the upper
+    bound of another, hoping to cover a live record between them — the
+    exact recombination the correlated window IDs exist to stop
+    (§4.2.1). *)
+
+(** {2 Replay / rollback (replication attacks)} *)
+
+val capture : t -> unit
+(** Photograph the platters, the VRDT, and the currently served bounds
+    (Mallory preparing a seemingly identical replica). *)
+
+val rollback : t -> bool
+(** Restore the captured image: disk and VRDT revert; records written
+    since vanish. Returns [false] if nothing was captured. *)
+
+val read_with_stale_current : t -> Serial.t -> Proof.read_response option
+(** Serve "never written" for a post-capture record, using the captured
+    (now stale) current bound. [None] until {!capture} was called. *)
+
+val stale_base_response : t -> Proof.read_response option
+(** Serve the captured base bound as deletion evidence (replay of an
+    old [S_s(SN_base)]). *)
+
+(** {2 A fully dishonest read server} *)
+
+val read_denying : t -> Serial.t -> Proof.read_response
+(** Respond to a read while denying the record exists, using the most
+    plausible lie available: a captured stale current bound, a stale
+    base bound, or a bare refusal. *)

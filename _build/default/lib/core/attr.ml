@@ -1,0 +1,69 @@
+module Codec = Worm_util.Codec
+module Clock = Worm_simclock.Clock
+
+type hold = { lit_id : string; authority : string; credential : string; held_at : int64; timeout : int64 }
+
+type t = {
+  created_at : int64;
+  policy : Policy.t;
+  litigation : hold option;
+  f_flag : bool;
+  mac_label : string;
+  dac_label : string;
+}
+
+let make ?(f_flag = false) ?(mac_label = "") ?(dac_label = "") ~created_at ~policy () =
+  { created_at; policy; litigation = None; f_flag; mac_label; dac_label }
+
+let expiry t = Int64.add t.created_at t.policy.Policy.retention_ns
+let is_expired t ~now = Int64.compare now (expiry t) > 0
+
+let on_hold t ~now =
+  match t.litigation with
+  | None -> false
+  | Some hold -> Int64.compare now hold.timeout <= 0
+
+let deletable t ~now = is_expired t ~now && not (on_hold t ~now)
+let with_hold t hold = { t with litigation = Some hold }
+let without_hold t = { t with litigation = None }
+
+let encode_hold enc hold =
+  Codec.bytes enc hold.lit_id;
+  Codec.bytes enc hold.authority;
+  Codec.bytes enc hold.credential;
+  Codec.u64 enc hold.held_at;
+  Codec.u64 enc hold.timeout
+
+let decode_hold dec =
+  let lit_id = Codec.read_bytes dec in
+  let authority = Codec.read_bytes dec in
+  let credential = Codec.read_bytes dec in
+  let held_at = Codec.read_u64 dec in
+  let timeout = Codec.read_u64 dec in
+  { lit_id; authority; credential; held_at; timeout }
+
+let encode enc t =
+  Codec.u64 enc t.created_at;
+  Policy.encode enc t.policy;
+  Codec.option encode_hold enc t.litigation;
+  Codec.bool enc t.f_flag;
+  Codec.bytes enc t.mac_label;
+  Codec.bytes enc t.dac_label
+
+let decode dec =
+  let created_at = Codec.read_u64 dec in
+  let policy = Policy.decode dec in
+  let litigation = Codec.read_option decode_hold dec in
+  let f_flag = Codec.read_bool dec in
+  let mac_label = Codec.read_bytes dec in
+  let dac_label = Codec.read_bytes dec in
+  { created_at; policy; litigation; f_flag; mac_label; dac_label }
+
+let to_bytes t = Codec.encode encode t
+let equal a b = a = b
+
+let pp fmt t =
+  Format.fprintf fmt "attr[%a created=%Ld%s]" Policy.pp t.policy t.created_at
+    (match t.litigation with
+    | Some hold -> Printf.sprintf " HELD:%s until %Ld" hold.lit_id hold.timeout
+    | None -> "")

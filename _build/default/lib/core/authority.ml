@@ -1,0 +1,41 @@
+open Worm_crypto
+module Clock = Worm_simclock.Clock
+
+type t = { key : Rsa.secret; cert : Cert.t; clock : Clock.t }
+
+let create ~ca ~clock ~rng ~name =
+  let key = Rsa.generate rng ~bits:1024 in
+  let now = Clock.now clock in
+  let cert =
+    Cert.issue ~ca ~subject:name ~role:Cert.Regulation_authority ~key:(Rsa.public_of key) ~not_before:now
+      ~not_after:(Int64.add now (Clock.ns_of_years 50.))
+  in
+  { key; cert; clock }
+
+let cert t = t.cert
+let now t = Clock.now t.clock
+
+let hold_credential t ~store_id ~sn ~lit_id =
+  Rsa.sign t.key (Wire.hold_credential_msg ~store_id ~sn ~timestamp:(now t) ~lit_id)
+
+let release_credential t ~store_id ~sn ~lit_id =
+  Rsa.sign t.key (Wire.release_credential_msg ~store_id ~sn ~timestamp:(now t) ~lit_id)
+
+let place_hold t ~store ~sn ~lit_id ~timeout =
+  let timestamp = now t in
+  let credential = hold_credential t ~store_id:(Worm.store_id store) ~sn ~lit_id in
+  Worm.lit_hold store ~sn ~authority:t.cert ~credential ~lit_id ~timestamp ~timeout
+
+let release_hold t ~store ~sn =
+  match Vrdt.find (Worm.vrdt store) sn with
+  | Some (Vrdt.Active vrd) -> begin
+      match vrd.Vrd.attr.Attr.litigation with
+      | None -> Error Firmware.No_hold_present
+      | Some hold ->
+          let timestamp = now t in
+          let credential =
+            release_credential t ~store_id:(Worm.store_id store) ~sn ~lit_id:hold.Attr.lit_id
+          in
+          Worm.lit_release store ~sn ~authority:t.cert ~credential ~timestamp
+    end
+  | Some (Vrdt.Deleted _) | None -> Error Firmware.Already_deleted

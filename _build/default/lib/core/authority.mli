@@ -1,0 +1,31 @@
+(** Litigation / regulation authority (§4.2.2 Litigation).
+
+    A court or regulator that can order litigation holds. It owns an RSA
+    key certified by the same CA the SCPUs trust (role
+    [Regulation_authority]) and issues the hold/release credentials
+    [C = S_reg(SN, current_time, lit_id)] that the firmware validates
+    before touching a record's hold state. *)
+
+type t
+
+val create : ca:Worm_crypto.Rsa.secret -> clock:Worm_simclock.Clock.t -> rng:Worm_crypto.Drbg.t -> name:string -> t
+(** Generates the authority key pair and its CA certificate (valid 50
+    years from [clock]'s now). *)
+
+val cert : t -> Worm_crypto.Cert.t
+
+val hold_credential : t -> store_id:string -> sn:Serial.t -> lit_id:string -> string
+(** Credential authorizing a hold on [sn], timestamped now. *)
+
+val release_credential : t -> store_id:string -> sn:Serial.t -> lit_id:string -> string
+
+val now : t -> int64
+(** The authority's clock reading — pass as [timestamp] alongside the
+    credential (the firmware checks freshness). *)
+
+val place_hold : t -> store:Worm.t -> sn:Serial.t -> lit_id:string -> timeout:int64 -> (unit, Firmware.error) result
+(** Convenience: issue a credential and apply it to a local store. *)
+
+val release_hold : t -> store:Worm.t -> sn:Serial.t -> (unit, Firmware.error) result
+(** Convenience: release whatever hold this authority holds on [sn].
+    Returns [Error No_hold_present] if there is none. *)

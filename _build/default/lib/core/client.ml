@@ -1,0 +1,184 @@
+open Worm_crypto
+module Clock = Worm_simclock.Clock
+
+type freshness = Timestamped of int64 | Direct_scpu of (unit -> Firmware.current_bound)
+
+type t = {
+  signing : Rsa.public;
+  deletion : Rsa.public;
+  store_id : string;
+  freshness : freshness;
+  clock : Clock.t;
+}
+
+let default_max_bound_age = Clock.ns_of_min 5.
+
+let connect ~ca ~clock ?(max_bound_age_ns = default_max_bound_age) ?freshness ~signing_cert ~deletion_cert
+    ~store_id () =
+  let now = Clock.now clock in
+  let freshness = Option.value ~default:(Timestamped max_bound_age_ns) freshness in
+  if not (Cert.verify ~ca ~now signing_cert) then Error "signing certificate rejected"
+  else if signing_cert.Cert.role <> Cert.Scpu_signing then Error "signing certificate has the wrong role"
+  else if not (Cert.verify ~ca ~now deletion_cert) then Error "deletion certificate rejected"
+  else if deletion_cert.Cert.role <> Cert.Scpu_deletion then Error "deletion certificate has the wrong role"
+  else
+    Ok
+      {
+        signing = signing_cert.Cert.key;
+        deletion = deletion_cert.Cert.key;
+        store_id;
+        freshness;
+        clock;
+      }
+
+let for_store ~ca ~clock ?max_bound_age_ns ?freshness store =
+  let fw = Worm.firmware store in
+  match
+    connect ~ca ~clock ?max_bound_age_ns ?freshness ~signing_cert:(Firmware.signing_cert fw)
+      ~deletion_cert:(Firmware.deletion_cert fw) ~store_id:(Worm.store_id store) ()
+  with
+  | Ok t -> t
+  | Error msg -> failwith ("Client.for_store: " ^ msg)
+
+type violation =
+  | Wrong_serial
+  | Meta_witness_invalid
+  | Data_witness_invalid
+  | Data_mismatch
+  | Current_bound_invalid
+  | Stale_current_bound
+  | Base_bound_invalid
+  | Base_bound_expired
+  | Base_does_not_cover
+  | Deletion_proof_invalid
+  | Window_bound_invalid
+  | Window_does_not_cover
+  | Absence_unproven
+
+let violation_to_string = function
+  | Wrong_serial -> "record carries a different serial number"
+  | Meta_witness_invalid -> "metasig does not verify"
+  | Data_witness_invalid -> "datasig does not verify"
+  | Data_mismatch -> "data does not hash to the signed value"
+  | Current_bound_invalid -> "current-bound signature does not verify"
+  | Stale_current_bound -> "current bound is older than the freshness limit"
+  | Base_bound_invalid -> "base-bound signature does not verify"
+  | Base_bound_expired -> "base bound has expired (possible replay)"
+  | Base_does_not_cover -> "serial is not below the signed base"
+  | Deletion_proof_invalid -> "deletion proof does not verify"
+  | Window_bound_invalid -> "deletion-window bounds do not verify under one window id"
+  | Window_does_not_cover -> "serial lies outside the deletion window"
+  | Absence_unproven -> "host failed to prove the record's absence"
+
+type verdict =
+  | Valid_data of { vrd : Vrd.t; blocks : string list }
+  | Committed_unverifiable
+  | Properly_deleted
+  | Never_written
+  | Violation of violation list
+
+let verdict_name = function
+  | Valid_data _ -> "valid-data"
+  | Committed_unverifiable -> "committed-unverifiable"
+  | Properly_deleted -> "properly-deleted"
+  | Never_written -> "never-written"
+  | Violation vs -> "VIOLATION: " ^ String.concat "; " (List.map violation_to_string vs)
+
+(* A witness verdict: [Ok true] = verifies, [Ok false] = MAC (cannot be
+   checked by a client), [Error ()] = forged. *)
+let check_witness t msg = function
+  | Witness.Strong signature -> if Rsa.verify t.signing ~msg ~signature then Ok true else Error ()
+  | Witness.Weak { cert; signature } ->
+      (* Short-lived key: chained under the signing key, honored only
+         within its lifetime (after which it must have been
+         strengthened, so encountering it live is itself suspect). *)
+      if
+        Cert.verify ~ca:t.signing ~now:(Clock.now t.clock) cert
+        && cert.Cert.role = Cert.Scpu_short_term
+        && Rsa.verify cert.Cert.key ~msg ~signature
+      then Ok true
+      else Error ()
+  | Witness.Mac _ -> Ok false
+
+let verify_current_bound_sig t (b : Firmware.current_bound) =
+  let msg = Wire.current_bound_msg ~store_id:t.store_id ~sn:b.Firmware.sn ~timestamp:b.Firmware.timestamp in
+  Rsa.verify t.signing ~msg ~signature:b.Firmware.signature
+
+(* Validate an absence claim's bound under the configured freshness
+   policy; returns the bound whose [sn] the caller should trust. *)
+let check_current_bound t (bound : Firmware.current_bound) =
+  match t.freshness with
+  | Timestamped max_age ->
+      if not (verify_current_bound_sig t bound) then Error Current_bound_invalid
+      else if Int64.compare (Int64.sub (Clock.now t.clock) bound.Firmware.timestamp) max_age > 0 then
+        Error Stale_current_bound
+      else Ok bound
+  | Direct_scpu fetch ->
+      (* option (i): ignore the served bound, ask the SCPU ourselves *)
+      let fresh = fetch () in
+      if verify_current_bound_sig t fresh then Ok fresh else Error Current_bound_invalid
+
+let verify_found t ~sn (vrd : Vrd.t) blocks =
+  let violations = ref [] in
+  let flag v = violations := v :: !violations in
+  if not (Serial.equal vrd.Vrd.sn sn) then flag Wrong_serial;
+  let meta_msg = Wire.metasig_msg ~store_id:t.store_id ~sn:vrd.Vrd.sn ~attr_bytes:(Attr.to_bytes vrd.Vrd.attr) in
+  let data_msg = Wire.datasig_msg ~store_id:t.store_id ~sn:vrd.Vrd.sn ~data_hash:vrd.Vrd.data_hash in
+  let meta_ok =
+    match check_witness t meta_msg vrd.Vrd.metasig with
+    | Ok v -> v
+    | Error () ->
+        flag Meta_witness_invalid;
+        true
+  in
+  let data_ok =
+    match check_witness t data_msg vrd.Vrd.datasig with
+    | Ok v -> v
+    | Error () ->
+        flag Data_witness_invalid;
+        true
+  in
+  let actual_hash = Chained_hash.value (Chained_hash.of_blocks blocks) in
+  if not (Worm_util.Ct.equal actual_hash vrd.Vrd.data_hash) then flag Data_mismatch;
+  match !violations with
+  | [] -> if meta_ok && data_ok then Valid_data { vrd; blocks } else Committed_unverifiable
+  | vs -> Violation (List.rev vs)
+
+let verify_read t ~sn (response : Proof.read_response) =
+  match response with
+  | Proof.Found { vrd; blocks } -> verify_found t ~sn vrd blocks
+  | Proof.Proof_deleted { sn = psn; proof } ->
+      let msg = Wire.deletion_msg ~store_id:t.store_id ~sn in
+      if not (Serial.equal psn sn) then Violation [ Deletion_proof_invalid ]
+      else if Rsa.verify t.deletion ~msg ~signature:proof then Properly_deleted
+      else Violation [ Deletion_proof_invalid ]
+  | Proof.Proof_in_window w ->
+      let lo_msg = Wire.deletion_window_lo_msg ~store_id:t.store_id ~window_id:w.Firmware.window_id ~sn:w.Firmware.lo in
+      let hi_msg = Wire.deletion_window_hi_msg ~store_id:t.store_id ~window_id:w.Firmware.window_id ~sn:w.Firmware.hi in
+      if
+        not
+          (Rsa.verify t.signing ~msg:lo_msg ~signature:w.Firmware.sig_lo
+          && Rsa.verify t.signing ~msg:hi_msg ~signature:w.Firmware.sig_hi)
+      then Violation [ Window_bound_invalid ]
+      else if not (Serial.(w.Firmware.lo <= sn) && Serial.(sn <= w.Firmware.hi)) then
+        Violation [ Window_does_not_cover ]
+      else Properly_deleted
+  | Proof.Proof_below_base b ->
+      let msg = Wire.base_bound_msg ~store_id:t.store_id ~sn:b.Firmware.sn ~expires_at:b.Firmware.expires_at in
+      if not (Rsa.verify t.signing ~msg ~signature:b.Firmware.signature) then Violation [ Base_bound_invalid ]
+      else if Int64.compare (Clock.now t.clock) b.Firmware.expires_at > 0 then Violation [ Base_bound_expired ]
+      else if not Serial.(sn < b.Firmware.sn) then Violation [ Base_does_not_cover ]
+      else Properly_deleted
+  | Proof.Proof_unallocated current -> begin
+      match check_current_bound t current with
+      | Error v -> Violation [ v ]
+      | Ok trusted ->
+          if Serial.(sn > trusted.Firmware.sn) then Never_written else Violation [ Absence_unproven ]
+    end
+  | Proof.Refused _ -> Violation [ Absence_unproven ]
+
+let verify_migration t ~target_store_id ~base ~current ~content_hash ~manifest_sig =
+  let msg =
+    Wire.migration_manifest_msg ~source_store_id:t.store_id ~target_store_id ~base ~current ~content_hash
+  in
+  Rsa.verify t.signing ~msg ~signature:manifest_sig

@@ -1,0 +1,94 @@
+(** Client-side verification.
+
+    Clients trust only the certificate authority's public key, their own
+    (roughly synchronized) clock, and nothing about the storage server.
+    From the CA they validate the SCPU's signing and deletion
+    certificates (served by the untrusted host), and then check every
+    read response end-to-end: data against datasig, attributes against
+    metasig, absences against deletion proofs, window bounds, or the
+    base/current bounds, with freshness limits on everything replayable.
+
+    Theorems 1 and 2 of the paper are, operationally, the statement that
+    {!verify_read} returns [Violation _] whenever the host lies. *)
+
+type t
+
+type freshness =
+  | Timestamped of int64
+      (** §4.2.1 option (ii): accept served current bounds whose
+          timestamp is at most this old. Cheap (no SCPU contact on
+          reads) but leaves a hiding window of the same width for
+          records written within it. *)
+  | Direct_scpu of (unit -> Firmware.current_bound)
+      (** §4.2.1 option (i): "upon each access, the client contacts the
+          SCPU directly to retrieve the current [S_s(SN_current)]".
+          Absence claims are checked against a bound fetched through
+          this (authenticated) channel, closing the staleness window at
+          the cost of SCPU involvement in absence-reads. *)
+
+val connect :
+  ca:Worm_crypto.Rsa.public ->
+  clock:Worm_simclock.Clock.t ->
+  ?max_bound_age_ns:int64 ->
+  ?freshness:freshness ->
+  signing_cert:Worm_crypto.Cert.t ->
+  deletion_cert:Worm_crypto.Cert.t ->
+  store_id:string ->
+  unit ->
+  (t, string) result
+(** Validate the served certificates against the CA. The default
+    freshness policy is [Timestamped] with [max_bound_age_ns]
+    (5 minutes unless given) — "the client will not accept values older
+    than a few minutes" (§4.2.1). Passing [freshness] overrides both. *)
+
+val for_store :
+  ca:Worm_crypto.Rsa.public ->
+  clock:Worm_simclock.Clock.t ->
+  ?max_bound_age_ns:int64 ->
+  ?freshness:freshness ->
+  Worm.t ->
+  t
+(** Convenience: connect to a local {!Worm.t}, fetching its certificates
+    the way a remote client would. @raise Failure if certificates fail
+    to validate. *)
+
+type violation =
+  | Wrong_serial  (** host returned a record with a different SN *)
+  | Meta_witness_invalid
+  | Data_witness_invalid
+  | Data_mismatch  (** data blocks do not hash to the signed value *)
+  | Current_bound_invalid
+  | Stale_current_bound
+  | Base_bound_invalid
+  | Base_bound_expired
+  | Base_does_not_cover  (** sn is not actually below the signed base *)
+  | Deletion_proof_invalid
+  | Window_bound_invalid  (** signatures don't match under one window id *)
+  | Window_does_not_cover
+  | Absence_unproven  (** the host refused to prove anything *)
+
+val violation_to_string : violation -> string
+
+type verdict =
+  | Valid_data of { vrd : Vrd.t; blocks : string list }
+  | Committed_unverifiable
+      (** witnessed only by an SCPU-internal MAC so far (§4.3 HMAC mode);
+          retry after the next idle-period strengthening *)
+  | Properly_deleted
+  | Never_written
+  | Violation of violation list
+
+val verdict_name : verdict -> string
+
+val verify_read : t -> sn:Serial.t -> Proof.read_response -> verdict
+(** Full verification of a read response for serial number [sn]. *)
+
+val verify_migration :
+  t ->
+  target_store_id:string ->
+  base:Serial.t ->
+  current:Serial.t ->
+  content_hash:string ->
+  manifest_sig:string ->
+  bool
+(** Check a source-SCPU migration attestation (see {!Migration}). *)

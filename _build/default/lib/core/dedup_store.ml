@@ -1,0 +1,108 @@
+module Disk = Worm_simdisk.Disk
+module Sha256 = Worm_crypto.Sha256
+
+type entry = { addr : Disk.addr; mutable refs : int; bytes : int }
+
+type t = {
+  disk : Disk.t;
+  by_hash : (string, entry) Hashtbl.t;
+  by_addr : (Disk.addr, string) Hashtbl.t; (* addr -> content hash *)
+}
+
+let create disk = { disk; by_hash = Hashtbl.create 256; by_addr = Hashtbl.create 256 }
+
+let store_block t block =
+  let h = Sha256.digest block in
+  match Hashtbl.find_opt t.by_hash h with
+  | Some entry ->
+      entry.refs <- entry.refs + 1;
+      entry.addr
+  | None ->
+      let addr = Disk.write t.disk block in
+      Hashtbl.replace t.by_hash h { addr; refs = 1; bytes = String.length block };
+      Hashtbl.replace t.by_addr addr h;
+      addr
+
+let read t addr = Disk.read t.disk addr
+
+type release_result = Freed | Still_referenced of int | Absent
+
+let release t ~passes addr =
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> Absent
+  | Some h -> begin
+      match Hashtbl.find_opt t.by_hash h with
+      | None -> Absent
+      | Some entry ->
+          entry.refs <- entry.refs - 1;
+          if entry.refs > 0 then Still_referenced entry.refs
+          else begin
+            Hashtbl.remove t.by_hash h;
+            Hashtbl.remove t.by_addr addr;
+            ignore (Disk.shred t.disk ~passes addr);
+            Freed
+          end
+    end
+
+let addref t addr =
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> false
+  | Some h -> begin
+      match Hashtbl.find_opt t.by_hash h with
+      | None -> false
+      | Some entry ->
+          entry.refs <- entry.refs + 1;
+          true
+    end
+
+let refcount t addr =
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> 0
+  | Some h -> begin
+      match Hashtbl.find_opt t.by_hash h with
+      | None -> 0
+      | Some entry -> entry.refs
+    end
+
+type stats = { unique_blocks : int; logical_blocks : int; physical_bytes : int; logical_bytes : int }
+
+let stats t =
+  Hashtbl.fold
+    (fun _ entry acc ->
+      {
+        unique_blocks = acc.unique_blocks + 1;
+        logical_blocks = acc.logical_blocks + entry.refs;
+        physical_bytes = acc.physical_bytes + entry.bytes;
+        logical_bytes = acc.logical_bytes + (entry.refs * entry.bytes);
+      })
+    t.by_hash
+    { unique_blocks = 0; logical_blocks = 0; physical_bytes = 0; logical_bytes = 0 }
+
+let dedup_ratio t =
+  let s = stats t in
+  if s.physical_bytes = 0 then 1.0 else float_of_int s.logical_bytes /. float_of_int s.physical_bytes
+
+let adopt t addr content =
+  match Hashtbl.find_opt t.by_addr addr with
+  | Some h -> begin
+      match Hashtbl.find_opt t.by_hash h with
+      | Some entry -> entry.refs <- entry.refs + 1
+      | None -> assert false (* by_addr and by_hash are kept in sync *)
+    end
+  | None ->
+      let h = Sha256.digest content in
+      Hashtbl.replace t.by_hash h { addr; refs = 1; bytes = String.length content };
+      Hashtbl.replace t.by_addr addr h
+
+let rebuild disk ~holders =
+  let t = create disk in
+  List.iter
+    (fun rdl ->
+      List.iter
+        (fun addr ->
+          match Disk.read disk addr with
+          | Some content -> adopt t addr content
+          | None -> ())
+        rdl)
+    holders;
+  t

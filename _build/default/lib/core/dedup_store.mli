@@ -1,0 +1,56 @@
+(** Content-addressed block storage with reference counting.
+
+    §4.2's virtual records "are allowed to overlap, and records can be
+    part of multiple different VRs ... allowing repeatedly stored
+    objects (such as popular email attachments) to potentially be stored
+    only once". This layer sits between the WORM store and the disk:
+    identical blocks share one physical record, each holder contributes
+    a reference, and the shredder runs only when the last reference is
+    released.
+
+    The index and refcounts are host-side plumbing: corrupting them can
+    waste space or destroy availability (both detectable — a missing
+    block fails the datasig check), but can never forge record contents,
+    which ride on the SCPU-signed chained hash as always. *)
+
+type t
+
+val create : Worm_simdisk.Disk.t -> t
+
+val store_block : t -> string -> Worm_simdisk.Disk.addr
+(** Store (or re-reference) one block; identical contents return the
+    same address with an incremented refcount. *)
+
+val read : t -> Worm_simdisk.Disk.addr -> string option
+
+type release_result =
+  | Freed  (** last reference: the block was shredded *)
+  | Still_referenced of int  (** remaining reference count *)
+  | Absent
+
+val release : t -> passes:int -> Worm_simdisk.Disk.addr -> release_result
+
+val addref : t -> Worm_simdisk.Disk.addr -> bool
+(** Take an additional reference on an existing block (overlapping VRs
+    borrowing each other's records, §4.2). [false] if unknown. *)
+
+val refcount : t -> Worm_simdisk.Disk.addr -> int
+(** 0 for unknown addresses. *)
+
+type stats = {
+  unique_blocks : int;
+  logical_blocks : int;  (** sum of refcounts *)
+  physical_bytes : int;
+  logical_bytes : int;
+}
+
+val stats : t -> stats
+
+val dedup_ratio : t -> float
+(** logical/physical bytes; 1.0 when nothing is shared. *)
+
+val rebuild : Worm_simdisk.Disk.t -> holders:Worm_simdisk.Disk.addr list list -> t
+(** Reconstruct the index after a host restart: one reference per holder
+    per address, contents reread from the disk. Assumes the store wrote
+    through the dedup layer from creation (equal content implies equal
+    address). Unreadable addresses are skipped. *)

@@ -1,0 +1,34 @@
+(** Deferred-strengthening queue (§4.3).
+
+    Records witnessed with short-lived constructs during a burst must be
+    re-signed with the strong key {e within the security lifetime} of
+    the weak construct. The host keeps this deadline-ordered queue and
+    drains it during idle periods; the simulator asserts that no entry
+    is ever strengthened past its deadline. *)
+
+type entry = { sn : Serial.t; deadline : int64 }
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> sn:Serial.t -> deadline:int64 -> unit
+(** Re-pushing an SN replaces its deadline. *)
+
+val remove : t -> Serial.t -> bool
+val mem : t -> Serial.t -> bool
+
+val peek : t -> entry option
+(** Earliest deadline. *)
+
+val take_batch : t -> max:int -> entry list
+(** Remove and return up to [max] entries, earliest deadline first. *)
+
+val overdue : t -> now:int64 -> entry list
+(** Entries whose deadline has already passed (a protocol failure if
+    non-empty — they can no longer be safely strengthened). Does not
+    remove them. *)
+
+val to_list : t -> entry list

@@ -1,0 +1,186 @@
+module Codec = Worm_util.Codec
+module Sha256 = Worm_crypto.Sha256
+module Rsa = Worm_crypto.Rsa
+module Device = Worm_scpu.Device
+
+type op =
+  | Op_write of Serial.t
+  | Op_delete of Serial.t
+  | Op_hold of Serial.t * string
+  | Op_release of Serial.t * string
+  | Op_strengthen of Serial.t
+  | Op_window of Serial.t * Serial.t
+  | Op_migration_out of string
+  | Op_custom of string
+
+let op_to_string = function
+  | Op_write sn -> "write " ^ Serial.to_string sn
+  | Op_delete sn -> "delete " ^ Serial.to_string sn
+  | Op_hold (sn, lit) -> Printf.sprintf "hold %s (%s)" (Serial.to_string sn) lit
+  | Op_release (sn, lit) -> Printf.sprintf "release %s (%s)" (Serial.to_string sn) lit
+  | Op_strengthen sn -> "strengthen " ^ Serial.to_string sn
+  | Op_window (lo, hi) -> Printf.sprintf "window [%s, %s]" (Serial.to_string lo) (Serial.to_string hi)
+  | Op_migration_out target -> "migration-out -> " ^ target
+  | Op_custom s -> s
+
+let encode_op enc = function
+  | Op_write sn ->
+      Codec.u8 enc 0;
+      Serial.encode enc sn
+  | Op_delete sn ->
+      Codec.u8 enc 1;
+      Serial.encode enc sn
+  | Op_hold (sn, lit) ->
+      Codec.u8 enc 2;
+      Serial.encode enc sn;
+      Codec.bytes enc lit
+  | Op_release (sn, lit) ->
+      Codec.u8 enc 3;
+      Serial.encode enc sn;
+      Codec.bytes enc lit
+  | Op_strengthen sn ->
+      Codec.u8 enc 4;
+      Serial.encode enc sn
+  | Op_window (lo, hi) ->
+      Codec.u8 enc 5;
+      Serial.encode enc lo;
+      Serial.encode enc hi
+  | Op_migration_out target ->
+      Codec.u8 enc 6;
+      Codec.bytes enc target
+  | Op_custom s ->
+      Codec.u8 enc 7;
+      Codec.bytes enc s
+
+type entry = { seq : int; timestamp : int64; op : op; chain : string }
+type anchor = { upto_seq : int; chain : string; timestamp : int64; signature : string }
+
+type t = {
+  fw : Firmware.t;
+  store_id : string;
+  mutable log : entry list; (* newest first *)
+  mutable anchors_rev : anchor list;
+}
+
+let genesis store_id = Sha256.digest ("worm:journal:genesis|" ^ store_id)
+
+let create fw = { fw; store_id = Firmware.store_id fw; log = []; anchors_rev = [] }
+
+let link ~prev_chain ~seq ~timestamp ~op =
+  let body =
+    Codec.encode
+      (fun enc () ->
+        Codec.bytes enc prev_chain;
+        Codec.int_as_u64 enc seq;
+        Codec.u64 enc timestamp;
+        encode_op enc op)
+      ()
+  in
+  Sha256.digest body
+
+let head t =
+  match t.log with
+  | [] -> genesis t.store_id
+  | e :: _ -> e.chain
+
+let next_seq t =
+  match t.log with
+  | [] -> 1
+  | e :: _ -> e.seq + 1
+
+let append t op =
+  let seq = next_seq t in
+  let timestamp = Device.now (Firmware.device t.fw) in
+  let chain = link ~prev_chain:(head t) ~seq ~timestamp ~op in
+  let entry = { seq; timestamp; op; chain } in
+  t.log <- entry :: t.log;
+  entry
+
+let length t = List.length t.log
+let entries t = List.rev t.log
+
+let anchor_msg ~store_id ~upto_seq ~chain ~timestamp =
+  Codec.encode
+    (fun enc () ->
+      Codec.bytes enc "worm:v1:journal-anchor";
+      Codec.bytes enc store_id;
+      Codec.int_as_u64 enc upto_seq;
+      Codec.bytes enc chain;
+      Codec.u64 enc timestamp)
+    ()
+
+let anchor t =
+  let upto_seq = List.length t.log in
+  let chain = head t in
+  let dev = Firmware.device t.fw in
+  let timestamp = Device.now dev in
+  let signature = Device.sign_strong dev (anchor_msg ~store_id:t.store_id ~upto_seq ~chain ~timestamp) in
+  let a = { upto_seq; chain; timestamp; signature } in
+  t.anchors_rev <- a :: t.anchors_rev;
+  a
+
+let anchors t = List.rev t.anchors_rev
+
+let recompute_chain ~store_id entries_list =
+  List.fold_left
+    (fun (prev, ok) e ->
+      let expected = link ~prev_chain:prev ~seq:e.seq ~timestamp:e.timestamp ~op:e.op in
+      (e.chain, ok && Worm_util.Ct.equal expected e.chain))
+    (genesis store_id, true)
+    entries_list
+
+(* verify_chain cannot know the store id, so it checks only internal
+   consistency from the first entry's implied predecessor: recompute
+   relative links. Auditors should prefer verify_anchor. *)
+let verify_chain ~entries:entries_list =
+  match entries_list with
+  | [] -> true
+  | first :: _ ->
+      (* sequences must be 1..n and each link must match under SOME
+         genesis; we can only check links after the first entry. *)
+      let seqs_ok = List.for_all2 (fun e i -> e.seq = i) entries_list (List.init (List.length entries_list) (fun i -> first.seq + i)) in
+      let links_ok =
+        let rec go (prev : entry) = function
+          | [] -> true
+          | (e : entry) :: rest ->
+              Worm_util.Ct.equal e.chain (link ~prev_chain:prev.chain ~seq:e.seq ~timestamp:e.timestamp ~op:e.op)
+              && go e rest
+        in
+        match entries_list with
+        | [] -> true
+        | _ :: rest -> go first rest
+      in
+      seqs_ok && links_ok
+
+let verify_anchor ~signing ~store_id ~entries:entries_list (a : anchor) =
+  let msg = anchor_msg ~store_id ~upto_seq:a.upto_seq ~chain:a.chain ~timestamp:a.timestamp in
+  Rsa.verify signing ~msg ~signature:a.signature
+  &&
+  let prefix = List.filter (fun e -> e.seq <= a.upto_seq) entries_list in
+  List.length prefix = a.upto_seq
+  &&
+  let final_chain, consistent = recompute_chain ~store_id prefix in
+  consistent && Worm_util.Ct.equal final_chain a.chain
+
+module Raw = struct
+  let rewrite_entry t ~seq ~op =
+    if seq < 1 || seq > List.length t.log then false
+    else begin
+      (* rewrite in chronological order, recomputing every chain value
+         from the tampered point forward so the journal self-checks *)
+      let chronological = List.rev t.log in
+      let _, rebuilt =
+        List.fold_left
+          (fun (prev_chain, acc) e ->
+            let op = if e.seq = seq then op else e.op in
+            let chain = link ~prev_chain ~seq:e.seq ~timestamp:e.timestamp ~op in
+            (chain, { e with op; chain } :: acc))
+          (genesis t.store_id, [])
+          chronological
+      in
+      t.log <- rebuilt;
+      true
+    end
+
+  let truncate t ~keep = t.log <- List.filteri (fun _ e -> e.seq <= keep) t.log
+end

@@ -1,0 +1,72 @@
+(** Tamper-evident operation journal.
+
+    §3 discusses audit trails for versioning file systems that commit
+    version history to a {e trusted third party} — and rejects them for
+    privacy, scalability and latency reasons. The SCPU makes the third
+    party unnecessary: the host appends every WORM operation to a
+    hash-chained journal and periodically asks the SCPU to {e anchor}
+    the chain head with a signed, timestamped statement. An auditor who
+    verifies the chain against the anchors gets an unforgeable operation
+    history without any external service.
+
+    Like the VRDT, the journal body is host-side and rewritable; the
+    anchors are what make truncation or rewriting of anything {e before}
+    the last anchor detectable. Operations after the last anchor are
+    protected only once the next anchor lands (anchor cadence is the
+    exposure window, exactly like the current-bound heartbeat). *)
+
+type op =
+  | Op_write of Serial.t
+  | Op_delete of Serial.t
+  | Op_hold of Serial.t * string  (** lit_id *)
+  | Op_release of Serial.t * string
+  | Op_strengthen of Serial.t
+  | Op_window of Serial.t * Serial.t  (** collapsed range *)
+  | Op_migration_out of string  (** target store id *)
+  | Op_custom of string
+
+val op_to_string : op -> string
+
+type entry = { seq : int; timestamp : int64; op : op; chain : string  (** running hash after this entry *) }
+
+type anchor = { upto_seq : int; chain : string; timestamp : int64; signature : string }
+
+type t
+
+val create : Firmware.t -> t
+(** The journal anchors through this store's SCPU; entries bind its
+    store id. *)
+
+val append : t -> op -> entry
+(** Timestamped with the SCPU clock reading at call time. *)
+
+val length : t -> int
+val entries : t -> entry list
+(** Oldest first. *)
+
+val anchor : t -> anchor
+(** One strong signature over (store, seq, chain head, now). Typically
+    on the maintenance heartbeat. *)
+
+val anchors : t -> anchor list
+(** Oldest first. *)
+
+(** {2 Auditor side} *)
+
+val verify_chain : entries:entry list -> bool
+(** Recompute the hash chain; [true] iff internally consistent. *)
+
+val verify_anchor : signing:Worm_crypto.Rsa.public -> store_id:string -> entries:entry list -> anchor -> bool
+(** The anchor's signature must check out and its chain value must equal
+    the recomputed chain at [upto_seq]. A journal whose prefix was
+    rewritten or truncated fails against any honest anchor. *)
+
+(** {2 The insider, once more} *)
+
+module Raw : sig
+  val rewrite_entry : t -> seq:int -> op:op -> bool
+  (** Alter history in place (chain values recomputed so the journal
+      stays self-consistent — only the anchors give it away). *)
+
+  val truncate : t -> keep:int -> unit
+end

@@ -1,0 +1,59 @@
+module Codec = Worm_util.Codec
+module Chained_hash = Worm_crypto.Chained_hash
+
+type report = {
+  mapping : (Serial.t * Serial.t) list;
+  skipped_deleted : int;
+  source_base : Serial.t;
+  source_current : Serial.t;
+  content_hash : string;
+  manifest_sig : string;
+}
+
+let content_entry sn data_hash =
+  Codec.encode
+    (fun enc () ->
+      Serial.encode enc sn;
+      Codec.bytes enc data_hash)
+    ()
+
+let migrate ~source ~target =
+  let src_fw = Worm.firmware source in
+  let source_cert = Firmware.signing_cert src_fw in
+  let source_store_id = Worm.store_id source in
+  let source_base = Firmware.sn_base src_fw in
+  let source_current = Firmware.sn_current src_fw in
+  let rec walk sn mapping skipped chain =
+    if Serial.(sn > source_current) then Ok (List.rev mapping, skipped, chain)
+    else begin
+      match Worm.read source sn with
+      | Proof.Found { vrd; blocks; _ } -> begin
+          match
+            Worm.import_record target ~source_signing_cert:source_cert ~source_store_id
+              ~vrd_bytes:(Vrd.to_bytes vrd) ~blocks
+          with
+          | Ok target_sn ->
+              let chain = Chained_hash.add chain (content_entry sn vrd.Vrd.data_hash) in
+              walk (Serial.next sn) ((sn, target_sn) :: mapping) skipped chain
+          | Error e ->
+              Error
+                (Printf.sprintf "target refused %s: %s" (Serial.to_string sn) (Firmware.error_to_string e))
+        end
+      | Proof.Proof_deleted _ | Proof.Proof_in_window _ | Proof.Proof_below_base _ ->
+          walk (Serial.next sn) mapping (skipped + 1) chain
+      | Proof.Proof_unallocated _ -> Error (Serial.to_string sn ^ " reported unallocated inside the live window")
+      | Proof.Refused excuse -> Error (Serial.to_string sn ^ " unreadable during migration: " ^ excuse)
+    end
+  in
+  match walk source_base [] 0 Chained_hash.empty with
+  | Error _ as e -> e
+  | Ok (mapping, skipped_deleted, chain) ->
+      let content_hash = Chained_hash.value chain in
+      let manifest_sig =
+        Firmware.attest_migration src_fw ~target_store_id:(Worm.store_id target) ~content_hash
+      in
+      Ok { mapping; skipped_deleted; source_base; source_current; content_hash; manifest_sig }
+
+let verify_report ~source_client ~target_store_id report =
+  Client.verify_migration source_client ~target_store_id ~base:report.source_base ~current:report.source_current
+    ~content_hash:report.content_hash ~manifest_sig:report.manifest_sig

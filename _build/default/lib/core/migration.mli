@@ -1,0 +1,30 @@
+(** Compliant migration (§1 requirements).
+
+    Retention periods are measured in decades; media are not. Migration
+    moves every live record from an obsolete store to a new one while
+    preserving the security assurances: original attributes (and hence
+    retention clocks) survive, the target SCPU independently re-verifies
+    and re-witnesses everything, and the source SCPU signs a manifest
+    binding the transferred window and a content summary to the target's
+    identity, so omissions are detectable afterwards.
+
+    Records with deferred (weak/MAC) witnesses cannot migrate; run an
+    idle maintenance pass on the source first. *)
+
+type report = {
+  mapping : (Serial.t * Serial.t) list;  (** source SN, target SN; ascending by source *)
+  skipped_deleted : int;  (** source SNs already rightfully deleted *)
+  source_base : Serial.t;
+  source_current : Serial.t;
+  content_hash : string;  (** chained hash over (source SN, data hash) of every migrated record *)
+  manifest_sig : string;  (** source-SCPU attestation over the manifest *)
+}
+
+val migrate : source:Worm.t -> target:Worm.t -> (report, string) result
+(** Walk the source's live window, verify and re-ingest every active
+    record into [target], then collect the source attestation. Fails on
+    the first record the target SCPU refuses. *)
+
+val verify_report : source_client:Client.t -> target_store_id:string -> report -> bool
+(** Offline check of a migration report against the source SCPU's
+    manifest signature (an auditor's view). *)

@@ -1,0 +1,78 @@
+module Clock = Worm_simclock.Clock
+module Codec = Worm_util.Codec
+
+type regulation = Sec17a4 | Hipaa | Sox | Dod5015_2 | Ferpa | Glba | Fda21cfr11 | Custom of string
+
+type t = { regulation : regulation; retention_ns : int64; shred_passes : int }
+
+let years = Clock.ns_of_years
+
+let of_regulation regulation =
+  let retention_ns, shred_passes =
+    match regulation with
+    | Sec17a4 -> (years 6., 3)
+    | Hipaa -> (years 6., 3)
+    | Sox -> (years 7., 3)
+    | Dod5015_2 -> (years 25., 7)
+    | Ferpa -> (years 20., 3)
+    | Glba -> (years 5., 3)
+    | Fda21cfr11 -> (years 10., 3)
+    | Custom _ -> (years 1., 1)
+  in
+  { regulation; retention_ns; shred_passes }
+
+let custom ~name ~retention_ns ~shred_passes =
+  if Int64.compare retention_ns 0L < 0 then invalid_arg "Policy.custom: negative retention";
+  if shred_passes < 1 then invalid_arg "Policy.custom: need at least one shred pass";
+  { regulation = Custom name; retention_ns; shred_passes }
+
+let regulation_name = function
+  | Sec17a4 -> "SEC-17a-4"
+  | Hipaa -> "HIPAA"
+  | Sox -> "SOX"
+  | Dod5015_2 -> "DOD-5015.2"
+  | Ferpa -> "FERPA"
+  | Glba -> "GLBA"
+  | Fda21cfr11 -> "FDA-21-CFR-11"
+  | Custom name -> "custom:" ^ name
+
+let regulation_tag = function
+  | Sec17a4 -> 0
+  | Hipaa -> 1
+  | Sox -> 2
+  | Dod5015_2 -> 3
+  | Ferpa -> 4
+  | Glba -> 5
+  | Fda21cfr11 -> 6
+  | Custom _ -> 7
+
+let encode enc t =
+  Codec.u8 enc (regulation_tag t.regulation);
+  (match t.regulation with
+  | Custom name -> Codec.bytes enc name
+  | Sec17a4 | Hipaa | Sox | Dod5015_2 | Ferpa | Glba | Fda21cfr11 -> ());
+  Codec.u64 enc t.retention_ns;
+  Codec.u16 enc t.shred_passes
+
+let decode dec =
+  let regulation =
+    match Codec.read_u8 dec with
+    | 0 -> Sec17a4
+    | 1 -> Hipaa
+    | 2 -> Sox
+    | 3 -> Dod5015_2
+    | 4 -> Ferpa
+    | 5 -> Glba
+    | 6 -> Fda21cfr11
+    | 7 -> Custom (Codec.read_bytes dec)
+    | n -> raise (Codec.Malformed (Printf.sprintf "bad regulation tag %d" n))
+  in
+  let retention_ns = Codec.read_u64 dec in
+  let shred_passes = Codec.read_u16 dec in
+  { regulation; retention_ns; shred_passes }
+
+let equal a b = a = b
+
+let pp fmt t =
+  Format.fprintf fmt "%s[retain %a, shred x%d]" (regulation_name t.regulation) Clock.pp_duration t.retention_ns
+    t.shred_passes

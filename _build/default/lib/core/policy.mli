@@ -1,0 +1,34 @@
+(** Regulation policies.
+
+    The paper's motivation is the body of US records regulation (§1);
+    each policy here carries the retention period and disposal
+    requirements a record stored under it inherits by default. *)
+
+type regulation =
+  | Sec17a4  (** SEC rule 17a-4: broker-dealer records *)
+  | Hipaa  (** health records *)
+  | Sox  (** Sarbanes-Oxley audit records *)
+  | Dod5015_2  (** DOD records management *)
+  | Ferpa  (** educational records *)
+  | Glba  (** Gramm-Leach-Bliley financial privacy *)
+  | Fda21cfr11  (** FDA electronic records *)
+  | Custom of string
+
+type t = {
+  regulation : regulation;
+  retention_ns : int64;  (** mandated minimum retention *)
+  shred_passes : int;  (** disposal overwrite passes *)
+}
+
+val of_regulation : regulation -> t
+(** Default profile for each named regulation (retention periods per the
+    usual statutory minima: SEC 17a-4 six years, HIPAA six years, SOX
+    seven, DOD/FDA varies — see the implementation table). *)
+
+val custom : name:string -> retention_ns:int64 -> shred_passes:int -> t
+
+val regulation_name : regulation -> string
+val encode : Worm_util.Codec.encoder -> t -> unit
+val decode : Worm_util.Codec.decoder -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type read_response =
+  | Found of { vrd : Vrd.t; blocks : string list }
+  | Proof_deleted of { sn : Serial.t; proof : string }
+  | Proof_in_window of Firmware.deletion_window
+  | Proof_below_base of Firmware.base_bound
+  | Proof_unallocated of Firmware.current_bound
+  | Refused of string
+
+let describe = function
+  | Found { vrd; blocks } ->
+      Printf.sprintf "found %s (%d blocks)" (Serial.to_string vrd.Vrd.sn) (List.length blocks)
+  | Proof_deleted { sn; _ } -> Printf.sprintf "deletion proof for %s" (Serial.to_string sn)
+  | Proof_in_window w ->
+      Printf.sprintf "inside deletion window [%s, %s]" (Serial.to_string w.Firmware.lo)
+        (Serial.to_string w.Firmware.hi)
+  | Proof_below_base b -> Printf.sprintf "below base bound %s" (Serial.to_string b.Firmware.sn)
+  | Proof_unallocated c -> Printf.sprintf "above current bound %s" (Serial.to_string c.Firmware.sn)
+  | Refused excuse -> "refused: " ^ excuse

@@ -1,0 +1,23 @@
+(** Read responses and their proofs (§4.2.2 Read).
+
+    A read of serial number x either returns the record with its VRD, or
+    must come with an SCPU-rooted proof of why it cannot: the record was
+    rightfully deleted (individually, inside a collapsed deletion
+    window, or below the base bound) or was never allocated (above the
+    fresh current bound). A host that can produce none of these is, by
+    Theorem 2, hiding something. *)
+
+type read_response =
+  | Found of { vrd : Vrd.t; blocks : string list }
+      (** the record and its descriptor; the SCPU witnesses inside the
+          VRD are self-certifying, so no bound accompanies success *)
+  | Proof_deleted of { sn : Serial.t; proof : string }  (** S_d(sn) from the VRDT *)
+  | Proof_in_window of Firmware.deletion_window
+      (** sn falls inside a collapsed window of expired records *)
+  | Proof_below_base of Firmware.base_bound  (** sn < SN_base: expelled long ago *)
+  | Proof_unallocated of Firmware.current_bound  (** sn > SN_current: never written *)
+  | Refused of string
+      (** no proof offered — never legitimate; carries the host's excuse
+          for the audit log *)
+
+val describe : read_response -> string

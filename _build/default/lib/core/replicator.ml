@@ -1,0 +1,116 @@
+module Disk = Worm_simdisk.Disk
+module Chained_hash = Worm_crypto.Chained_hash
+
+type t = { primary : Worm.t; mirror : Worm.t; pairs : (Serial.t, Serial.t) Hashtbl.t }
+
+let create ~primary ~mirror = { primary; mirror; pairs = Hashtbl.create 256 }
+let primary t = t.primary
+let mirror t = t.mirror
+
+let write ?witness t ~policy ~blocks =
+  let p = Worm.write ?witness t.primary ~policy ~blocks in
+  let m = Worm.write ?witness t.mirror ~policy ~blocks in
+  Hashtbl.replace t.pairs p m;
+  (p, m)
+
+let mirror_sn t sn = Hashtbl.find_opt t.pairs sn
+
+let count_deletions outcomes = List.length (List.filter (fun (_, r) -> r = Ok ()) outcomes)
+
+let expire_due t = (count_deletions (Worm.expire_due t.primary), count_deletions (Worm.expire_due t.mirror))
+
+let idle_tick t =
+  Worm.idle_tick t.primary;
+  Worm.idle_tick t.mirror
+
+type divergence = {
+  primary_sn : Serial.t;
+  mirror_sn_ : Serial.t;
+  primary_verdict : string;
+  mirror_verdict : string;
+}
+
+let verdict_fingerprint client store sn =
+  match Client.verify_read client ~sn (Worm.read store sn) with
+  | Client.Valid_data { blocks; _ } ->
+      ("valid:" ^ Worm_crypto.Sha256.hex_digest (String.concat "\x00" blocks), "valid-data")
+  | v ->
+      let name = Client.verdict_name v in
+      (name, name)
+
+let divergence_audit t ~primary_client ~mirror_client =
+  Hashtbl.fold
+    (fun p m acc ->
+      let p_fp, p_name = verdict_fingerprint primary_client t.primary p in
+      let m_fp, m_name = verdict_fingerprint mirror_client t.mirror m in
+      if String.equal p_fp m_fp then acc
+      else { primary_sn = p; mirror_sn_ = m; primary_verdict = p_name; mirror_verdict = m_name } :: acc)
+    t.pairs []
+  |> List.sort (fun a b -> Serial.compare a.primary_sn b.primary_sn)
+
+let ( let* ) = Result.bind
+
+let mirror_blocks t msn =
+  match Worm.read t.mirror msn with
+  | Proof.Found { blocks; _ } -> Ok blocks
+  | r -> Error ("mirror copy unreadable: " ^ Proof.describe r)
+
+let heal_data t ~sn =
+  let* msn =
+    match mirror_sn t sn with
+    | Some m -> Ok m
+    | None -> Error "no mirror pairing for this serial"
+  in
+  let* vrd =
+    match Vrdt.find (Worm.vrdt t.primary) sn with
+    | Some (Vrdt.Active vrd) -> Ok vrd
+    | Some (Vrdt.Deleted _) -> Error "record is deleted on the primary"
+    | None -> Error "primary VRDT entry missing (use heal_missing)"
+  in
+  let* blocks = mirror_blocks t msn in
+  (* The primary's own datasig arbitrates: only bytes hashing to the
+     committed value may be written back. *)
+  let actual = Chained_hash.value (Chained_hash.of_blocks blocks) in
+  if not (Worm_util.Ct.equal actual vrd.Vrd.data_hash) then
+    Error "mirror bytes do not match the primary datasig (mirror also damaged?)"
+  else if List.length blocks <> List.length vrd.Vrd.rdl then Error "block count mismatch"
+  else begin
+    let disk = Worm.disk t.primary in
+    (* overwrite corrupted blocks in place; re-allocate destroyed ones
+       (the rdl is unsigned host plumbing, so updating it is fine) *)
+    let rdl' =
+      List.map2
+        (fun rd block -> if Disk.Raw.tamper disk rd ~f:(fun _ -> block) then rd else Disk.write disk block)
+        vrd.Vrd.rdl blocks
+    in
+    if rdl' <> vrd.Vrd.rdl then Vrdt.set_active (Worm.vrdt t.primary) { vrd with Vrd.rdl = rdl' };
+    Ok ()
+  end
+
+let heal_missing t ~sn =
+  let* msn =
+    match mirror_sn t sn with
+    | Some m -> Ok m
+    | None -> Error "no mirror pairing for this serial"
+  in
+  (match Vrdt.find (Worm.vrdt t.primary) sn with
+  | None -> Ok ()
+  | Some _ -> Error "primary entry still present (use heal_data)")
+  |> fun r ->
+  let* () = r in
+  let* blocks = mirror_blocks t msn in
+  let* mirror_vrd =
+    match Vrdt.find (Worm.vrdt t.mirror) msn with
+    | Some (Vrdt.Active vrd) -> Ok vrd
+    | Some (Vrdt.Deleted _) | None -> Error "mirror VRD unavailable"
+  in
+  let source_cert = Firmware.signing_cert (Worm.firmware t.mirror) in
+  match
+    Worm.import_record t.primary ~source_signing_cert:source_cert
+      ~source_store_id:(Worm.store_id t.mirror) ~vrd_bytes:(Vrd.to_bytes mirror_vrd) ~blocks
+  with
+  | Ok new_sn ->
+      Hashtbl.remove t.pairs sn;
+      Hashtbl.replace t.pairs new_sn msn;
+      Ok new_sn
+  | Error e -> Error ("primary SCPU refused re-ingest: " ^ Firmware.error_to_string e)

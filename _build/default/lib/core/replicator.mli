@@ -1,0 +1,61 @@
+(** Duplicate-copy replication and healing.
+
+    SEC rule 17a-4(f) — one of the paper's motivating regulations —
+    requires broker-dealers to keep a {e duplicate copy} of electronic
+    records, stored separately. This layer mirrors every write to a
+    second Strong WORM store behind its own SCPU, and uses the mirror to
+    detect and heal damage on the primary:
+
+    - {!divergence_audit} reads every live record from both stores with
+      full client verification and reports disagreements;
+    - {!heal_data} rewrites a primary record's damaged data blocks from
+      the mirror, after checking the mirror's bytes against the hash the
+      primary's own datasig committed to — the mirror is {e not} trusted
+      either, the signatures arbitrate;
+    - {!heal_missing} re-ingests a record the primary lost entirely,
+      through the compliant-migration import path (fresh local serial,
+      original attributes).
+
+    Replication is a host-availability mechanism: WORM guarantees never
+    depend on it, they are what make it safe. *)
+
+type t
+
+val create : primary:Worm.t -> mirror:Worm.t -> t
+(** Both stores must trust the same CA. *)
+
+val primary : t -> Worm.t
+val mirror : t -> Worm.t
+
+val write :
+  ?witness:Firmware.witness_mode -> t -> policy:Policy.t -> blocks:string list -> Serial.t * Serial.t
+(** Write to both stores; returns (primary SN, mirror SN). *)
+
+val mirror_sn : t -> Serial.t -> Serial.t option
+(** The mirror serial paired with a primary serial at {!write} time. *)
+
+val expire_due : t -> int * int
+(** Run both retention monitors; (primary deletions, mirror deletions). *)
+
+val idle_tick : t -> unit
+
+type divergence = {
+  primary_sn : Serial.t;
+  mirror_sn_ : Serial.t;
+  primary_verdict : string;
+  mirror_verdict : string;
+}
+
+val divergence_audit : t -> primary_client:Client.t -> mirror_client:Client.t -> divergence list
+(** Verified read of every replicated pair; empty when the copies agree
+    (same verdict class and, for valid data, identical bytes). *)
+
+val heal_data : t -> sn:Serial.t -> (unit, string) result
+(** Restore the primary record's data blocks from the mirror. Fails if
+    the pair is unknown, the mirror copy does not verify, or the
+    mirror's bytes do not match the primary datasig's hash. *)
+
+val heal_missing : t -> sn:Serial.t -> (Serial.t, string) result
+(** Re-ingest a record the primary lost (VRDT entry gone) from the
+    mirror via the import path; returns the record's new primary SN and
+    updates the pairing. *)

@@ -1,0 +1,46 @@
+type t = int64
+
+let zero = 0L
+let first = 1L
+
+let of_int64 v =
+  if Int64.compare v 0L < 0 then invalid_arg "Serial.of_int64: negative";
+  v
+
+let to_int64 v = v
+let of_int v = of_int64 (Int64.of_int v)
+let to_int v = Int64.to_int v
+let next v = Int64.add v 1L
+
+let prev v = if v = 0L then invalid_arg "Serial.prev: zero" else Int64.sub v 1L
+
+let equal = Int64.equal
+let compare = Int64.compare
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+
+let distance lo hi = Int64.sub hi lo
+
+let range lo hi =
+  let rec go acc v = if Stdlib.( < ) (Int64.compare v lo) 0 then acc else go (v :: acc) (Int64.sub v 1L) in
+  if Stdlib.( < ) (Int64.compare hi lo) 0 then [] else go [] hi
+
+let encode enc v = Worm_util.Codec.u64 enc v
+
+let decode dec =
+  let v = Worm_util.Codec.read_u64 dec in
+  if Stdlib.( < ) (Int64.compare v 0L) 0 then raise (Worm_util.Codec.Malformed "negative serial number");
+  v
+let pp fmt v = Format.fprintf fmt "sn:%Ld" v
+let to_string v = Printf.sprintf "sn:%Ld" v
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,45 @@
+(** Serial numbers (SN).
+
+    The SCPU issues each virtual record a system-wide unique,
+    monotonically increasing, {e consecutive} serial number. Consecutive
+    monotonicity is load-bearing: it is what lets a window be
+    authenticated by signing only its two bounds (§4.1 "No Hash-Tree
+    Authentication") and what lets clients detect gaps. *)
+
+type t
+
+val zero : t
+val first : t
+(** The first SN ever issued (1; 0 is reserved as a pre-allocation
+    sentinel for empty-store bounds). *)
+
+val of_int64 : int64 -> t
+(** @raise Invalid_argument on negative values. *)
+
+val to_int64 : t -> int64
+val of_int : int -> t
+val to_int : t -> int
+val next : t -> t
+val prev : t -> t
+(** @raise Invalid_argument on [zero]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val distance : t -> t -> int64
+(** [distance lo hi] is [hi - lo]; negative if [hi < lo]. *)
+
+val range : t -> t -> t list
+(** [range lo hi] is [lo; lo+1; ...; hi], empty if [hi < lo]. *)
+
+val encode : Worm_util.Codec.encoder -> t -> unit
+val decode : Worm_util.Codec.decoder -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

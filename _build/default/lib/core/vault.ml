@@ -1,0 +1,31 @@
+module Aes = Worm_crypto.Aes
+module Device = Worm_scpu.Device
+
+type t = { key : Aes.key; fingerprint : string }
+
+let create fw =
+  let dev = Firmware.device fw in
+  (* Derived inside the enclosure from the device's internal MAC key:
+     deterministic per (device, store), never stored on the host disk. *)
+  let secret = Device.hmac_tag dev ("worm:vault-key|" ^ Firmware.store_id fw) in
+  let key_bytes = String.sub secret 0 16 in
+  {
+    key = Aes.key_of_string key_bytes;
+    fingerprint = String.sub (Worm_crypto.Sha256.hex_digest ("worm:vault-fp|" ^ secret)) 0 16;
+  }
+
+let key_fingerprint t = t.fingerprint
+
+let nonce ~sn ~index =
+  if index < 0 || index > 0xffff then invalid_arg "Vault: block index out of range";
+  let sn64 = Serial.to_int64 sn in
+  let b = Bytes.create 8 in
+  for i = 0 to 5 do
+    Bytes.set b i (Char.chr (Int64.to_int (Int64.shift_right_logical sn64 (8 * (5 - i))) land 0xff))
+  done;
+  Bytes.set b 6 (Char.chr ((index lsr 8) land 0xff));
+  Bytes.set b 7 (Char.chr (index land 0xff));
+  Bytes.unsafe_to_string b
+
+let seal t ~sn ~index block = Aes.ctr t.key ~nonce:(nonce ~sn ~index) block
+let unseal = seal

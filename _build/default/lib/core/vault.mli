@@ -1,0 +1,37 @@
+(** At-rest encryption of record data.
+
+    Storage {e confidentiality} is among the regulatory policies of §1,
+    and the CCA the paper builds on provides symmetric encryption
+    services. The vault encrypts every data block before it touches the
+    platter with AES-128-CTR under a store key derived inside the SCPU
+    (from its internal MAC key and the store identity, so a host restart
+    re-derives the same key from the same device). Nonces are
+    (serial number, block index) — unique because WORM storage never
+    rewrites a block under the same coordinates.
+
+    Threat addressed: theft or forensic imaging of the {e media}. The
+    host necessarily holds the data key while serving reads, so a live
+    super-user still sees plaintext — confidentiality against Mallory
+    herself would need client-side encryption, out of scope here as in
+    the paper. Integrity is entirely untouched: datasig signs the
+    {e plaintext} chained hash, so sealing/unsealing cannot mask
+    tampering.
+
+    Not composable with {!Worm.config.dedup} (ciphertexts of equal
+    plaintexts differ by design); {!Worm.create} rejects the
+    combination. *)
+
+type t
+
+val create : Firmware.t -> t
+(** Derive the store data key from the SCPU; same device and store id
+    always yield the same key. *)
+
+val key_fingerprint : t -> string
+(** Hex fingerprint for logs (never the key itself). *)
+
+val seal : t -> sn:Serial.t -> index:int -> string -> string
+(** Encrypt one data block at position [index] of record [sn]. *)
+
+val unseal : t -> sn:Serial.t -> index:int -> string -> string
+(** Inverse of {!seal} (CTR is an involution under the same nonce). *)

@@ -1,0 +1,45 @@
+module Codec = Worm_util.Codec
+
+type rd = Worm_simdisk.Disk.addr
+
+type t = {
+  sn : Serial.t;
+  attr : Attr.t;
+  rdl : rd list;
+  data_hash : string;
+  metasig : Witness.t;
+  datasig : Witness.t;
+}
+
+let rank = function
+  | `Strong -> 2
+  | `Weak -> 1
+  | `Mac -> 0
+
+let weakest_strength t =
+  let m = Witness.strength t.metasig and d = Witness.strength t.datasig in
+  if rank m <= rank d then m else d
+
+let encode enc t =
+  Serial.encode enc t.sn;
+  Attr.encode enc t.attr;
+  Codec.list (fun enc rd -> Codec.int_as_u64 enc rd) enc t.rdl;
+  Codec.bytes enc t.data_hash;
+  Witness.encode enc t.metasig;
+  Witness.encode enc t.datasig
+
+let decode dec =
+  let sn = Serial.decode dec in
+  let attr = Attr.decode dec in
+  let rdl = Codec.read_list Codec.read_int_as_u64 dec in
+  let data_hash = Codec.read_bytes dec in
+  let metasig = Witness.decode dec in
+  let datasig = Witness.decode dec in
+  { sn; attr; rdl; data_hash; metasig; datasig }
+
+let to_bytes t = Codec.encode encode t
+let of_bytes s = Codec.decode decode s
+
+let pp fmt t =
+  Format.fprintf fmt "vrd[%a %a rds=%d meta=%a data=%a]" Serial.pp t.sn Attr.pp t.attr (List.length t.rdl)
+    Witness.pp t.metasig Witness.pp t.datasig

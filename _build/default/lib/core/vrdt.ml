@@ -1,0 +1,46 @@
+type entry = Active of Vrd.t | Deleted of { proof : string }
+
+type t = { table : (Serial.t, entry) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 1024 }
+let find t sn = Hashtbl.find_opt t.table sn
+let set_active t vrd = Hashtbl.replace t.table vrd.Vrd.sn (Active vrd)
+let set_deleted t sn ~proof = Hashtbl.replace t.table sn (Deleted { proof })
+let drop t sn = Hashtbl.remove t.table sn
+let entry_count t = Hashtbl.length t.table
+
+let fold t ~init ~f = Hashtbl.fold (fun sn entry acc -> f acc sn entry) t.table init
+
+let active_count t =
+  fold t ~init:0 ~f:(fun acc _ entry ->
+      match entry with
+      | Active _ -> acc + 1
+      | Deleted _ -> acc)
+
+let deleted_count t = entry_count t - active_count t
+let iter t f = Hashtbl.iter f t.table
+
+let active_sns t =
+  fold t ~init:[] ~f:(fun acc sn entry ->
+      match entry with
+      | Active _ -> sn :: acc
+      | Deleted _ -> acc)
+  |> List.sort Serial.compare
+
+let approx_bytes t =
+  fold t ~init:0 ~f:(fun acc _ entry ->
+      acc + 8
+      +
+      match entry with
+      | Active vrd -> String.length (Vrd.to_bytes vrd)
+      | Deleted { proof } -> String.length proof)
+
+module Raw = struct
+  let put t sn entry = Hashtbl.replace t.table sn entry
+  let remove t sn = Hashtbl.remove t.table sn
+  let snapshot t = fold t ~init:[] ~f:(fun acc sn entry -> (sn, entry) :: acc)
+
+  let restore t image =
+    Hashtbl.reset t.table;
+    List.iter (fun (sn, entry) -> Hashtbl.replace t.table sn entry) image
+end

@@ -1,0 +1,48 @@
+(** The Virtual Record Descriptor Table (VRDT).
+
+    Maintained by the untrusted main CPU on unsecured storage: an index
+    from serial numbers to either a live VRD or a deletion proof
+    [S_d(SN)]. Runs of deletion proofs may be collapsed into signed
+    deletion windows (kept in {!Store_state}), after which the per-SN
+    entries are expelled.
+
+    Because the table is host-controlled, this module deliberately
+    exposes {!Raw} mutators with no checks at all — they are the
+    insider's interface, and the test suite uses them to mount the
+    paper's attacks. Integrity never depends on this module behaving. *)
+
+type entry =
+  | Active of Vrd.t
+  | Deleted of { proof : string }  (** S_d(SN) *)
+
+type t
+
+val create : unit -> t
+val find : t -> Serial.t -> entry option
+val set_active : t -> Vrd.t -> unit
+val set_deleted : t -> Serial.t -> proof:string -> unit
+
+val drop : t -> Serial.t -> unit
+(** Expel an entry (window collapse / base advance housekeeping). *)
+
+val entry_count : t -> int
+val active_count : t -> int
+val deleted_count : t -> int
+
+val iter : t -> (Serial.t -> entry -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> Serial.t -> entry -> 'a) -> 'a
+
+val active_sns : t -> Serial.t list
+(** Ascending. *)
+
+val approx_bytes : t -> int
+(** Serialized size of the table — the storage-reduction benchmark
+    tracks how window collapsing shrinks this. *)
+
+(** Unchecked mutation: the super-user insider's view of the table. *)
+module Raw : sig
+  val put : t -> Serial.t -> entry -> unit
+  val remove : t -> Serial.t -> unit
+  val snapshot : t -> (Serial.t * entry) list
+  val restore : t -> (Serial.t * entry) list -> unit
+end

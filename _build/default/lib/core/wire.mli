@@ -1,0 +1,45 @@
+(** Canonical byte encodings of every SCPU-signed statement.
+
+    Both the firmware (signing) and clients (verifying) construct these
+    from the same functions, so a signature can never be replayed as a
+    different statement: each message carries a domain-separation tag,
+    the store identity, and every value the statement binds.
+
+    The [store_id] (a device-generated random identifier minted when a
+    store is created) prevents cross-store replay: a deletion proof from
+    one store says nothing about another. *)
+
+val metasig_msg : store_id:string -> sn:Serial.t -> attr_bytes:string -> string
+(** The paper's [S_s(SN, attr)] input. *)
+
+val datasig_msg : store_id:string -> sn:Serial.t -> data_hash:string -> string
+(** The paper's [S_s(SN, Hash(data))] input; [data_hash] is the chained
+    hash of the record's data blocks. *)
+
+val deletion_msg : store_id:string -> sn:Serial.t -> string
+(** The paper's [S_d(v.SN)] input: proof of rightful deletion. *)
+
+val base_bound_msg : store_id:string -> sn:Serial.t -> expires_at:int64 -> string
+(** [S_s(SN_base)]: everything below [sn] was rightfully deleted. The
+    embedded expiry bounds replay of stale bases (§4.2.1). *)
+
+val current_bound_msg : store_id:string -> sn:Serial.t -> timestamp:int64 -> string
+(** [S_s(SN_current)]: nothing above [sn] has been allocated, as of
+    [timestamp]. Clients reject stale timestamps (§4.2.1 option ii). *)
+
+val deletion_window_lo_msg : store_id:string -> window_id:string -> sn:Serial.t -> string
+val deletion_window_hi_msg : store_id:string -> window_id:string -> sn:Serial.t -> string
+(** Bounds of a collapsed run of expired SNs. The shared random
+    [window_id] inside both envelopes is what stops the host from
+    combining bounds of different windows into a forged one (§4.2.1). *)
+
+val hold_credential_msg : store_id:string -> sn:Serial.t -> timestamp:int64 -> lit_id:string -> string
+(** The litigation authority's credential [C = S_reg(SN, time, lit_id)]
+    (§4.2.2 Litigation). *)
+
+val release_credential_msg : store_id:string -> sn:Serial.t -> timestamp:int64 -> lit_id:string -> string
+
+val migration_manifest_msg :
+  source_store_id:string -> target_store_id:string -> base:Serial.t -> current:Serial.t -> content_hash:string -> string
+(** Source-SCPU attestation that a compliant migration transferred the
+    full live window [base..current] with the given content summary. *)

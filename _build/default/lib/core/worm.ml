@@ -1,0 +1,629 @@
+module Device = Worm_scpu.Device
+module Cost_model = Worm_scpu.Cost_model
+module Disk = Worm_simdisk.Disk
+module Clock = Worm_simclock.Clock
+module Chained_hash = Worm_crypto.Chained_hash
+
+type datasig_mode = Scpu_hashes | Host_hash
+
+type config = {
+  datasig_mode : datasig_mode;
+  default_witness : Firmware.witness_mode;
+  heartbeat_interval_ns : int64;
+  host_profile : Cost_model.profile;
+  vexp_capacity : int;
+  dedup : bool;
+  journal : bool;
+  encrypt_at_rest : bool;
+}
+
+let default_config =
+  {
+    datasig_mode = Scpu_hashes;
+    default_witness = Firmware.Strong_now;
+    heartbeat_interval_ns = Clock.ns_of_sec 60.;
+    host_profile = Cost_model.host_p4;
+    vexp_capacity = 4096;
+    dedup = false;
+    journal = false;
+    encrypt_at_rest = false;
+  }
+
+type t = {
+  config : config;
+  fw : Firmware.t;
+  disk : Disk.t;
+  dedup : Dedup_store.t option;
+  journal : Journal.t option;
+  vault : Vault.t option;
+  vrdt : Vrdt.t;
+  deferred : Deferred.t;
+  audit_queue : (Serial.t, unit) Hashtbl.t;
+  mutable vexp_backlog : (int64 * Serial.t) list;
+  mutable windows : Firmware.deletion_window list;
+  mutable current_cache : Firmware.current_bound;
+  mutable base_cache : Firmware.base_bound;
+  mutable host_busy_ns : int64;
+}
+
+let create ?(config = default_config) ?disk ~device ~ca () =
+  if config.dedup && config.encrypt_at_rest then
+    invalid_arg "Worm.create: dedup and encrypt_at_rest cannot be combined";
+  let disk =
+    match disk with
+    | Some d -> d
+    | None -> Disk.create ()
+  in
+  let fw = Firmware.create ~device ~ca ~vexp_capacity:config.vexp_capacity () in
+  {
+    config;
+    fw;
+    disk;
+    dedup = (if config.dedup then Some (Dedup_store.create disk) else None);
+    journal = (if config.journal then Some (Journal.create fw) else None);
+    vault = (if config.encrypt_at_rest then Some (Vault.create fw) else None);
+    vrdt = Vrdt.create ();
+    deferred = Deferred.create ();
+    audit_queue = Hashtbl.create 64;
+    vexp_backlog = [];
+    windows = [];
+    current_cache = Firmware.current_bound fw;
+    base_cache = Firmware.base_bound fw;
+    host_busy_ns = 0L;
+  }
+
+let config t = t.config
+let firmware t = t.fw
+let disk t = t.disk
+let vrdt t = t.vrdt
+let store_id t = Firmware.store_id t.fw
+let now t = Device.now (Firmware.device t.fw)
+
+let charge_host t ns = t.host_busy_ns <- Int64.add t.host_busy_ns ns
+
+let record_op t op =
+  match t.journal with
+  | Some j -> ignore (Journal.append j op)
+  | None -> ()
+
+let seal_blocks t ~sn blocks =
+  match t.vault with
+  | Some v -> List.mapi (fun index b -> Vault.seal v ~sn ~index b) blocks
+  | None -> blocks
+
+let unseal_blocks t ~sn blocks =
+  match t.vault with
+  | Some v -> List.mapi (fun index b -> Vault.unseal v ~sn ~index b) blocks
+  | None -> blocks
+
+let store_blocks t blocks =
+  match t.dedup with
+  | Some d -> List.map (Dedup_store.store_block d) blocks
+  | None -> List.map (Disk.write t.disk) blocks
+
+let shred_rdl t ~passes rdl =
+  match t.dedup with
+  | Some d -> List.iter (fun rd -> ignore (Dedup_store.release d ~passes rd)) rdl
+  | None -> List.iter (fun rd -> ignore (Disk.shred t.disk ~passes rd)) rdl
+
+let host_chained_hash t blocks =
+  (* Chained hash computed on the host CPU (Host_hash mode); each link
+     hashes the block plus the 40-byte chain prefix. *)
+  List.fold_left
+    (fun acc block ->
+      charge_host t (Cost_model.hash_ns t.config.host_profile ~bytes:(String.length block + 40));
+      Chained_hash.add acc block)
+    Chained_hash.empty blocks
+
+(* The security lifetime applicable to deferred witnesses. *)
+let deferred_deadline t (vrd : Vrd.t) =
+  match Vrd.weakest_strength vrd with
+  | `Strong -> None
+  | `Weak -> begin
+      match (vrd.Vrd.metasig, vrd.Vrd.datasig) with
+      | Witness.Weak { cert; _ }, _ | _, Witness.Weak { cert; _ } -> Some cert.Worm_crypto.Cert.not_after
+      | _ -> assert false
+    end
+  | `Mac ->
+      let cfg = Device.config (Firmware.device t.fw) in
+      Some (Int64.add (now t) cfg.Device.weak_lifetime_ns)
+
+let write ?witness ?attr t ~policy ~blocks =
+  let witness =
+    match witness with
+    | Some w -> w
+    | None -> t.config.default_witness
+  in
+  let attr =
+    match attr with
+    | Some a -> a
+    | None -> Attr.make ~created_at:0L (* stamped by the firmware *) ~policy ()
+  in
+  let data =
+    match t.config.datasig_mode with
+    | Scpu_hashes -> Firmware.Blocks blocks
+    | Host_hash ->
+        let total = List.fold_left (fun acc b -> acc + String.length b) 0 blocks in
+        Firmware.Claimed_hash (Chained_hash.value (host_chained_hash t blocks), total)
+  in
+  (* the SCPU issues the serial first; block sealing needs it for nonces *)
+  let { Firmware.vrd; vexp_shed } = Firmware.write t.fw ~attr ~rdl:[] ~data ~mode:witness in
+  let rdl = store_blocks t (seal_blocks t ~sn:vrd.Vrd.sn blocks) in
+  let vrd = { vrd with Vrd.rdl } in
+  Vrdt.set_active t.vrdt vrd;
+  t.vexp_backlog <- vexp_shed @ t.vexp_backlog;
+  (match deferred_deadline t vrd with
+  | Some deadline -> Deferred.push t.deferred ~sn:vrd.Vrd.sn ~deadline
+  | None -> ());
+  (match t.config.datasig_mode with
+  | Host_hash -> Hashtbl.replace t.audit_queue vrd.Vrd.sn ()
+  | Scpu_hashes -> ());
+  record_op t (Journal.Op_write vrd.Vrd.sn);
+  vrd.Vrd.sn
+
+type part = Fresh of string | Borrow of Serial.t * int
+
+let write_shared ?witness t ~policy ~parts =
+  match t.dedup with
+  | None -> Error "write_shared requires a dedup-enabled store"
+  | Some dedup -> begin
+      (* resolve each part to its content (the SCPU witnesses the full
+         logical record) and, for borrows, the existing block address *)
+      let resolve part =
+        match part with
+        | Fresh block -> Ok (block, None)
+        | Borrow (sn, index) -> begin
+            match Vrdt.find t.vrdt sn with
+            | Some (Vrdt.Active vrd) -> begin
+                match List.nth_opt vrd.Vrd.rdl index with
+                | None -> Error (Printf.sprintf "%s has no block %d" (Serial.to_string sn) index)
+                | Some rd -> begin
+                    match Disk.read t.disk rd with
+                    | Some content -> Ok (content, Some rd)
+                    | None -> Error (Printf.sprintf "block %d of %s unreadable" index (Serial.to_string sn))
+                  end
+              end
+            | Some (Vrdt.Deleted _) | None -> Error (Serial.to_string sn ^ " is not an active record")
+          end
+      in
+      let rec resolve_all acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> begin
+            match resolve p with
+            | Ok r -> resolve_all (r :: acc) rest
+            | Error e -> Error e
+          end
+      in
+      match resolve_all [] parts with
+      | Error e -> Error e
+      | Ok resolved ->
+          let witness =
+            match witness with
+            | Some w -> w
+            | None -> t.config.default_witness
+          in
+          let blocks = List.map fst resolved in
+          let attr = Attr.make ~created_at:0L ~policy () in
+          let data =
+            match t.config.datasig_mode with
+            | Scpu_hashes -> Firmware.Blocks blocks
+            | Host_hash ->
+                let total = List.fold_left (fun acc b -> acc + String.length b) 0 blocks in
+                Firmware.Claimed_hash (Chained_hash.value (host_chained_hash t blocks), total)
+          in
+          let { Firmware.vrd; vexp_shed } = Firmware.write t.fw ~attr ~rdl:[] ~data ~mode:witness in
+          let rdl =
+            List.map
+              (fun (content, existing) ->
+                match existing with
+                | Some rd ->
+                    ignore (Dedup_store.addref dedup rd);
+                    rd
+                | None -> Dedup_store.store_block dedup content)
+              resolved
+          in
+          let vrd = { vrd with Vrd.rdl } in
+          Vrdt.set_active t.vrdt vrd;
+          t.vexp_backlog <- vexp_shed @ t.vexp_backlog;
+          (match deferred_deadline t vrd with
+          | Some deadline -> Deferred.push t.deferred ~sn:vrd.Vrd.sn ~deadline
+          | None -> ());
+          (match t.config.datasig_mode with
+          | Host_hash -> Hashtbl.replace t.audit_queue vrd.Vrd.sn ()
+          | Scpu_hashes -> ());
+          record_op t (Journal.Op_write vrd.Vrd.sn);
+          Ok vrd.Vrd.sn
+    end
+
+let import_record t ~source_signing_cert ~source_store_id ~vrd_bytes ~blocks =
+  match Firmware.import t.fw ~source_signing_cert ~source_store_id ~vrd_bytes ~blocks with
+  | Error e -> Error e
+  | Ok { Firmware.vrd; vexp_shed } ->
+      let rdl = store_blocks t (seal_blocks t ~sn:vrd.Vrd.sn blocks) in
+      Vrdt.set_active t.vrdt { vrd with Vrd.rdl };
+      t.vexp_backlog <- vexp_shed @ t.vexp_backlog;
+      Ok vrd.Vrd.sn
+
+let heartbeat t =
+  t.current_cache <- Firmware.current_bound t.fw;
+  match t.journal with
+  | Some j -> ignore (Journal.anchor j)
+  | None -> ()
+
+let cached_current_bound t =
+  let age = Int64.sub (now t) t.current_cache.Firmware.timestamp in
+  if Int64.compare age t.config.heartbeat_interval_ns > 0 then heartbeat t;
+  t.current_cache
+
+let cached_base_bound t =
+  let fw_base = Firmware.sn_base t.fw in
+  if
+    (not (Serial.equal t.base_cache.Firmware.sn fw_base))
+    || Int64.compare (now t) t.base_cache.Firmware.expires_at >= 0
+  then t.base_cache <- Firmware.base_bound t.fw;
+  t.base_cache
+
+let find_window t sn =
+  List.find_opt (fun w -> Serial.(w.Firmware.lo <= sn) && Serial.(sn <= w.Firmware.hi)) t.windows
+
+let read t sn =
+  match Vrdt.find t.vrdt sn with
+  | Some (Vrdt.Active vrd) -> begin
+      let blocks = List.map (Disk.read t.disk) vrd.Vrd.rdl in
+      if List.exists Option.is_none blocks then Proof.Refused "data blocks unreadable"
+      else Proof.Found { vrd; blocks = unseal_blocks t ~sn (List.filter_map Fun.id blocks) }
+    end
+  | Some (Vrdt.Deleted { proof }) -> Proof.Proof_deleted { sn; proof }
+  | None -> begin
+      match find_window t sn with
+      | Some w -> Proof.Proof_in_window w
+      | None ->
+          let base = cached_base_bound t in
+          if Serial.(sn < base.Firmware.sn) then Proof.Proof_below_base base
+          else begin
+            let current = cached_current_bound t in
+            if Serial.(sn > current.Firmware.sn) then Proof.Proof_unallocated current
+            else Proof.Refused "no record and no proof (inconsistent store)"
+          end
+    end
+
+let delete_one t sn =
+  match Vrdt.find t.vrdt sn with
+  | Some (Vrdt.Active vrd) -> begin
+      match Firmware.delete t.fw ~vrd_bytes:(Vrd.to_bytes vrd) with
+      | Ok proof ->
+          let passes = vrd.Vrd.attr.Attr.policy.Policy.shred_passes in
+          shred_rdl t ~passes vrd.Vrd.rdl;
+          Vrdt.set_deleted t.vrdt sn ~proof;
+          Deferred.remove t.deferred sn |> ignore;
+          Hashtbl.remove t.audit_queue sn;
+          record_op t (Journal.Op_delete sn);
+          Ok ()
+      | Error e -> Error e
+    end
+  | Some (Vrdt.Deleted _) -> Error Firmware.Already_deleted
+  | None -> Error Firmware.Already_deleted
+
+let expire_due t =
+  let due = Firmware.rm_pop_due t.fw in
+  List.map
+    (fun (_expiry, sn) ->
+      let result = delete_one t sn in
+      (match result with
+      | Error (Firmware.Not_expired real_expiry) ->
+          (* stale schedule (e.g. the record was re-attributed); re-feed *)
+          t.vexp_backlog <- (real_expiry, sn) :: t.vexp_backlog
+      | Error (Firmware.On_litigation_hold _) | Error _ | Ok () -> ());
+      (sn, result))
+    due
+
+let next_rm_wakeup t = Firmware.next_rm_wakeup t.fw
+
+let with_active_vrd t sn f =
+  match Vrdt.find t.vrdt sn with
+  | Some (Vrdt.Active vrd) -> f vrd
+  | Some (Vrdt.Deleted _) | None -> Error Firmware.Already_deleted
+
+let lit_hold t ~sn ~authority ~credential ~lit_id ~timestamp ~timeout =
+  with_active_vrd t sn (fun vrd ->
+      match
+        Firmware.lit_hold t.fw ~vrd_bytes:(Vrd.to_bytes vrd) ~authority ~credential ~lit_id ~timestamp ~timeout
+      with
+      | Ok vrd' ->
+          Vrdt.set_active t.vrdt vrd';
+          record_op t (Journal.Op_hold (sn, lit_id));
+          Ok ()
+      | Error e -> Error e)
+
+let lit_release t ~sn ~authority ~credential ~timestamp =
+  with_active_vrd t sn (fun vrd ->
+      match Firmware.lit_release t.fw ~vrd_bytes:(Vrd.to_bytes vrd) ~authority ~credential ~timestamp with
+      | Ok vrd' ->
+          Vrdt.set_active t.vrdt vrd';
+          record_op t
+            (Journal.Op_release
+               ( sn,
+                 match vrd.Vrd.attr.Attr.litigation with
+                 | Some h -> h.Attr.lit_id
+                 | None -> "?" ));
+          Ok ()
+      | Error e -> Error e)
+
+let read_blocks_exn t (vrd : Vrd.t) =
+  unseal_blocks t ~sn:vrd.Vrd.sn
+    (List.map
+       (fun rd ->
+         match Disk.read t.disk rd with
+         | Some b -> b
+         | None -> failwith "Worm: data block unreadable during maintenance")
+       vrd.Vrd.rdl)
+
+let strengthen_pending t ?(max = max_int) () =
+  let batch = Deferred.take_batch t.deferred ~max in
+  List.fold_left
+    (fun count { Deferred.sn; _ } ->
+      match Vrdt.find t.vrdt sn with
+      | Some (Vrdt.Active vrd) -> begin
+          let data =
+            if Hashtbl.mem t.audit_queue sn then Firmware.Blocks (read_blocks_exn t vrd)
+            else Firmware.Claimed_hash (vrd.Vrd.data_hash, 0)
+          in
+          match Firmware.strengthen t.fw ~vrd_bytes:(Vrd.to_bytes vrd) ~data with
+          | Ok vrd' ->
+              Vrdt.set_active t.vrdt vrd';
+              Hashtbl.remove t.audit_queue sn;
+              record_op t (Journal.Op_strengthen sn);
+              count + 1
+          | Error e -> failwith ("Worm.strengthen_pending: " ^ Firmware.error_to_string e)
+        end
+      | Some (Vrdt.Deleted _) | None -> count)
+    0 batch
+
+let run_audits t ?(max = max_int) () =
+  let pending = Hashtbl.fold (fun sn () acc -> sn :: acc) t.audit_queue [] |> List.sort Serial.compare in
+  let rec go count = function
+    | [] -> count
+    | _ when count >= max -> count
+    | sn :: rest -> begin
+        match Vrdt.find t.vrdt sn with
+        | Some (Vrdt.Active vrd) -> begin
+            match Firmware.audit t.fw ~vrd_bytes:(Vrd.to_bytes vrd) ~blocks:(read_blocks_exn t vrd) with
+            | Ok () ->
+                Hashtbl.remove t.audit_queue sn;
+                go (count + 1) rest
+            | Error e -> failwith ("Worm.run_audits: " ^ Firmware.error_to_string e)
+          end
+        | Some (Vrdt.Deleted _) | None ->
+            Hashtbl.remove t.audit_queue sn;
+            go count rest
+      end
+  in
+  go 0 pending
+
+let compact_windows t =
+  (* Prune entries already covered by the base bound... *)
+  let base = Firmware.sn_base t.fw in
+  let pruned =
+    Vrdt.fold t.vrdt ~init:[] ~f:(fun acc sn entry ->
+        match entry with
+        | Vrdt.Deleted _ when Serial.(sn < base) -> sn :: acc
+        | Vrdt.Deleted _ | Vrdt.Active _ -> acc)
+  in
+  List.iter (Vrdt.drop t.vrdt) pruned;
+  t.windows <- List.filter (fun w -> Serial.(w.Firmware.hi >= base)) t.windows;
+  (* ...then collapse contiguous runs of >= 3 deletion proofs. *)
+  let deleted =
+    Vrdt.fold t.vrdt ~init:[] ~f:(fun acc sn entry ->
+        match entry with
+        | Vrdt.Deleted _ -> sn :: acc
+        | Vrdt.Active _ -> acc)
+    |> List.sort Serial.compare
+  in
+  let runs =
+    let rec group acc run = function
+      | [] -> List.rev (List.rev run :: acc)
+      | sn :: rest -> begin
+          match run with
+          | prev :: _ when Serial.equal sn (Serial.next prev) -> group acc (sn :: run) rest
+          | _ :: _ -> group (List.rev run :: acc) [ sn ] rest
+          | [] -> group acc [ sn ] rest
+        end
+    in
+    match deleted with
+    | [] -> []
+    | _ -> group [] [] deleted |> List.filter (fun run -> List.length run >= 3)
+  in
+  List.fold_left
+    (fun expelled run ->
+      match run with
+      | [] -> expelled
+      | lo :: _ -> begin
+          let hi = List.nth run (List.length run - 1) in
+          match Firmware.collapse_window t.fw ~lo ~hi with
+          | Ok window ->
+              List.iter (Vrdt.drop t.vrdt) run;
+              t.windows <- window :: t.windows;
+              record_op t (Journal.Op_window (window.Firmware.lo, window.Firmware.hi));
+              expelled + List.length run
+          | Error _ -> expelled
+        end)
+    (List.length pruned) runs
+
+let refeed_vexp t =
+  let backlog = t.vexp_backlog in
+  t.vexp_backlog <- Firmware.vexp_feed t.fw backlog;
+  List.length t.vexp_backlog
+
+let idle_tick t =
+  heartbeat t;
+  ignore (strengthen_pending t ());
+  ignore (run_audits t ());
+  ignore (refeed_vexp t);
+  ignore (compact_windows t)
+
+(* ---------- host restart ---------- *)
+
+module Codec = Worm_util.Codec
+
+let host_state_magic = "worm-host-state:v1"
+
+let encode_vrdt_entry enc (sn, entry) =
+  Serial.encode enc sn;
+  match entry with
+  | Vrdt.Active vrd ->
+      Codec.u8 enc 0;
+      Vrd.encode enc vrd
+  | Vrdt.Deleted { proof } ->
+      Codec.u8 enc 1;
+      Codec.bytes enc proof
+
+let decode_vrdt_entry dec =
+  let sn = Serial.decode dec in
+  match Codec.read_u8 dec with
+  | 0 -> (sn, Vrdt.Active (Vrd.decode dec))
+  | 1 -> (sn, Vrdt.Deleted { proof = Codec.read_bytes dec })
+  | n -> raise (Codec.Malformed (Printf.sprintf "bad vrdt entry tag %d" n))
+
+let save_host_state t =
+  Codec.encode
+    (fun enc () ->
+      Codec.bytes enc host_state_magic;
+      Codec.list encode_vrdt_entry enc (Vrdt.Raw.snapshot t.vrdt);
+      Codec.list Firmware.encode_deletion_window enc t.windows;
+      Codec.list
+        (fun enc { Deferred.sn; deadline } ->
+          Serial.encode enc sn;
+          Codec.u64 enc deadline)
+        enc (Deferred.to_list t.deferred);
+      Codec.list (fun enc sn -> Serial.encode enc sn) enc
+        (Hashtbl.fold (fun sn () acc -> sn :: acc) t.audit_queue []);
+      Codec.list
+        (fun enc (expiry, sn) ->
+          Codec.u64 enc expiry;
+          Serial.encode enc sn)
+        enc t.vexp_backlog)
+    ()
+
+let restore ?(config = default_config) ~firmware:fw ~disk ~host_state () =
+  if config.dedup && config.encrypt_at_rest then
+    invalid_arg "Worm.restore: dedup and encrypt_at_rest cannot be combined";
+  let decode dec =
+    let magic = Codec.read_bytes dec in
+    if not (String.equal magic host_state_magic) then raise (Codec.Malformed "not a host-state blob");
+    let entries = Codec.read_list decode_vrdt_entry dec in
+    let windows = Codec.read_list Firmware.decode_deletion_window dec in
+    let deferred = Codec.read_list
+        (fun dec ->
+          let sn = Serial.decode dec in
+          let deadline = Codec.read_u64 dec in
+          (sn, deadline))
+        dec
+    in
+    let audits = Codec.read_list Serial.decode dec in
+    let backlog = Codec.read_list
+        (fun dec ->
+          let expiry = Codec.read_u64 dec in
+          let sn = Serial.decode dec in
+          (expiry, sn))
+        dec
+    in
+    (entries, windows, deferred, audits, backlog)
+  in
+  match Codec.decode decode host_state with
+  | Error e -> Error ("host state rejected: " ^ e)
+  | Ok (entries, windows, deferred_entries, audits, backlog) ->
+      let vrdt = Vrdt.create () in
+      Vrdt.Raw.restore vrdt entries;
+      let dedup =
+        if config.dedup then begin
+          let holders =
+            List.filter_map
+              (fun (_, entry) ->
+                match entry with
+                | Vrdt.Active vrd -> Some vrd.Vrd.rdl
+                | Vrdt.Deleted _ -> None)
+              entries
+          in
+          Some (Dedup_store.rebuild disk ~holders)
+        end
+        else None
+      in
+      let deferred = Deferred.create () in
+      List.iter (fun (sn, deadline) -> Deferred.push deferred ~sn ~deadline) deferred_entries;
+      let audit_queue = Hashtbl.create 64 in
+      List.iter (fun sn -> Hashtbl.replace audit_queue sn ()) audits;
+      Ok
+        {
+          config;
+          fw;
+          disk;
+          dedup;
+          journal = (if config.journal then Some (Journal.create fw) else None);
+          vault = (if config.encrypt_at_rest then Some (Vault.create fw) else None);
+          vrdt;
+          deferred;
+          audit_queue;
+          vexp_backlog = backlog;
+          windows;
+          current_cache = Firmware.current_bound fw;
+          base_cache = Firmware.base_bound fw;
+          host_busy_ns = 0L;
+        }
+
+let dedup_stats t = Option.map Dedup_store.stats t.dedup
+let journal t = t.journal
+let vault t = t.vault
+
+type metrics = {
+  m_active : int;
+  m_deleted_entries : int;
+  m_windows : int;
+  m_vrdt_bytes : int;
+  m_deferred : int;
+  m_audit_backlog : int;
+  m_vexp_backlog : int;
+  m_sn_base : Serial.t;
+  m_sn_current : Serial.t;
+  m_disk_records : int;
+  m_disk_bytes : int;
+  m_journal_entries : int;
+  m_dedup_ratio : float;
+}
+
+let metrics t =
+  {
+    m_active = Vrdt.active_count t.vrdt;
+    m_deleted_entries = Vrdt.deleted_count t.vrdt;
+    m_windows = List.length t.windows;
+    m_vrdt_bytes = Vrdt.approx_bytes t.vrdt;
+    m_deferred = Deferred.length t.deferred;
+    m_audit_backlog = Hashtbl.length t.audit_queue;
+    m_vexp_backlog = List.length t.vexp_backlog;
+    m_sn_base = Firmware.sn_base t.fw;
+    m_sn_current = Firmware.sn_current t.fw;
+    m_disk_records = Disk.record_count t.disk;
+    m_disk_bytes = Disk.bytes_stored t.disk;
+    m_journal_entries =
+      (match t.journal with
+      | Some j -> Journal.length j
+      | None -> 0);
+    m_dedup_ratio =
+      (match t.dedup with
+      | Some d -> Dedup_store.dedup_ratio d
+      | None -> 1.0);
+  }
+
+let pp_metrics fmt m =
+  Format.fprintf fmt
+    "active %d, deletion proofs %d, windows %d, vrdt %dB, deferred %d, audits %d, vexp backlog %d, window \
+     [%a, %a], disk %d recs/%dB, journal %d, dedup %.2fx"
+    m.m_active m.m_deleted_entries m.m_windows m.m_vrdt_bytes m.m_deferred m.m_audit_backlog m.m_vexp_backlog
+    Serial.pp m.m_sn_base Serial.pp m.m_sn_current m.m_disk_records m.m_disk_bytes m.m_journal_entries
+    m.m_dedup_ratio
+let deferred_backlog t = Deferred.to_list t.deferred
+let deferred_overdue t ~now = Deferred.overdue t.deferred ~now
+let audit_backlog t = Hashtbl.fold (fun sn () acc -> sn :: acc) t.audit_queue [] |> List.sort Serial.compare
+let deletion_windows t = t.windows
+let vrdt_bytes t = Vrdt.approx_bytes t.vrdt
+let host_busy_ns t = t.host_busy_ns
+let reset_host_busy t = t.host_busy_ns <- 0L

@@ -1,0 +1,214 @@
+(** The WORM store: host-side orchestration (§4).
+
+    Owns the untrusted half of the architecture — the disk, the VRDT,
+    the deletion-window list, the deferred-strengthening queue, and the
+    VEXP overflow backlog — and drives the trusted {!Firmware} through
+    its narrow interface. Reads are served entirely by this (host) side;
+    the SCPU is touched only by updates, exactly as §4.1 prescribes.
+
+    Nothing in this module is trusted: the test suite attacks these
+    structures directly (via {!Vrdt.Raw} and {!Worm_simdisk.Disk.Raw})
+    and shows that clients detect every manipulation. *)
+
+type datasig_mode =
+  | Scpu_hashes  (** SCPU reads and hashes record data itself *)
+  | Host_hash  (** host supplies the hash; SCPU audits during idle *)
+
+type config = {
+  datasig_mode : datasig_mode;
+  default_witness : Firmware.witness_mode;
+  heartbeat_interval_ns : int64;
+      (** how often the current bound's timestamp is refreshed (§4.2.1
+          option ii: "every few minutes") *)
+  host_profile : Worm_scpu.Cost_model.profile;
+  vexp_capacity : int;
+  dedup : bool;
+      (** content-addressed block sharing (§4.2 overlapping VRs): equal
+          blocks are stored once and shredded when the last referencing
+          record is deleted *)
+  journal : bool;
+      (** keep a hash-chained operation {!Journal}, anchored by the SCPU
+          on every heartbeat *)
+  encrypt_at_rest : bool;
+      (** seal data blocks with the {!Vault} before they reach the disk
+          (media-theft confidentiality); incompatible with [dedup] *)
+}
+
+val default_config : config
+(** SCPU-side hashing, strong witnesses, 60 s heartbeat, P4 host, no
+    dedup. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?disk:Worm_simdisk.Disk.t ->
+  device:Worm_scpu.Device.t ->
+  ca:Worm_crypto.Rsa.public ->
+  unit ->
+  t
+(** @raise Invalid_argument if the configuration enables both [dedup]
+    and [encrypt_at_rest]. *)
+
+val config : t -> config
+val firmware : t -> Firmware.t
+(** Exposed for clients needing certificates and for the simulator;
+    {!Firmware.t} only offers the trusted entry points, so host code
+    holding it gains no illegitimate power. *)
+
+val disk : t -> Worm_simdisk.Disk.t
+val vrdt : t -> Vrdt.t
+val store_id : t -> string
+
+(** {2 WORM operations} *)
+
+val write : ?witness:Firmware.witness_mode -> ?attr:Attr.t -> t -> policy:Policy.t -> blocks:string list -> Serial.t
+(** Store a new record under [policy] (or fully explicit [attr]); data
+    is written to disk, witnessed by the SCPU, and indexed in the VRDT.
+    Returns the SCPU-issued serial number. *)
+
+type part =
+  | Fresh of string  (** a new data block *)
+  | Borrow of Serial.t * int  (** block [index] of an existing record *)
+
+val write_shared :
+  ?witness:Firmware.witness_mode ->
+  t ->
+  policy:Policy.t ->
+  parts:part list ->
+  (Serial.t, string) result
+(** Section 4.2 overlapping virtual records: build a new VR that references
+    blocks of existing records instead of re-storing them ("records can
+    be part of multiple different VRs, being referenced through
+    different descriptors"). Borrowed blocks gain a reference and are
+    shredded only when the last holding VR is deleted. Requires
+    [config.dedup]; fails if a borrowed record is missing or an index is
+    out of range. *)
+
+val read : t -> Serial.t -> Proof.read_response
+(** Honest host read: returns the record or the strongest available
+    proof of rightful absence. Touches no SCPU resources except a
+    heartbeat-stale current bound refresh. *)
+
+val expire_due : t -> (Serial.t * (unit, Firmware.error) result) list
+(** Run the Retention Monitor: delete every record whose retention has
+    lapsed (shred data, install deletion proof). Returns per-record
+    outcomes; holds surface as [Error (On_litigation_hold _)] and are
+    rescheduled. *)
+
+val next_rm_wakeup : t -> int64 option
+
+val lit_hold :
+  t ->
+  sn:Serial.t ->
+  authority:Worm_crypto.Cert.t ->
+  credential:string ->
+  lit_id:string ->
+  timestamp:int64 ->
+  timeout:int64 ->
+  (unit, Firmware.error) result
+
+val lit_release :
+  t -> sn:Serial.t -> authority:Worm_crypto.Cert.t -> credential:string -> timestamp:int64 -> (unit, Firmware.error) result
+
+val import_record :
+  t ->
+  source_signing_cert:Worm_crypto.Cert.t ->
+  source_store_id:string ->
+  vrd_bytes:string ->
+  blocks:string list ->
+  (Serial.t, Firmware.error) result
+(** Compliant-migration ingest (see {!Migration}): store a record from
+    another store preserving its original attributes, after the local
+    SCPU has verified the source SCPU's witnesses. *)
+
+(** {2 Idle-period maintenance} *)
+
+val heartbeat : t -> unit
+(** Refresh the timestamped current bound (one strong signature). *)
+
+val strengthen_pending : t -> ?max:int -> unit -> int
+(** Drain the deferred queue: upgrade weak/MAC witnesses to strong
+    signatures, running any pending data audits. Returns the number
+    strengthened. *)
+
+val run_audits : t -> ?max:int -> unit -> int
+(** Rehash [Host_hash]-mode records inside the SCPU (idle-time audit).
+    @raise Failure on an audit mismatch — the host lied about a hash;
+    in production this is an alarm, and the test-suite asserts it. *)
+
+val compact_windows : t -> int
+(** Collapse contiguous runs of >= 3 deletion proofs into signed
+    deletion windows and expel the per-SN entries (§4.2.1). Also prunes
+    entries below the base bound. Returns entries expelled. *)
+
+val refeed_vexp : t -> int
+(** Re-feed shed expiration entries into SCPU secure storage. Returns
+    how many remain backlogged. *)
+
+val idle_tick : t -> unit
+(** One idle-period maintenance round: heartbeat, strengthening, audits,
+    VEXP re-feed, window compaction. *)
+
+(** {2 Host restart}
+
+    The SCPU's state (keys, serial counters, deleted set, VEXP, hold
+    table) lives in its battery-backed NVRAM; record data lives on the
+    disk. The remaining host-side bookkeeping — VRDT, deletion windows,
+    deferred/audit queues, VEXP overflow backlog — serializes to a blob
+    so the host can reboot and resume. Restoring a {e stale} blob is
+    just the rollback attack: harmless to guarantees (clients detect the
+    inconsistency), annoying to availability. *)
+
+val save_host_state : t -> string
+
+val restore :
+  ?config:config ->
+  firmware:Firmware.t ->
+  disk:Worm_simdisk.Disk.t ->
+  host_state:string ->
+  unit ->
+  (t, string) result
+(** Reattach to a still-running SCPU after a host restart. Dedup
+    refcounts are rebuilt by walking the restored VRDT against the disk. *)
+
+(** {2 Introspection} *)
+
+val dedup_stats : t -> Dedup_store.stats option
+(** [None] unless the store was created with [config.dedup = true]. *)
+
+val journal : t -> Journal.t option
+(** [None] unless the store was created with [config.journal = true]. *)
+
+val vault : t -> Vault.t option
+
+type metrics = {
+  m_active : int;
+  m_deleted_entries : int;  (** per-record deletion proofs still in the VRDT *)
+  m_windows : int;
+  m_vrdt_bytes : int;
+  m_deferred : int;
+  m_audit_backlog : int;
+  m_vexp_backlog : int;
+  m_sn_base : Serial.t;
+  m_sn_current : Serial.t;
+  m_disk_records : int;
+  m_disk_bytes : int;
+  m_journal_entries : int;  (** 0 when the journal is disabled *)
+  m_dedup_ratio : float;  (** 1.0 when dedup is disabled *)
+}
+
+val metrics : t -> metrics
+(** One-call operational snapshot (for consoles, logs, dashboards). *)
+
+val pp_metrics : Format.formatter -> metrics -> unit
+
+val deferred_backlog : t -> Deferred.entry list
+val deferred_overdue : t -> now:int64 -> Deferred.entry list
+val audit_backlog : t -> Serial.t list
+val deletion_windows : t -> Firmware.deletion_window list
+val vrdt_bytes : t -> int
+val host_busy_ns : t -> int64
+val reset_host_busy : t -> unit
+val cached_current_bound : t -> Firmware.current_bound
+val cached_base_bound : t -> Firmware.base_bound

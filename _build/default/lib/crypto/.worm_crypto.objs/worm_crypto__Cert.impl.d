@@ -1,0 +1,1 @@
+lib/crypto/cert.ml: Format Int64 Printf Rsa Worm_util

@@ -1,0 +1,1 @@
+lib/crypto/chained_hash.ml: Bytes Char Format List Sha256 String Worm_util

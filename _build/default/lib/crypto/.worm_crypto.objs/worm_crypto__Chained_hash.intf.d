@@ -1,0 +1,1 @@
+lib/crypto/chained_hash.mli: Format

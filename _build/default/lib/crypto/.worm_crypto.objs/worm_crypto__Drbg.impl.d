@@ -1,0 +1,1 @@
+lib/crypto/drbg.ml: Buffer Bytes Char Hmac Int64 Nat String

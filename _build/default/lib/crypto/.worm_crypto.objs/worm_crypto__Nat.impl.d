@@ -1,0 +1,1 @@
+lib/crypto/nat.ml: Array Bytes Char Format List Printf Stdlib String

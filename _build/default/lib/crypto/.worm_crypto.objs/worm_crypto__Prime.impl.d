@@ -1,0 +1,1 @@
+lib/crypto/prime.ml: Drbg List Nat

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Format Nat Prime Sha256 String Worm_util

@@ -1,0 +1,1 @@
+lib/crypto/rsa.mli: Drbg Format Nat Worm_util

@@ -1,0 +1,24 @@
+(** AES-128 (FIPS 197) with CTR mode (SP 800-38A). Pure OCaml.
+
+    The paper's requirements include storage {e confidentiality} (§1),
+    and the IBM 4764's CCA provides symmetric encryption services; this
+    is the at-rest cipher for the {!Worm_core.Vault} layer. Table-based
+    implementation — not constant-time with respect to cache timing,
+    which is acceptable for a simulator and called out here so nobody
+    ships it against co-resident attackers. *)
+
+type key
+
+val key_of_string : string -> key
+(** @raise Invalid_argument unless exactly 16 bytes. *)
+
+val encrypt_block : key -> string -> string
+(** One 16-byte block (the raw forward cipher).
+    @raise Invalid_argument on wrong block size. *)
+
+val ctr : key -> nonce:string -> string -> string
+(** CTR-mode keystream XOR over arbitrary-length input: encryption and
+    decryption are the same operation. [nonce] is 8 bytes; the block
+    counter occupies the remaining 8 (big-endian, starting at 0), so a
+    single nonce is good for 2{^68} bytes.
+    @raise Invalid_argument on a wrong-sized nonce. *)

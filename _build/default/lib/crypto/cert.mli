@@ -1,0 +1,34 @@
+(** Minimal public-key certificates.
+
+    The paper assumes the SCPU's verification keys are certified "by a
+    regulatory or general purpose certificate authority" and served to
+    clients by the untrusted main CPU. A certificate binds a subject
+    name and role to an RSA public key under the CA's signature; clients
+    bootstrap trust from the CA key alone. *)
+
+type role =
+  | Scpu_signing  (** the SCPU's key s: metasig, datasig, window bounds *)
+  | Scpu_deletion  (** the SCPU's key d: deletion proofs *)
+  | Scpu_short_term  (** short-lived burst keys (§4.3) *)
+  | Regulation_authority  (** litigation-hold credential issuer *)
+
+val role_to_string : role -> string
+
+type t = {
+  subject : string;
+  role : role;
+  key : Rsa.public;
+  not_before : int64;  (** virtual-clock nanoseconds *)
+  not_after : int64;
+  signature : string;  (** CA signature over the canonical body *)
+}
+
+val issue :
+  ca:Rsa.secret -> subject:string -> role:role -> key:Rsa.public -> not_before:int64 -> not_after:int64 -> t
+
+val verify : ca:Rsa.public -> now:int64 -> t -> bool
+(** Checks the CA signature and the validity window. *)
+
+val encode : Worm_util.Codec.encoder -> t -> unit
+val decode : Worm_util.Codec.decoder -> t
+val pp : Format.formatter -> t -> unit

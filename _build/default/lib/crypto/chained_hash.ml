@@ -1,0 +1,20 @@
+type t = string
+
+let empty = Sha256.digest "worm:chained-hash:init"
+
+let add t block =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx t;
+  let len = Bytes.create 8 in
+  let n = String.length block in
+  for i = 0 to 7 do
+    Bytes.set len i (Char.chr ((n lsr (8 * (7 - i))) land 0xff))
+  done;
+  Sha256.feed ctx (Bytes.unsafe_to_string len);
+  Sha256.feed ctx block;
+  Sha256.get ctx
+
+let of_blocks blocks = List.fold_left add empty blocks
+let value t = t
+let equal (a : t) (b : t) = Worm_util.Ct.equal a b
+let pp fmt t = Format.pp_print_string fmt (Worm_util.Hex.encode t)

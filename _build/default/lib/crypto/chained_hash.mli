@@ -1,0 +1,23 @@
+(** Incremental chained hash over a sequence of data blocks.
+
+    The paper's datasig signs [Hash(data)] where the hash may be "a
+    chained hash (or other incremental secure hashing)" — appending a
+    block costs one compression pass over that block only, so the SCPU
+    never rehashes the whole record when records are assembled from
+    multiple physical blocks. *)
+
+type t
+
+val empty : t
+
+val add : t -> string -> t
+(** Absorb one data block. [add] is injective on block sequences:
+    blocks are length-delimited inside the chain, so ["ab"+"c"] and
+    ["a"+"bc"] chain to different values. *)
+
+val of_blocks : string list -> t
+val value : t -> string
+(** 32-byte chain value. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+module type HASH = sig
+  val digest_size : int
+  val block_size : int
+  val digest : string -> string
+end
+
+module Make (H : HASH) = struct
+  let xor_pad key pad =
+    let b = Bytes.make H.block_size pad in
+    String.iteri (fun i c -> Bytes.set b i (Char.chr (Char.code c lxor Char.code pad))) key;
+    Bytes.unsafe_to_string b
+
+  let mac ~key msg =
+    let key = if String.length key > H.block_size then H.digest key else key in
+    let ipad = xor_pad key '\x36' in
+    let opad = xor_pad key '\x5c' in
+    H.digest (opad ^ H.digest (ipad ^ msg))
+end
+
+module Hmac_sha256 = Make (struct
+  let digest_size = Sha256.digest_size
+  let block_size = Sha256.block_size
+  let digest = Sha256.digest
+end)
+
+module Hmac_sha1 = Make (struct
+  let digest_size = Sha1.digest_size
+  let block_size = Sha1.block_size
+  let digest = Sha1.digest
+end)
+
+let sha256 = Hmac_sha256.mac
+let sha1 = Hmac_sha1.mac
+let verify_sha256 ~key ~msg ~mac = Worm_util.Ct.equal (sha256 ~key msg) mac

@@ -1,0 +1,24 @@
+(** HMAC (RFC 2104) over any of the hashes in this library.
+
+    HMACs back the paper's fastest deferred-witnessing mode (§4.3): during
+    bursts the SCPU MACs records with an internal key instead of signing,
+    then upgrades to real signatures during idle periods. *)
+
+module type HASH = sig
+  val digest_size : int
+  val block_size : int
+  val digest : string -> string
+end
+
+module Make (H : HASH) : sig
+  val mac : key:string -> string -> string
+end
+
+val sha256 : key:string -> string -> string
+(** HMAC-SHA-256; 32-byte output. *)
+
+val sha1 : key:string -> string -> string
+(** HMAC-SHA-1; 20-byte output. *)
+
+val verify_sha256 : key:string -> msg:string -> mac:string -> bool
+(** Timing-safe comparison against a freshly computed MAC. *)

@@ -1,0 +1,82 @@
+(** Arbitrary-precision natural numbers.
+
+    Pure OCaml: little-endian arrays of 31-bit limbs. Values are
+    canonical (no leading zero limbs), so structural equality of the
+    underlying representation coincides with numeric equality.
+
+    This is the bignum substrate for the RSA implementation — the sealed
+    build environment ships no zarith, so the reproduction carries its
+    own. Performance targets the paper's key sizes (512–2048 bits):
+    schoolbook multiplication and Montgomery exponentiation. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+(** @raise Invalid_argument if the value exceeds [max_int]. *)
+
+val to_int_opt : t -> int option
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val succ : t -> t
+
+val sub : t -> t -> t
+(** Truncated subtraction. @raise Invalid_argument if the result would
+    be negative. *)
+
+val pred : t -> t
+(** @raise Invalid_argument on zero. *)
+
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)]. @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val modulo : t -> t -> t
+
+val bit_length : t -> int
+(** Number of significant bits; [bit_length zero = 0]. *)
+
+val test_bit : t -> int -> bool
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val gcd : t -> t -> t
+
+val mod_inverse : t -> t -> t option
+(** [mod_inverse a m] is [Some x] with [a * x = 1 (mod m)] when
+    [gcd a m = 1], otherwise [None]. *)
+
+val mod_pow : base:t -> exp:t -> modulus:t -> t
+(** Modular exponentiation. Uses Montgomery reduction for odd moduli and
+    a generic square-and-multiply fallback otherwise.
+    @raise Division_by_zero on a zero modulus. *)
+
+val of_bytes_be : string -> t
+(** Big-endian bytes to natural. The empty string is zero. *)
+
+val to_bytes_be : t -> string
+(** Minimal big-endian encoding; zero encodes as the empty string. *)
+
+val to_bytes_be_padded : len:int -> t -> string
+(** Fixed-width big-endian encoding, zero-padded on the left.
+    @raise Invalid_argument if the value needs more than [len] bytes. *)
+
+val of_decimal : string -> t
+(** @raise Invalid_argument on empty or non-digit input. *)
+
+val to_decimal : t -> string
+val pp : Format.formatter -> t -> unit

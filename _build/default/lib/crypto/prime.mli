@@ -1,0 +1,10 @@
+(** Probabilistic primality testing and prime generation (for RSA keys). *)
+
+val is_probably_prime : ?rounds:int -> Drbg.t -> Nat.t -> bool
+(** Miller–Rabin with [rounds] random witnesses (default 20) after trial
+    division by small primes. Error probability at most 4{^-rounds}. *)
+
+val generate : Drbg.t -> bits:int -> Nat.t
+(** Random probable prime of exactly [bits] bits (both top bits set so
+    that the product of two such primes has exactly [2*bits] bits).
+    @raise Invalid_argument if [bits < 8]. *)

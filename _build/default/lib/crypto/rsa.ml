@@ -1,0 +1,107 @@
+module Codec = Worm_util.Codec
+
+type public = { n : Nat.t; e : Nat.t }
+
+type secret = {
+  pub : public;
+  d : Nat.t;
+  p : Nat.t;
+  q : Nat.t;
+  dp : Nat.t; (* d mod (p-1) *)
+  dq : Nat.t; (* d mod (q-1) *)
+  qinv : Nat.t; (* q^-1 mod p *)
+}
+
+let e_65537 = Nat.of_int 65537
+
+let generate rng ~bits =
+  if bits < 512 then invalid_arg "Rsa.generate: modulus below 512 bits";
+  let half = bits / 2 in
+  let rec gen_prime () =
+    let p = Prime.generate rng ~bits:half in
+    if Nat.is_one (Nat.gcd e_65537 (Nat.pred p)) then p else gen_prime ()
+  in
+  let rec gen_pair () =
+    let p = gen_prime () in
+    let q = gen_prime () in
+    if Nat.equal p q then gen_pair ()
+    else begin
+      let n = Nat.mul p q in
+      if Nat.bit_length n <> bits then gen_pair () else (p, q, n)
+    end
+  in
+  let p, q, n = gen_pair () in
+  (* Orient so that p > q (required for the CRT recombination below). *)
+  let p, q = if Nat.compare p q > 0 then (p, q) else (q, p) in
+  let p1 = Nat.pred p and q1 = Nat.pred q in
+  let phi = Nat.mul p1 q1 in
+  let d =
+    match Nat.mod_inverse e_65537 phi with
+    | Some d -> d
+    | None -> assert false (* gcd(e, p-1) = gcd(e, q-1) = 1 by construction *)
+  in
+  let qinv =
+    match Nat.mod_inverse q p with
+    | Some v -> v
+    | None -> assert false (* p, q distinct primes *)
+  in
+  { pub = { n; e = e_65537 }; d; p; q; dp = Nat.modulo d p1; dq = Nat.modulo d q1; qinv }
+
+let public_of sk = sk.pub
+let modulus_bytes pub = (Nat.bit_length pub.n + 7) / 8
+
+let raw_apply_secret sk m =
+  let m = Nat.modulo m sk.pub.n in
+  let m1 = Nat.mod_pow ~base:m ~exp:sk.dp ~modulus:sk.p in
+  let m2 = Nat.mod_pow ~base:m ~exp:sk.dq ~modulus:sk.q in
+  (* h = qinv * (m1 - m2) mod p, with the subtraction lifted above zero *)
+  let m2_mod_p = Nat.modulo m2 sk.p in
+  let diff = Nat.modulo (Nat.sub (Nat.add m1 sk.p) m2_mod_p) sk.p in
+  let h = Nat.modulo (Nat.mul sk.qinv diff) sk.p in
+  Nat.add m2 (Nat.mul h sk.q)
+
+let raw_apply_public pub s = Nat.mod_pow ~base:s ~exp:pub.e ~modulus:pub.n
+
+(* DER DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1). *)
+let sha256_prefix =
+  Worm_util.Hex.decode "3031300d060960864801650304020105000420"
+
+let emsa_pkcs1_v15 ~k msg =
+  let t = sha256_prefix ^ Sha256.digest msg in
+  let tlen = String.length t in
+  if k < tlen + 11 then invalid_arg "Rsa: modulus too small for PKCS#1 encoding";
+  "\x00\x01" ^ String.make (k - tlen - 3) '\xff' ^ "\x00" ^ t
+
+let sign sk msg =
+  let k = modulus_bytes sk.pub in
+  let em = emsa_pkcs1_v15 ~k msg in
+  let m = Nat.of_bytes_be em in
+  let s = raw_apply_secret sk m in
+  Nat.to_bytes_be_padded ~len:k s
+
+let verify pub ~msg ~signature =
+  let k = modulus_bytes pub in
+  String.length signature = k
+  &&
+  let s = Nat.of_bytes_be signature in
+  Nat.compare s pub.n < 0
+  &&
+  match Nat.to_bytes_be_padded ~len:k (raw_apply_public pub s) with
+  | em -> Worm_util.Ct.equal em (emsa_pkcs1_v15 ~k msg)
+  | exception Invalid_argument _ -> false
+
+let encode_public enc pub =
+  Codec.bytes enc (Nat.to_bytes_be pub.n);
+  Codec.bytes enc (Nat.to_bytes_be pub.e)
+
+let decode_public dec =
+  let n = Nat.of_bytes_be (Codec.read_bytes dec) in
+  let e = Nat.of_bytes_be (Codec.read_bytes dec) in
+  { n; e }
+
+let fingerprint pub =
+  let canonical = Codec.encode encode_public pub in
+  String.sub (Worm_util.Hex.encode (Sha256.digest canonical)) 0 16
+
+let equal_public a b = Nat.equal a.n b.n && Nat.equal a.e b.e
+let pp_public fmt pub = Format.fprintf fmt "rsa-%d:%s" (Nat.bit_length pub.n) (fingerprint pub)

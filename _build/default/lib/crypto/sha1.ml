@@ -1,0 +1,131 @@
+(* 32-bit words carried in native ints, masked after every operation. *)
+
+let mask = 0xFFFFFFFF
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+type ctx = {
+  mutable h0 : int;
+  mutable h1 : int;
+  mutable h2 : int;
+  mutable h3 : int;
+  mutable h4 : int;
+  buf : Bytes.t; (* partial block *)
+  mutable buf_len : int;
+  mutable total : int; (* bytes fed *)
+  w : int array; (* message schedule scratch *)
+  mutable finalized : bool;
+}
+
+let digest_size = 20
+let block_size = 64
+
+let init () =
+  {
+    h0 = 0x67452301;
+    h1 = 0xEFCDAB89;
+    h2 = 0x98BADCFE;
+    h3 = 0x10325476;
+    h4 = 0xC3D2E1F0;
+    buf = Bytes.create block_size;
+    buf_len = 0;
+    total = 0;
+    w = Array.make 80 0;
+    finalized = false;
+  }
+
+let compress ctx block off =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let p = off + (4 * i) in
+    w.(i) <-
+      (Char.code (Bytes.get block p) lsl 24)
+      lor (Char.code (Bytes.get block (p + 1)) lsl 16)
+      lor (Char.code (Bytes.get block (p + 2)) lsl 8)
+      lor Char.code (Bytes.get block (p + 3))
+  done;
+  for i = 16 to 79 do
+    w.(i) <- rotl (w.(i - 3) lxor w.(i - 8) lxor w.(i - 14) lxor w.(i - 16)) 1
+  done;
+  let a = ref ctx.h0 and b = ref ctx.h1 and c = ref ctx.h2 and d = ref ctx.h3 and e = ref ctx.h4 in
+  for i = 0 to 79 do
+    let f, k =
+      if i < 20 then ((!b land !c) lor (lnot !b land !d) land mask, 0x5A827999)
+      else if i < 40 then (!b lxor !c lxor !d, 0x6ED9EBA1)
+      else if i < 60 then ((!b land !c) lor (!b land !d) lor (!c land !d), 0x8F1BBCDC)
+      else (!b lxor !c lxor !d, 0xCA62C1D6)
+    in
+    let t = (rotl !a 5 + (f land mask) + !e + k + w.(i)) land mask in
+    e := !d;
+    d := !c;
+    c := rotl !b 30;
+    b := !a;
+    a := t
+  done;
+  ctx.h0 <- (ctx.h0 + !a) land mask;
+  ctx.h1 <- (ctx.h1 + !b) land mask;
+  ctx.h2 <- (ctx.h2 + !c) land mask;
+  ctx.h3 <- (ctx.h3 + !d) land mask;
+  ctx.h4 <- (ctx.h4 + !e) land mask
+
+let feed ctx s =
+  if ctx.finalized then invalid_arg "Sha1.feed: context already finalized";
+  let len = String.length s in
+  ctx.total <- ctx.total + len;
+  let pos = ref 0 in
+  (* top up a partial block first *)
+  if ctx.buf_len > 0 then begin
+    let need = block_size - ctx.buf_len in
+    let take = min need len in
+    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := take;
+    if ctx.buf_len = block_size then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  let tmp = Bytes.unsafe_of_string s in
+  while len - !pos >= block_size do
+    compress ctx tmp !pos;
+    pos := !pos + block_size
+  done;
+  if !pos < len then begin
+    Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
+    ctx.buf_len <- len - !pos
+  end
+
+let word_be out off v =
+  Bytes.set out off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set out (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set out (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set out (off + 3) (Char.chr (v land 0xff))
+
+let get ctx =
+  if ctx.finalized then invalid_arg "Sha1.get: context already finalized";
+  let total_bits = ctx.total * 8 in
+  let pad_len =
+    let rem = (ctx.total + 1) mod block_size in
+    if rem <= 56 then 56 - rem + 1 else block_size - rem + 56 + 1
+  in
+  let tail = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set tail 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set tail (pad_len + i) (Char.chr ((total_bits lsr (8 * (7 - i))) land 0xff))
+  done;
+  feed ctx (Bytes.unsafe_to_string tail);
+  assert (ctx.buf_len = 0);
+  ctx.finalized <- true;
+  let out = Bytes.create digest_size in
+  word_be out 0 ctx.h0;
+  word_be out 4 ctx.h1;
+  word_be out 8 ctx.h2;
+  word_be out 12 ctx.h3;
+  word_be out 16 ctx.h4;
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let ctx = init () in
+  feed ctx s;
+  get ctx
+
+let hex_digest s = Worm_util.Hex.encode (digest s)

@@ -1,0 +1,22 @@
+(** SHA-1 (FIPS 180-4). Pure OCaml.
+
+    SHA-1 is retained because the paper's SCPU (IBM 4764) benchmarks
+    hashing with SHA-1 (Table 2); the WORM layer itself signs SHA-256
+    digests. Do not use SHA-1 for collision resistance in new designs. *)
+
+type ctx
+
+val digest_size : int
+(** 20 bytes. *)
+
+val block_size : int
+(** 64 bytes. *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val get : ctx -> string
+(** Finalize and return the 20-byte digest. The context must not be
+    reused afterwards. *)
+
+val digest : string -> string
+val hex_digest : string -> string

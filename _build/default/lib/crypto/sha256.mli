@@ -1,0 +1,21 @@
+(** SHA-256 (FIPS 180-4). Pure OCaml.
+
+    The default digest for all WORM signatures, deletion proofs, window
+    bounds and chained record hashes. *)
+
+type ctx
+
+val digest_size : int
+(** 32 bytes. *)
+
+val block_size : int
+(** 64 bytes. *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val get : ctx -> string
+(** Finalize and return the 32-byte digest. The context must not be
+    reused afterwards. *)
+
+val digest : string -> string
+val hex_digest : string -> string

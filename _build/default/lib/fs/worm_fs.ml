@@ -1,0 +1,228 @@
+open Worm_core
+module Codec = Worm_util.Codec
+
+type version_info = { version : int; sn : Serial.t; length : int }
+
+type t = {
+  store : Worm.t;
+  (* path -> versions, newest first (host-side, untrusted) *)
+  index : (string, version_info list) Hashtbl.t;
+}
+
+let create store = { store; index = Hashtbl.create 64 }
+let store t = t.store
+
+type header = { h_path : string; h_version : int; h_prev : Serial.t option; h_length : int }
+
+let magic = "wormfs:v1"
+
+let encode_header enc h =
+  Codec.bytes enc magic;
+  Codec.bytes enc h.h_path;
+  Codec.u32 enc h.h_version;
+  Codec.option Serial.encode enc h.h_prev;
+  Codec.int_as_u64 enc h.h_length
+
+let decode_header_raw dec =
+  let m = Codec.read_bytes dec in
+  if not (String.equal m magic) then raise (Codec.Malformed "not a wormfs header");
+  let h_path = Codec.read_bytes dec in
+  let h_version = Codec.read_u32 dec in
+  let h_prev = Codec.read_option Serial.decode dec in
+  let h_length = Codec.read_int_as_u64 dec in
+  { h_path; h_version; h_prev; h_length }
+
+let decode_header s = Codec.decode decode_header_raw s
+
+let chunk_size = Worm_workload.Workload.default_block_size
+
+let split_content data =
+  let n = String.length data in
+  if n = 0 then [ "" ]
+  else begin
+    let rec go acc off =
+      if off >= n then List.rev acc
+      else begin
+        let len = min chunk_size (n - off) in
+        go (String.sub data off len :: acc) (off + len)
+      end
+    in
+    go [] 0
+  end
+
+let check_path path =
+  if String.length path = 0 then invalid_arg "Worm_fs: empty path";
+  if String.contains path '\n' then invalid_arg "Worm_fs: path contains newline"
+
+let write_file ?witness t ~policy ~path data =
+  check_path path;
+  let prior = Option.value ~default:[] (Hashtbl.find_opt t.index path) in
+  let h_version, h_prev =
+    match prior with
+    | [] -> (1, None)
+    | latest :: _ -> (latest.version + 1, Some latest.sn)
+  in
+  let header =
+    Codec.encode encode_header { h_path = path; h_version; h_prev; h_length = String.length data }
+  in
+  let sn = Worm.write ?witness t.store ~policy ~blocks:(header :: split_content data) in
+  let info = { version = h_version; sn; length = String.length data } in
+  Hashtbl.replace t.index path (info :: prior);
+  info
+
+let versions t ~path = List.rev (Option.value ~default:[] (Hashtbl.find_opt t.index path))
+
+let stat t ~path =
+  match Hashtbl.find_opt t.index path with
+  | Some (latest :: _) -> Some latest
+  | Some [] | None -> None
+
+let list_files t =
+  Hashtbl.fold (fun path vs acc -> if vs = [] then acc else path :: acc) t.index []
+  |> List.sort String.compare
+
+let list_under t ~prefix =
+  List.filter (fun path -> String.length path >= String.length prefix && String.sub path 0 (String.length prefix) = prefix) (list_files t)
+
+let total_bytes t =
+  Hashtbl.fold
+    (fun _ vs acc ->
+      match vs with
+      | latest :: _ -> acc + latest.length
+      | [] -> acc)
+    t.index 0
+
+type read_error = No_such_file | No_such_version | Version_deleted | Store_error of string
+
+let lookup t ?version ~path () =
+  match Hashtbl.find_opt t.index path with
+  | None | Some [] -> Error No_such_file
+  | Some (latest :: _ as vs) -> begin
+      match version with
+      | None -> Ok latest
+      | Some v -> begin
+          match List.find_opt (fun info -> info.version = v) vs with
+          | Some info -> Ok info
+          | None -> Error No_such_version
+        end
+    end
+
+let ( let* ) = Result.bind
+
+let assemble info header rest =
+  if header.h_length <> List.fold_left (fun acc b -> acc + String.length b) 0 rest then
+    Error (Store_error "content length disagrees with signed header")
+  else Ok (info, String.concat "" rest)
+
+let read_file t ?version path =
+  let* info = lookup t ?version ~path () in
+  match Worm.read t.store info.sn with
+  | Proof.Found { blocks = header_block :: rest; _ } -> begin
+      match decode_header header_block with
+      | Ok header -> assemble info header rest
+      | Error e -> Error (Store_error ("bad header: " ^ e))
+    end
+  | Proof.Found { blocks = []; _ } -> Error (Store_error "record has no blocks")
+  | Proof.Proof_deleted _ | Proof.Proof_in_window _ | Proof.Proof_below_base _ -> Error Version_deleted
+  | Proof.Proof_unallocated _ -> Error (Store_error "index points at an unallocated serial")
+  | Proof.Refused excuse -> Error (Store_error excuse)
+
+let verified_read t ~client ?version path =
+  match lookup t ?version ~path () with
+  | Error No_such_file -> Error "no such file"
+  | Error No_such_version -> Error "no such version"
+  | Error Version_deleted -> Error "version deleted"
+  | Error (Store_error e) -> Error e
+  | Ok info -> begin
+      match Client.verify_read client ~sn:info.sn (Worm.read t.store info.sn) with
+      | Client.Valid_data { blocks = header_block :: rest; _ } -> begin
+          match decode_header header_block with
+          | Error e -> Error ("header does not decode: " ^ e)
+          | Ok header ->
+              (* The signed header must name exactly what was asked for. *)
+              if not (String.equal header.h_path path) then
+                Error
+                  (Printf.sprintf "header names path %S, requested %S: substituted record" header.h_path path)
+              else if header.h_version <> info.version then
+                Error
+                  (Printf.sprintf "header names version %d, requested %d: substituted version" header.h_version
+                     info.version)
+              else begin
+                match assemble info header rest with
+                | Ok result -> Ok result
+                | Error (Store_error e) -> Error e
+                | Error (No_such_file | No_such_version | Version_deleted) -> Error "unreachable"
+              end
+        end
+      | Client.Valid_data { blocks = []; _ } -> Error "record has no blocks"
+      | Client.Committed_unverifiable -> Error "committed but not yet client-verifiable (strengthening pending)"
+      | Client.Properly_deleted -> Error "version deleted (proof verified)"
+      | Client.Never_written -> Error "index points at an unallocated serial"
+      | Client.Violation vs ->
+          Error ("VIOLATION: " ^ String.concat "; " (List.map Client.violation_to_string vs))
+    end
+
+let index_magic = "wormfs-index:v1"
+
+let save_index t =
+  Codec.encode
+    (fun enc () ->
+      Codec.bytes enc index_magic;
+      Codec.list
+        (fun enc (path, vs) ->
+          Codec.bytes enc path;
+          Codec.list
+            (fun enc info ->
+              Codec.u32 enc info.version;
+              Serial.encode enc info.sn;
+              Codec.int_as_u64 enc info.length)
+            enc vs)
+        enc
+        (Hashtbl.fold (fun path vs acc -> (path, vs) :: acc) t.index []))
+    ()
+
+let restore_index store ~index =
+  let decode dec =
+    let magic = Codec.read_bytes dec in
+    if not (String.equal magic index_magic) then raise (Codec.Malformed "not a wormfs index");
+    Codec.read_list
+      (fun dec ->
+        let path = Codec.read_bytes dec in
+        let vs =
+          Codec.read_list
+            (fun dec ->
+              let version = Codec.read_u32 dec in
+              let sn = Serial.decode dec in
+              let length = Codec.read_int_as_u64 dec in
+              { version; sn; length })
+            dec
+        in
+        (path, vs))
+      dec
+  in
+  match Codec.decode decode index with
+  | Error e -> Error ("index rejected: " ^ e)
+  | Ok pairs ->
+      let t = create store in
+      List.iter (fun (path, vs) -> Hashtbl.replace t.index path vs) pairs;
+      Ok t
+
+let sync_index t =
+  let pruned = ref 0 in
+  let paths = Hashtbl.fold (fun path _ acc -> path :: acc) t.index [] in
+  List.iter
+    (fun path ->
+      let vs = Option.value ~default:[] (Hashtbl.find_opt t.index path) in
+      let live =
+        List.filter
+          (fun info ->
+            match Vrdt.find (Worm.vrdt t.store) info.sn with
+            | Some (Vrdt.Active _) -> true
+            | Some (Vrdt.Deleted _) | None ->
+                incr pruned;
+                false)
+          vs
+      in
+      if live = [] then Hashtbl.remove t.index path else Hashtbl.replace t.index path live)
+    paths;
+  !pruned

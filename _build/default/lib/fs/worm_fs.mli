@@ -1,0 +1,85 @@
+(** File-system primitives over record-level WORM — the future work the
+    paper closes with ("explore traditional file system primitives
+    layered on top of block-level WORM"), and the deployment §4.1
+    anticipates ("records being files, VRDs acting effectively as file
+    descriptors").
+
+    Files are write-once per version: writing an existing path appends a
+    new immutable version backed by a fresh WORM record. Each version's
+    record carries a header block binding (path, version, previous
+    version's serial number, length) under the SCPU's datasig, so a
+    client can verify not just the bytes but that they are {e the} bytes
+    for the path and version requested — the host-side name index is
+    untrusted plumbing, like the VRDT.
+
+    Retention, litigation holds, deletion proofs, and migration all
+    apply per version through the underlying store. *)
+
+type t
+
+val create : Worm_core.Worm.t -> t
+val store : t -> Worm_core.Worm.t
+
+type version_info = { version : int; sn : Worm_core.Serial.t; length : int }
+
+val write_file :
+  ?witness:Worm_core.Firmware.witness_mode ->
+  t ->
+  policy:Worm_core.Policy.t ->
+  path:string ->
+  string ->
+  version_info
+(** Append a new version of [path] (version 1 if the path is new).
+    @raise Invalid_argument on an empty or ['\n']-containing path. *)
+
+val versions : t -> path:string -> version_info list
+(** All versions the index knows of, oldest first (expired versions are
+    pruned by {!sync_index}). *)
+
+val stat : t -> path:string -> version_info option
+(** Latest version. *)
+
+val list_files : t -> string list
+(** Paths with at least one indexed version, sorted. *)
+
+val list_under : t -> prefix:string -> string list
+(** Paths under a directory prefix (string-prefix match), sorted. *)
+
+val total_bytes : t -> int
+(** Sum of latest-version lengths across all files. *)
+
+type read_error =
+  | No_such_file
+  | No_such_version
+  | Version_deleted  (** retention expired; deletion proof available via the store *)
+  | Store_error of string
+
+val read_file : t -> ?version:int -> string -> (version_info * string, read_error) result
+(** Host-side read (latest version by default). For verified reads, use
+    {!verified_read}. *)
+
+val verified_read :
+  t -> client:Worm_core.Client.t -> ?version:int -> string -> (version_info * string, string) result
+(** End-to-end verified read: the record's witnesses must check out
+    {e and} its signed header must name exactly this path and version.
+    A host that serves a different (even validly witnessed) record for
+    the path is caught here. *)
+
+val sync_index : t -> int
+(** Drop index entries whose records were deleted by the Retention
+    Monitor. Returns the number pruned. *)
+
+val save_index : t -> string
+(** Serialize the name index (host state, like the VRDT): pair it with
+    {!Worm_core.Worm.save_host_state} across host restarts. *)
+
+val restore_index : Worm_core.Worm.t -> index:string -> (t, string) result
+(** Rebuild a filesystem over a restored store. The index is untrusted;
+    stale or forged entries surface through {!verified_read}'s header
+    checks, never as wrong data. *)
+
+(** {2 Header codec (exposed for verification and tests)} *)
+
+type header = { h_path : string; h_version : int; h_prev : Worm_core.Serial.t option; h_length : int }
+
+val decode_header : string -> (header, string) result

@@ -1,0 +1,1 @@
+lib/proto/message.ml: Firmware Printf Proof Serial Vrd Worm_core Worm_crypto Worm_util

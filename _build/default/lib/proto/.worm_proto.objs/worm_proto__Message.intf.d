@@ -1,0 +1,1 @@
+lib/proto/message.mli: Proof Serial Worm_core Worm_crypto Worm_util

@@ -1,0 +1,1 @@
+lib/proto/remote_client.ml: Client List Message Serial String Worm_core

@@ -1,0 +1,1 @@
+lib/proto/remote_client.mli: Serial Worm_core Worm_crypto Worm_simclock

@@ -1,0 +1,1 @@
+lib/proto/server.ml: Firmware List Message Worm Worm_core

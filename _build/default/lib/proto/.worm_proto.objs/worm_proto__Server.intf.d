@@ -1,0 +1,1 @@
+lib/proto/server.mli: Message Worm_core

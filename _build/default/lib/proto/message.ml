@@ -1,0 +1,137 @@
+open Worm_core
+
+module Codec = Worm_util.Codec
+module Cert = Worm_crypto.Cert
+
+type request = Hello | Read of Serial.t | Read_many of Serial.t list
+
+type response =
+  | Hello_ack of { store_id : string; signing_cert : Cert.t; deletion_cert : Cert.t }
+  | Read_reply of { sn : Serial.t; response : Proof.read_response }
+  | Read_many_reply of (Serial.t * Proof.read_response) list
+  | Protocol_error of string
+
+(* ---------- proof payloads ---------- *)
+
+let encode_current_bound = Firmware.encode_current_bound
+let decode_current_bound = Firmware.decode_current_bound
+let encode_base_bound = Firmware.encode_base_bound
+let decode_base_bound = Firmware.decode_base_bound
+let encode_window = Firmware.encode_deletion_window
+let decode_window = Firmware.decode_deletion_window
+
+let encode_read_response enc (r : Proof.read_response) =
+  match r with
+  | Proof.Found { vrd; blocks } ->
+      Codec.u8 enc 0;
+      Vrd.encode enc vrd;
+      Codec.list (fun enc b -> Codec.bytes enc b) enc blocks
+  | Proof.Proof_deleted { sn; proof } ->
+      Codec.u8 enc 1;
+      Serial.encode enc sn;
+      Codec.bytes enc proof
+  | Proof.Proof_in_window w ->
+      Codec.u8 enc 2;
+      encode_window enc w
+  | Proof.Proof_below_base b ->
+      Codec.u8 enc 3;
+      encode_base_bound enc b
+  | Proof.Proof_unallocated c ->
+      Codec.u8 enc 4;
+      encode_current_bound enc c
+  | Proof.Refused excuse ->
+      Codec.u8 enc 5;
+      Codec.bytes enc excuse
+
+let decode_read_response dec =
+  match Codec.read_u8 dec with
+  | 0 ->
+      let vrd = Vrd.decode dec in
+      let blocks = Codec.read_list Codec.read_bytes dec in
+      Proof.Found { vrd; blocks }
+  | 1 ->
+      let sn = Serial.decode dec in
+      let proof = Codec.read_bytes dec in
+      Proof.Proof_deleted { sn; proof }
+  | 2 -> Proof.Proof_in_window (decode_window dec)
+  | 3 -> Proof.Proof_below_base (decode_base_bound dec)
+  | 4 -> Proof.Proof_unallocated (decode_current_bound dec)
+  | 5 -> Proof.Refused (Codec.read_bytes dec)
+  | n -> raise (Codec.Malformed (Printf.sprintf "bad read_response tag %d" n))
+
+(* ---------- requests ---------- *)
+
+let encode_request r =
+  Codec.encode
+    (fun enc () ->
+      match r with
+      | Hello -> Codec.u8 enc 0
+      | Read sn ->
+          Codec.u8 enc 1;
+          Serial.encode enc sn
+      | Read_many sns ->
+          Codec.u8 enc 2;
+          Codec.list (fun enc sn -> Serial.encode enc sn) enc sns)
+    ()
+
+let decode_request s =
+  Codec.decode
+    (fun dec ->
+      match Codec.read_u8 dec with
+      | 0 -> Hello
+      | 1 -> Read (Serial.decode dec)
+      | 2 -> Read_many (Codec.read_list Serial.decode dec)
+      | n -> raise (Codec.Malformed (Printf.sprintf "bad request tag %d" n)))
+    s
+
+(* ---------- responses ---------- *)
+
+let encode_response r =
+  Codec.encode
+    (fun enc () ->
+      match r with
+      | Hello_ack { store_id; signing_cert; deletion_cert } ->
+          Codec.u8 enc 0;
+          Codec.bytes enc store_id;
+          Cert.encode enc signing_cert;
+          Cert.encode enc deletion_cert
+      | Read_reply { sn; response } ->
+          Codec.u8 enc 1;
+          Serial.encode enc sn;
+          encode_read_response enc response
+      | Read_many_reply replies ->
+          Codec.u8 enc 2;
+          Codec.list
+            (fun enc (sn, response) ->
+              Serial.encode enc sn;
+              encode_read_response enc response)
+            enc replies
+      | Protocol_error msg ->
+          Codec.u8 enc 3;
+          Codec.bytes enc msg)
+    ()
+
+let decode_response s =
+  Codec.decode
+    (fun dec ->
+      match Codec.read_u8 dec with
+      | 0 ->
+          let store_id = Codec.read_bytes dec in
+          let signing_cert = Cert.decode dec in
+          let deletion_cert = Cert.decode dec in
+          Hello_ack { store_id; signing_cert; deletion_cert }
+      | 1 ->
+          let sn = Serial.decode dec in
+          let response = decode_read_response dec in
+          Read_reply { sn; response }
+      | 2 ->
+          Read_many_reply
+            (Codec.read_list
+               (fun dec ->
+                 let sn = Serial.decode dec in
+                 let response = decode_read_response dec in
+                 (sn, response))
+               dec)
+      | 3 -> Protocol_error (Codec.read_bytes dec)
+      | n -> raise (Codec.Malformed (Printf.sprintf "bad response tag %d" n)))
+    s

@@ -1,0 +1,37 @@
+open Worm_core
+
+(** Wire messages of the WORM client/server protocol.
+
+    The paper's clients (auditors, investigators) are remote: they see
+    the store only through read requests and certificate fetches, and
+    they verify everything locally against the CA key. This module gives
+    every request and response a canonical binary encoding — including
+    the full proof vocabulary (VRDs with data, deletion proofs, window
+    bounds, base/current bounds) — so the trust analysis survives the
+    serialization boundary: a byte-level man-in-the-middle is no
+    stronger than the malicious host already considered. *)
+
+type request =
+  | Hello  (** fetch store identity and certificates *)
+  | Read of Serial.t
+  | Read_many of Serial.t list  (** batched audit sweep *)
+
+type response =
+  | Hello_ack of {
+      store_id : string;
+      signing_cert : Worm_crypto.Cert.t;
+      deletion_cert : Worm_crypto.Cert.t;
+    }
+  | Read_reply of { sn : Serial.t; response : Proof.read_response }
+  | Read_many_reply of (Serial.t * Proof.read_response) list
+  | Protocol_error of string
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+(** Exposed for reuse (e.g. persisting audit evidence). *)
+
+val encode_read_response : Worm_util.Codec.encoder -> Proof.read_response -> unit
+val decode_read_response : Worm_util.Codec.decoder -> Proof.read_response

@@ -1,0 +1,28 @@
+type t = {
+  rtt_ns : int64;
+  bandwidth : float;
+  mutable requests : int;
+  mutable bytes : int;
+  mutable elapsed_ns : int64;
+}
+
+let create ?(rtt_ns = 1_000_000L) ?(bandwidth_bytes_per_sec = 125e6) () =
+  { rtt_ns; bandwidth = bandwidth_bytes_per_sec; requests = 0; bytes = 0; elapsed_ns = 0L }
+
+let wrap t transport request =
+  let response = transport request in
+  let exchanged = String.length request + String.length response in
+  t.requests <- t.requests + 1;
+  t.bytes <- t.bytes + exchanged;
+  let transfer = Int64.of_float (float_of_int exchanged /. t.bandwidth *. 1e9) in
+  t.elapsed_ns <- Int64.add t.elapsed_ns (Int64.add t.rtt_ns transfer);
+  response
+
+let requests t = t.requests
+let bytes_transferred t = t.bytes
+let elapsed_ns t = t.elapsed_ns
+
+let reset t =
+  t.requests <- 0;
+  t.bytes <- 0;
+  t.elapsed_ns <- 0L

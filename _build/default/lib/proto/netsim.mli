@@ -1,0 +1,24 @@
+(** Virtual network accounting for the WORM protocol.
+
+    §3 dismisses third-party audit services partly for "network-limited
+    bandwidth and high latency"; this wrapper makes those costs
+    measurable for our SCPU-rooted alternative. It wraps a transport and
+    charges one round-trip plus size/bandwidth per exchange into a
+    virtual ledger (no wall-clock sleeping), so experiments can compare
+    e.g. per-record reads against batched {!Remote_client.audit_sweep}. *)
+
+type t
+
+val create : ?rtt_ns:int64 -> ?bandwidth_bytes_per_sec:float -> unit -> t
+(** Defaults: 1 ms RTT, 1 Gbit/s. *)
+
+val wrap : t -> (string -> string) -> string -> string
+(** [wrap t transport] behaves as [transport] while accounting each
+    exchange. *)
+
+val requests : t -> int
+val bytes_transferred : t -> int
+val elapsed_ns : t -> int64
+(** Accumulated virtual wire time: requests x RTT + bytes / bandwidth. *)
+
+val reset : t -> unit

@@ -1,0 +1,66 @@
+open Worm_core
+
+type transport = string -> string
+
+type t = {
+  transport : transport;
+  client : Client.t;
+  store_id : string;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+let roundtrip t request =
+  let bytes = Message.encode_request request in
+  t.bytes_sent <- t.bytes_sent + String.length bytes;
+  let reply = t.transport bytes in
+  t.bytes_received <- t.bytes_received + String.length reply;
+  Message.decode_response reply
+
+let connect ~ca ~clock ?max_bound_age_ns transport =
+  let hello = Message.encode_request Message.Hello in
+  match Message.decode_response (transport hello) with
+  | Error e -> Error ("handshake failed: " ^ e)
+  | Ok (Message.Hello_ack { store_id; signing_cert; deletion_cert }) -> begin
+      match Client.connect ~ca ~clock ?max_bound_age_ns ~signing_cert ~deletion_cert ~store_id () with
+      | Ok client ->
+          Ok
+            {
+              transport;
+              client;
+              store_id;
+              bytes_sent = String.length hello;
+              bytes_received = 0;
+            }
+      | Error e -> Error e
+    end
+  | Ok (Message.Protocol_error e) -> Error ("server error: " ^ e)
+  | Ok (Message.Read_reply _ | Message.Read_many_reply _) -> Error "handshake failed: unexpected response"
+
+let store_id t = t.store_id
+
+(* A transport that garbles, drops, or misroutes proves nothing — treat
+   any protocol-level failure as an unproven absence, the same verdict a
+   refusing host earns. *)
+let transport_violation = Client.Violation [ Client.Absence_unproven ]
+
+let read t sn =
+  match roundtrip t (Message.Read sn) with
+  | Ok (Message.Read_reply { sn = reply_sn; response }) when Serial.equal reply_sn sn ->
+      Client.verify_read t.client ~sn response
+  | Ok _ | Error _ -> transport_violation
+
+let audit_sweep t ~lo ~hi =
+  let sns = Serial.range lo hi in
+  match roundtrip t (Message.Read_many sns) with
+  | Ok (Message.Read_many_reply replies) ->
+      List.map
+        (fun sn ->
+          match List.assoc_opt sn replies with
+          | Some response -> (sn, Client.verify_read t.client ~sn response)
+          | None -> (sn, transport_violation))
+        sns
+  | Ok _ | Error _ -> List.map (fun sn -> (sn, transport_violation)) sns
+
+let bytes_sent t = t.bytes_sent
+let bytes_received t = t.bytes_received

@@ -1,0 +1,37 @@
+open Worm_core
+
+(** Client side of the WORM protocol.
+
+    Connects over an arbitrary byte transport (request bytes in,
+    response bytes out — compose a {!Server} with whatever network,
+    logging, or adversarial middlebox the scenario needs), fetches and
+    CA-validates the store's certificates, and verifies every reply with
+    {!Worm_core.Client}. The transport is completely untrusted: byte
+    tampering surfaces as a protocol error or a verification violation,
+    never as wrong data accepted. *)
+
+type transport = string -> string
+
+type t
+
+val connect :
+  ca:Worm_crypto.Rsa.public ->
+  clock:Worm_simclock.Clock.t ->
+  ?max_bound_age_ns:int64 ->
+  transport ->
+  (t, string) result
+(** Sends [Hello], validates the served certificates against the CA. *)
+
+val store_id : t -> string
+
+val read : t -> Serial.t -> Worm_core.Client.verdict
+(** One verified remote read. Transport/protocol failures surface as
+    [Violation [Absence_unproven]] — an unreachable or garbled server
+    proves nothing, exactly like a refusing one. *)
+
+val audit_sweep : t -> lo:Serial.t -> hi:Serial.t -> (Serial.t * Worm_core.Client.verdict) list
+(** Batched verified reads over an inclusive serial range (the
+    federal-investigator workload). *)
+
+val bytes_sent : t -> int
+val bytes_received : t -> int

@@ -1,0 +1,24 @@
+open Worm_core
+
+type t = { worm : Worm.t }
+
+let create worm = { worm }
+let store t = t.worm
+
+let handle t = function
+  | Message.Hello ->
+      let fw = Worm.firmware t.worm in
+      Message.Hello_ack
+        {
+          store_id = Worm.store_id t.worm;
+          signing_cert = Firmware.signing_cert fw;
+          deletion_cert = Firmware.deletion_cert fw;
+        }
+  | Message.Read sn -> Message.Read_reply { sn; response = Worm.read t.worm sn }
+  | Message.Read_many sns ->
+      Message.Read_many_reply (List.map (fun sn -> (sn, Worm.read t.worm sn)) sns)
+
+let handle_bytes t bytes =
+  match Message.decode_request bytes with
+  | Ok request -> Message.encode_response (handle t request)
+  | Error e -> Message.encode_response (Message.Protocol_error e)

@@ -1,0 +1,15 @@
+(** Server side of the WORM protocol: an honest request dispatcher over
+    a local {!Worm_core.Worm} store. Honesty is merely a default — the
+    security argument never relies on it, and the tests swap in
+    dishonest dispatchers freely. *)
+
+type t
+
+val create : Worm_core.Worm.t -> t
+val store : t -> Worm_core.Worm.t
+
+val handle : t -> Message.request -> Message.response
+
+val handle_bytes : t -> string -> string
+(** Decode, dispatch, encode; malformed requests produce an encoded
+    [Protocol_error]. *)

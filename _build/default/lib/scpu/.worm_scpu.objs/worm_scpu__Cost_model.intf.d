@@ -1,0 +1,1 @@
+lib/scpu/cost_model.mli:

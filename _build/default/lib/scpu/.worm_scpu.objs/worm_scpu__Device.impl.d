@@ -1,0 +1,1 @@
+lib/scpu/device.ml: Cert Cost_model Drbg Hmac Int64 Printf Rsa Sha256 String Worm_crypto Worm_simclock

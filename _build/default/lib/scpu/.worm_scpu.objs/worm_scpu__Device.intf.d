@@ -1,0 +1,1 @@
+lib/scpu/device.mli: Cost_model Worm_crypto Worm_simclock

@@ -1,0 +1,92 @@
+type profile = {
+  name : string;
+  rsa_sign_anchors : (int * float) list;
+  hash_call_overhead_ns : float;
+  hash_bytes_per_sec : float;
+  dma_bytes_per_sec : float;
+  hmac_fixed_ns : float;
+}
+
+(* Decompose two (block size, MB/s) anchor points into per-call overhead
+   plus peak streaming rate: t(b) = overhead + b / peak. *)
+let hash_params ~small:(b1, r1) ~large:(b2, r2) =
+  let t1 = float_of_int b1 /. r1 and t2 = float_of_int b2 /. r2 in
+  let peak = float_of_int (b2 - b1) /. (t2 -. t1) in
+  let overhead_ns = (t1 -. (float_of_int b1 /. peak)) *. 1e9 in
+  (overhead_ns, peak)
+
+let ibm_4764 =
+  let overhead, peak = hash_params ~small:(1024, 1.42e6) ~large:(65536, 18.6e6) in
+  {
+    name = "IBM 4764";
+    rsa_sign_anchors = [ (512, 4200.); (1024, 848.); (2048, 390.) ];
+    hash_call_overhead_ns = overhead;
+    hash_bytes_per_sec = peak;
+    dma_bytes_per_sec = 82.5e6;
+    hmac_fixed_ns = 5_000.;
+  }
+
+let host_p4 =
+  let overhead, peak = hash_params ~small:(1024, 80e6) ~large:(65536, 120e6) in
+  {
+    name = "P4 @ 3.4GHz";
+    rsa_sign_anchors = [ (512, 1315.); (1024, 261.); (2048, 43.) ];
+    hash_call_overhead_ns = overhead;
+    hash_bytes_per_sec = peak;
+    dma_bytes_per_sec = 1e9;
+    hmac_fixed_ns = 500.;
+  }
+
+let rsa_sign_sec profile ~bits =
+  if bits <= 0 then invalid_arg "Cost_model.rsa_sign: non-positive bits";
+  let anchors = profile.rsa_sign_anchors in
+  let time_of_rate r = 1. /. r in
+  let b = float_of_int bits in
+  let rec locate = function
+    | [] -> assert false
+    | [ (bn, rn) ] ->
+        (* above the top anchor: cubic extrapolation *)
+        time_of_rate rn *. ((b /. float_of_int bn) ** 3.)
+    | (b1, r1) :: ((b2, r2) :: _ as rest) ->
+        if bits <= b1 then time_of_rate r1 *. ((b /. float_of_int b1) ** 3.)
+        else if bits <= b2 then begin
+          (* log-log interpolation between anchors *)
+          let t1 = log (time_of_rate r1) and t2 = log (time_of_rate r2) in
+          let x = (log b -. log (float_of_int b1)) /. (log (float_of_int b2) -. log (float_of_int b1)) in
+          exp (t1 +. (x *. (t2 -. t1)))
+        end
+        else locate rest
+  in
+  locate anchors
+
+let rsa_sign_ns profile ~bits = Int64.of_float (rsa_sign_sec profile ~bits *. 1e9)
+let rsa_sign_per_sec profile ~bits = 1. /. rsa_sign_sec profile ~bits
+let rsa_verify_ns profile ~bits = Int64.of_float (rsa_sign_sec profile ~bits /. 20. *. 1e9)
+
+let hash_sec profile ~bytes =
+  (profile.hash_call_overhead_ns *. 1e-9) +. (float_of_int bytes /. profile.hash_bytes_per_sec)
+
+let hash_ns profile ~bytes = Int64.of_float (hash_sec profile ~bytes *. 1e9)
+let hash_mb_per_sec profile ~block_bytes = float_of_int block_bytes /. hash_sec profile ~bytes:block_bytes /. 1e6
+
+(* HMAC witnessing runs inside the firmware over in-enclosure data, so
+   unlike the CCA hash *service* (whose Table-2 anchors are dominated by
+   per-call command overhead at small blocks), it pays only streaming
+   cost over message + padded key blocks plus a small fixed term. This
+   is what makes §4.3's claim come out: HMAC throughput is limited by
+   the SCPU bus, not by the hash service. *)
+let hmac_ns profile ~bytes =
+  Int64.of_float (profile.hmac_fixed_ns +. (float_of_int (bytes + 128) /. profile.hash_bytes_per_sec *. 1e9))
+
+let dma_ns profile ~bytes = Int64.of_float (float_of_int bytes /. profile.dma_bytes_per_sec *. 1e9)
+
+let max_sign_bits_for_rate profile ~signatures_per_sec =
+  if signatures_per_sec <= 0. then invalid_arg "Cost_model.max_sign_bits_for_rate: non-positive rate";
+  (* rsa_sign_sec is monotone in bits, so scan downward from a generous
+     ceiling in 64-bit steps. *)
+  let rec scan bits =
+    if bits <= 512 then 512
+    else if rsa_sign_per_sec profile ~bits >= signatures_per_sec then bits
+    else scan (bits - 64)
+  in
+  scan 4096

@@ -1,0 +1,57 @@
+(** Calibrated processor cost models (the paper's Table 2).
+
+    Heat-dissipation limits under tamper-resistance make the SCPU about
+    an order of magnitude slower than the host CPU; every protocol
+    decision in the paper flows from that asymmetry. The simulator
+    charges virtual time for each primitive using these profiles, so
+    reproduced throughput curves reflect the published hardware rather
+    than whatever machine this code happens to run on.
+
+    Anchor figures (Table 2, IBM 4764 vs P4\@3.4GHz / OpenSSL 0.9.7f):
+
+    - RSA sign/s: 4764 = 4200 (512b, est.), 848 (1024b), 390 (2048b, mid
+      of 316–470); P4 = 1315 / 261 / 43.
+    - SHA-1: 4764 = 1.42 MB/s at 1 KB blocks, 18.6 MB/s at 64 KB; P4 =
+      80 MB/s and 120 MB/s.
+    - DMA end-to-end: 4764 = 82.5 MB/s (mid of 75–90); P4 memory bus =
+      1 GB/s.
+
+    SHA-1 anchors are decomposed into a per-call overhead plus a peak
+    streaming rate, so intermediate block sizes interpolate smoothly.
+    RSA costs interpolate between anchors on a log-log scale and
+    extrapolate cubically (modular exponentiation is Θ(bits³)). *)
+
+type profile = {
+  name : string;
+  rsa_sign_anchors : (int * float) list;  (** (modulus bits, signatures/s), ascending *)
+  hash_call_overhead_ns : float;
+  hash_bytes_per_sec : float;
+  dma_bytes_per_sec : float;
+  hmac_fixed_ns : float;  (** per-MAC fixed cost of the in-firmware HMAC path *)
+}
+
+val ibm_4764 : profile
+val host_p4 : profile
+
+val rsa_sign_ns : profile -> bits:int -> int64
+val rsa_sign_per_sec : profile -> bits:int -> float
+
+val rsa_verify_ns : profile -> bits:int -> int64
+(** Public-key operation with e = 65537: a small constant number of
+    multiplications versus ~1.5·bits for signing; modeled as sign/20. *)
+
+val hash_ns : profile -> bytes:int -> int64
+val hash_mb_per_sec : profile -> block_bytes:int -> float
+val hmac_ns : profile -> bytes:int -> int64
+(** In-firmware HMAC: streaming cost over message + key blocks plus a
+    small fixed term — {e not} the CCA hash-service call overhead, which
+    is why HMAC witnessing stays bus-limited (§4.3). *)
+
+val dma_ns : profile -> bytes:int -> int64
+
+val max_sign_bits_for_rate : profile -> signatures_per_sec:float -> int
+(** §4.3's sizing question: "the maximum signature strength we can
+    afford (e.g., bit-length of key) for a given throughput update
+    rate". Returns the largest modulus size (multiple of 64, at least
+    512) whose signing rate on this profile meets the target, or 512
+    when even that cannot (HMAC territory). *)

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Firmware Float Format Fun Int64 List Policy Printf Vrdt Worm Worm_baseline Worm_core Worm_crypto Worm_scpu Worm_simclock Worm_simdisk Worm_workload

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Format Worm_core Worm_scpu Worm_simclock Worm_simdisk

@@ -1,0 +1,356 @@
+module Device = Worm_scpu.Device
+module Cost_model = Worm_scpu.Cost_model
+module Clock = Worm_simclock.Clock
+module Disk = Worm_simdisk.Disk
+module Drbg = Worm_crypto.Drbg
+module Rsa = Worm_crypto.Rsa
+open Worm_core
+
+type mode = { label : string; witness : Firmware.witness_mode; datasig : Worm.datasig_mode }
+
+let mode_strong_scpu_hash = { label = "strong-1024/scpu-hash"; witness = Firmware.Strong_now; datasig = Worm.Scpu_hashes }
+let mode_strong_host_hash = { label = "strong-1024/host-hash"; witness = Firmware.Strong_now; datasig = Worm.Host_hash }
+let mode_weak_scpu_hash = { label = "deferred-512/scpu-hash"; witness = Firmware.Weak_deferred; datasig = Worm.Scpu_hashes }
+let mode_weak_host_hash = { label = "deferred-512/host-hash"; witness = Firmware.Weak_deferred; datasig = Worm.Host_hash }
+let mode_mac_host_hash = { label = "hmac/host-hash"; witness = Firmware.Mac_deferred; datasig = Worm.Host_hash }
+
+let all_modes =
+  [ mode_strong_scpu_hash; mode_strong_host_hash; mode_weak_scpu_hash; mode_weak_host_hash; mode_mac_host_hash ]
+
+type measurement = {
+  label : string;
+  record_bytes : int;
+  records : int;
+  scpu_s : float;
+  host_s : float;
+  disk_s : float;
+  throughput_rps : float;
+  bottleneck : string;
+  idle_scpu_s : float;
+  deferred_after_idle : int;
+}
+
+type env = { ca : Rsa.secret; dev : Device.t; clk : Clock.t; rng : Drbg.t }
+
+let make_env ?(profile = Cost_model.ibm_4764) ?(strong_bits = 1024) ?(weak_bits = 512) ~seed () =
+  let rng = Drbg.create ~seed:("sim-env|" ^ seed) in
+  let ca = Rsa.generate rng ~bits:1024 in
+  let clk = Clock.create () in
+  let config = { Device.default_config with strong_bits; weak_bits; profile } in
+  let dev = Device.provision ~seed ~clock:clk ~ca ~config ~name:"sim-scpu" () in
+  { ca; dev; clk; rng }
+
+let device env = env.dev
+let clock env = env.clk
+
+let sec ns = Int64.to_float ns /. 1e9
+
+let run_write_burst env ~mode ~record_bytes ~records ?(disk_latency = Disk.fast_latency) () =
+  let disk = Disk.create ~latency:disk_latency () in
+  let config =
+    { Worm.default_config with datasig_mode = mode.datasig; default_witness = mode.witness }
+  in
+  let store = Worm.create ~config ~disk ~device:env.dev ~ca:(Rsa.public_of env.ca) () in
+  let policy = Policy.of_regulation Policy.Sec17a4 in
+  let payloads = List.init records (fun _ -> Worm_workload.Workload.record env.rng ~bytes:record_bytes) in
+  Device.reset_busy env.dev;
+  Worm.reset_host_busy store;
+  Disk.reset_busy disk;
+  List.iter (fun blocks -> ignore (Worm.write store ~policy ~blocks)) payloads;
+  let scpu_s = sec (Device.busy_ns env.dev) in
+  let host_s = sec (Worm.host_busy_ns store) in
+  let disk_s = sec (Disk.busy_ns disk) in
+  (* Idle period: advance the clock a little and drain the deferred work
+     well inside the weak constructs' security lifetime. *)
+  Device.reset_busy env.dev;
+  Clock.advance env.clk (Clock.ns_of_sec 1.);
+  Worm.idle_tick store;
+  let idle_scpu_s = sec (Device.busy_ns env.dev) in
+  let deferred_after_idle = List.length (Worm.deferred_backlog store) in
+  let slowest = max scpu_s (max host_s disk_s) in
+  let bottleneck = if slowest = scpu_s then "scpu" else if slowest = host_s then "host" else "disk" in
+  {
+    label = mode.label;
+    record_bytes;
+    records;
+    scpu_s;
+    host_s;
+    disk_s;
+    throughput_rps = (if slowest <= 0. then infinity else float_of_int records /. slowest);
+    bottleneck;
+    idle_scpu_s;
+    deferred_after_idle;
+  }
+
+let figure1 env ?(records = 24) () =
+  List.concat_map
+    (fun mode ->
+      List.map
+        (fun record_bytes -> run_write_burst env ~mode ~record_bytes ~records ())
+        Worm_workload.Workload.figure1_sizes)
+    all_modes
+
+let io_bottleneck env ?(records = 24) ~record_bytes () =
+  let seeks_ms = [ 0.0; 0.5; 1.0; 2.0; 3.5; 5.0; 8.0 ] in
+  List.map
+    (fun seek_ms ->
+      let disk_latency = { Disk.seek_ns = Clock.ns_of_ms seek_ms; bytes_per_sec = 100e6 } in
+      (seek_ms, run_write_burst env ~mode:mode_strong_scpu_hash ~record_bytes ~records ~disk_latency ()))
+    seeks_ms
+
+type ablation_row = {
+  n : int;
+  window_scpu_us_per_update : float;
+  merkle_scpu_us_per_update : float;
+  merkle_hashes_per_update : float;
+}
+
+let window_vs_merkle env ~ns =
+  List.map
+    (fun n ->
+      (* Window scheme: per-update SCPU cost is independent of store
+         size, so a sample of inserts suffices. *)
+      let sample = min n 64 in
+      let disk = Disk.create ~latency:Disk.zero_latency () in
+      let store = Worm.create ~disk ~device:env.dev ~ca:(Rsa.public_of env.ca) () in
+      let policy = Policy.of_regulation Policy.Sec17a4 in
+      Device.reset_busy env.dev;
+      for _ = 1 to sample do
+        ignore (Worm.write store ~policy ~blocks:[ "x" ])
+      done;
+      let window_us = sec (Device.busy_ns env.dev) *. 1e6 /. float_of_int sample in
+      (* Merkle baseline: populate to n (bulk, uncharged), then measure
+         appends at size n. *)
+      let mstore = Worm_baseline.Merkle_store.create ~device:env.dev ~capacity:(n + sample) in
+      Worm_baseline.Merkle_store.bulk_load mstore (List.init n (fun _ -> "x"));
+      Device.reset_busy env.dev;
+      let hashes_before = (Device.stats env.dev).Device.hash_ops in
+      for _ = 1 to sample do
+        ignore (Worm_baseline.Merkle_store.append mstore "x")
+      done;
+      let merkle_us = sec (Device.busy_ns env.dev) *. 1e6 /. float_of_int sample in
+      let hashes = (Device.stats env.dev).Device.hash_ops - hashes_before in
+      {
+        n;
+        window_scpu_us_per_update = window_us;
+        merkle_scpu_us_per_update = merkle_us;
+        merkle_hashes_per_update = float_of_int hashes /. float_of_int sample;
+      })
+    ns
+
+type read_mix_row = { write_fraction : float; ops_per_sec : float; scpu_us_per_op : float; mix_bottleneck : string }
+
+let read_mix env ?(ops = 200) ~record_bytes () =
+  let fractions = [ 0.0; 0.01; 0.1; 0.25; 0.5; 1.0 ] in
+  List.map
+    (fun write_fraction ->
+      let disk = Disk.create ~latency:Disk.fast_latency () in
+      let store = Worm.create ~disk ~device:env.dev ~ca:(Rsa.public_of env.ca) () in
+      let policy = Policy.of_regulation Policy.Sec17a4 in
+      (* seed a few records so reads have targets *)
+      let seeds =
+        List.init 8 (fun _ -> Worm.write store ~policy ~blocks:(Worm_workload.Workload.record env.rng ~bytes:record_bytes))
+      in
+      let trace =
+        Worm_workload.Workload.mixed_trace env.rng ~ops ~write_fraction ~record_bytes ~policy
+      in
+      Device.reset_busy env.dev;
+      Worm.reset_host_busy store;
+      Disk.reset_busy disk;
+      List.iter
+        (fun op ->
+          match op with
+          | Worm_workload.Workload.Write { blocks; policy } -> ignore (Worm.write store ~policy ~blocks)
+          | Worm_workload.Workload.Read i -> ignore (Worm.read store (List.nth seeds (i mod List.length seeds))))
+        trace;
+      let scpu_s = sec (Device.busy_ns env.dev) in
+      let host_s = sec (Worm.host_busy_ns store) in
+      let disk_s = sec (Disk.busy_ns disk) in
+      let slowest = max scpu_s (max host_s disk_s) in
+      let mix_bottleneck = if slowest = scpu_s then "scpu" else if slowest = host_s then "host" else "disk" in
+      {
+        write_fraction;
+        ops_per_sec = (if slowest <= 0. then infinity else float_of_int ops /. slowest);
+        scpu_us_per_op = scpu_s /. float_of_int ops *. 1e6;
+        mix_bottleneck;
+      })
+    fractions
+
+type scaling_row = { scpus : int; aggregate_rps : float; speedup : float; scaling_bottleneck : string }
+
+let multi_scpu_scaling ?(strong_bits = 1024) ?(record_bytes = 1024) ?(records = 48) ~seed ~scpus_list () =
+  let rng = Drbg.create ~seed:("multi-scpu|" ^ seed) in
+  let ca = Rsa.generate rng ~bits:1024 in
+  let clk = Clock.create () in
+  let device_config = { Device.default_config with Device.strong_bits } in
+  let max_k = List.fold_left max 1 scpus_list in
+  (* one device pool reused across rows so keygen is paid once *)
+  let devices =
+    Array.init max_k (fun i ->
+        Device.provision
+          ~seed:(Printf.sprintf "%s-%d" seed i)
+          ~clock:clk ~ca ~config:device_config
+          ~name:(Printf.sprintf "scpu-%d" i)
+          ())
+  in
+  let run k =
+    let disk = Disk.create ~latency:Disk.fast_latency () in
+    let config = { Worm.default_config with datasig_mode = Worm.Host_hash } in
+    let stores =
+      List.init k (fun i -> Worm.create ~config ~disk ~device:devices.(i) ~ca:(Rsa.public_of ca) ())
+    in
+    Array.iter Device.reset_busy devices;
+    List.iter Worm.reset_host_busy stores;
+    Disk.reset_busy disk;
+    let policy = Policy.of_regulation Policy.Sec17a4 in
+    let payloads = List.init records (fun _ -> Worm_workload.Workload.record rng ~bytes:record_bytes) in
+    List.iteri
+      (fun i blocks -> ignore (Worm.write (List.nth stores (i mod k)) ~policy ~blocks))
+      payloads;
+    let scpu_busy =
+      List.fold_left (fun acc i -> max acc (sec (Device.busy_ns devices.(i)))) 0. (List.init k Fun.id)
+    in
+    let host_busy = List.fold_left (fun acc store -> acc +. sec (Worm.host_busy_ns store)) 0. stores in
+    let disk_busy = sec (Disk.busy_ns disk) in
+    let slowest = max scpu_busy (max host_busy disk_busy) in
+    let bottleneck =
+      if slowest = scpu_busy then "scpu" else if slowest = host_busy then "host" else "disk"
+    in
+    (float_of_int records /. slowest, bottleneck)
+  in
+  let single_rps = ref None in
+  List.map
+    (fun k ->
+      let rps, bottleneck = run k in
+      let base =
+        match !single_rps with
+        | Some r -> r
+        | None ->
+            let r, _ = run 1 in
+            single_rps := Some r;
+            r
+      in
+      { scpus = k; aggregate_rps = rps; speedup = rps /. base; scaling_bottleneck = bottleneck })
+    scpus_list
+
+type storage_row = { stage : string; vrdt_bytes : int; entries : int; windows : int }
+
+let storage_reduction env ?(records = 400) ?(long_lived_every = 25) () =
+  let disk = Disk.create ~latency:Disk.zero_latency () in
+  let store = Worm.create ~disk ~device:env.dev ~ca:(Rsa.public_of env.ca) () in
+  let short = Policy.custom ~name:"short" ~retention_ns:(Clock.ns_of_sec 100.) ~shred_passes:1 in
+  let long = Policy.custom ~name:"long" ~retention_ns:(Clock.ns_of_years 10.) ~shred_passes:1 in
+  for i = 1 to records do
+    let policy = if i mod long_lived_every = 0 then long else short in
+    ignore (Worm.write store ~policy ~blocks:[ Printf.sprintf "record-%d" i ])
+  done;
+  let snap stage =
+    {
+      stage;
+      vrdt_bytes = Worm.vrdt_bytes store;
+      entries = Vrdt.entry_count (Worm.vrdt store);
+      windows = List.length (Worm.deletion_windows store);
+    }
+  in
+  let live = snap "all live" in
+  Clock.advance env.clk (Clock.ns_of_sec 200.);
+  (* drain in waves in case VEXP capacity shed some entries *)
+  for _ = 1 to 4 do
+    ignore (Worm.expire_due store);
+    ignore (Worm.refeed_vexp store)
+  done;
+  let proofs = snap "expired, per-record proofs" in
+  ignore (Worm.compact_windows store);
+  let compacted = snap "windows collapsed" in
+  [ live; proofs; compacted ]
+
+type burst_row = { arrival_rps : float; max_burst_min : float; debt_per_sec : float }
+
+let burst_sustainability ?(profile = Cost_model.ibm_4764) ?(strong_bits = 1024)
+    ?(weak_lifetime_min = 120.) ?(rates = [ 100.; 424.; 848.; 1500.; 2096.; 4000. ]) () =
+  let s = Cost_model.rsa_sign_per_sec profile ~bits:strong_bits in
+  List.map
+    (fun arrival_rps ->
+      let debt_per_sec = 2. *. arrival_rps in
+      let max_burst_min = weak_lifetime_min *. Float.min 1. (s /. debt_per_sec) in
+      { arrival_rps; max_burst_min; debt_per_sec })
+    rates
+
+type day_phase = { label : string; rate_per_sec : float; duration_s : float }
+
+type day_row = { phase : string; writes : int; strong : int; weak : int; mac : int; overdue_after : int }
+
+let default_day =
+  [
+    { label = "opening burst"; rate_per_sec = 2000.; duration_s = 0.25 };
+    { label = "steady trading"; rate_per_sec = 100.; duration_s = 2. };
+    { label = "lunch trickle"; rate_per_sec = 20.; duration_s = 2. };
+    { label = "closing flood"; rate_per_sec = 8000.; duration_s = 0.5 };
+  ]
+
+let adaptive_day env ?(phases = default_day) () =
+  let config = { Worm.default_config with datasig_mode = Worm.Host_hash } in
+  let store = Worm.create ~config ~device:env.dev ~ca:(Rsa.public_of env.ca) () in
+  let controller =
+    Worm_core.Adaptive.create ~profile:(Device.config env.dev).Device.profile
+      ~device_config:(Device.config env.dev) ()
+  in
+  let policy = Policy.of_regulation Policy.Sec17a4 in
+  List.map
+    (fun { label; rate_per_sec; duration_s } ->
+      let n = max 1 (int_of_float (rate_per_sec *. duration_s)) in
+      let strong = ref 0 and weak = ref 0 and mac = ref 0 in
+      for _ = 1 to n do
+        Clock.advance env.clk (Int64.of_float (1e9 /. rate_per_sec));
+        let now = Clock.now env.clk in
+        Worm_core.Adaptive.note_write controller ~now;
+        let witness =
+          Worm_core.Adaptive.recommend controller ~now
+            ~deferred_backlog:(List.length (Worm.deferred_backlog store))
+        in
+        (match witness with
+        | Firmware.Strong_now -> incr strong
+        | Firmware.Weak_deferred -> incr weak
+        | Firmware.Mac_deferred -> incr mac);
+        ignore (Worm.write store ~witness ~policy ~blocks:[ "r" ])
+      done;
+      let overdue_after = List.length (Worm.deferred_overdue store ~now:(Clock.now env.clk)) in
+      (* inter-phase quiet spell: drain the debt *)
+      Clock.advance env.clk (Clock.ns_of_min 5.);
+      Worm.idle_tick store;
+      { phase = label; writes = n; strong = !strong; weak = !weak; mac = !mac; overdue_after })
+    phases
+
+type table2_row = { operation : string; scpu : string; host : string }
+
+let table2 ?(profile = Cost_model.ibm_4764) ?(host = Cost_model.host_p4) () =
+  let sig_row bits =
+    {
+      operation = Printf.sprintf "RSA sig, %d bits" bits;
+      scpu = Printf.sprintf "%.0f/s" (Cost_model.rsa_sign_per_sec profile ~bits);
+      host = Printf.sprintf "%.0f/s" (Cost_model.rsa_sign_per_sec host ~bits);
+    }
+  in
+  let hash_row block label =
+    {
+      operation = Printf.sprintf "SHA-1, %s blocks" label;
+      scpu = Printf.sprintf "%.2f MB/s" (Cost_model.hash_mb_per_sec profile ~block_bytes:block);
+      host = Printf.sprintf "%.1f MB/s" (Cost_model.hash_mb_per_sec host ~block_bytes:block);
+    }
+  in
+  [
+    sig_row 512;
+    sig_row 1024;
+    sig_row 2048;
+    hash_row 1024 "1 KB";
+    hash_row 65536 "64 KB";
+    {
+      operation = "DMA transfer, end-to-end";
+      scpu = Printf.sprintf "%.1f MB/s" (profile.Cost_model.dma_bytes_per_sec /. 1e6);
+      host = Printf.sprintf "%.0f MB/s" (host.Cost_model.dma_bytes_per_sec /. 1e6);
+    };
+  ]
+
+let pp_measurement fmt (m : measurement) =
+  Format.fprintf fmt "%-24s %7d B  %8.1f rec/s  (scpu %.4fs, host %.4fs, disk %.4fs; bottleneck %s; idle %.4fs)"
+    m.label m.record_bytes m.throughput_rps m.scpu_s m.host_s m.disk_s m.bottleneck m.idle_scpu_s

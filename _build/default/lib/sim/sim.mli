@@ -1,0 +1,189 @@
+(** Throughput simulation (the paper's §5 evaluation).
+
+    Runs real protocol traffic — genuine RSA signatures, hashes, disk
+    and VRDT updates — through a {!Worm_core.Worm} store while the cost
+    models charge virtual time to three resource ledgers: the SCPU
+    (Table 2's IBM 4764 column), the host CPU (the P4 column), and the
+    disk. In steady state the pipeline's throughput is set by its
+    slowest stage, so
+
+    {v throughput = records / max(scpu, host, disk busy time) v}
+
+    which is what Figure 1 plots against record size for the different
+    witnessing modes. Costs per record are deterministic, so modest
+    record counts give exact results. *)
+
+type mode = {
+  label : string;
+  witness : Worm_core.Firmware.witness_mode;
+  datasig : Worm_core.Worm.datasig_mode;
+}
+
+val mode_strong_scpu_hash : mode
+(** Sustained operation: 1024-bit signatures, SCPU hashes the data —
+    the paper's 450–500 records/s regime. *)
+
+val mode_strong_host_hash : mode
+(** Sustained with host-side hashing (§4.2.2's weaker trust model). *)
+
+val mode_weak_scpu_hash : mode
+(** Burst: deferred 512-bit signatures, SCPU hashing. *)
+
+val mode_weak_host_hash : mode
+(** Burst: deferred 512-bit signatures + host hashing — the paper's
+    2000–2500 records/s headline regime. *)
+
+val mode_mac_host_hash : mode
+(** Burst: HMAC witnesses — "practically unlimited throughputs at
+    levels only restricted by the SCPU–main memory bus" (§4.3). *)
+
+val all_modes : mode list
+
+type measurement = {
+  label : string;
+  record_bytes : int;
+  records : int;
+  scpu_s : float;  (** SCPU busy seconds during the burst *)
+  host_s : float;
+  disk_s : float;
+  throughput_rps : float;
+  bottleneck : string;  (** "scpu" | "host" | "disk" *)
+  idle_scpu_s : float;  (** deferred work paid later (strengthening + audits) *)
+  deferred_after_idle : int;  (** must be 0: everything strengthened in time *)
+}
+
+type env
+(** Shared provisioning (CA, SCPU device, clock) so sweeps don't pay
+    RSA key generation per data point. *)
+
+val make_env : ?profile:Worm_scpu.Cost_model.profile -> ?strong_bits:int -> ?weak_bits:int -> seed:string -> unit -> env
+
+val device : env -> Worm_scpu.Device.t
+val clock : env -> Worm_simclock.Clock.t
+
+val run_write_burst :
+  env ->
+  mode:mode ->
+  record_bytes:int ->
+  records:int ->
+  ?disk_latency:Worm_simdisk.Disk.latency_model ->
+  unit ->
+  measurement
+(** One Figure 1 data point: ingest [records] records of [record_bytes]
+    each under [mode], then run the idle maintenance and verify the
+    deferred queue drained within every security lifetime. *)
+
+val figure1 : env -> ?records:int -> unit -> measurement list
+(** The full Figure 1 sweep: {!all_modes} x {!Worm_workload.Workload.figure1_sizes},
+    on a fast disk so the WORM layer (not I/O) is what is measured. *)
+
+val io_bottleneck : env -> ?records:int -> record_bytes:int -> unit -> (float * measurement) list
+(** §5's closing observation: sweep disk seek latency 0–8 ms and watch
+    the bottleneck shift from the WORM layer to I/O. Returns
+    [(seek_ms, measurement)] rows. *)
+
+type ablation_row = {
+  n : int;  (** records inserted *)
+  window_scpu_us_per_update : float;
+  merkle_scpu_us_per_update : float;
+  merkle_hashes_per_update : float;
+}
+
+val window_vs_merkle : env -> ns:int list -> ablation_row list
+(** §2.3/§4.1 ablation: constant-cost window authentication versus
+    O(log n) Merkle maintenance, as store size grows. Uses 1-byte
+    records so authentication (not data hashing) dominates. *)
+
+type read_mix_row = {
+  write_fraction : float;
+  ops_per_sec : float;
+  scpu_us_per_op : float;  (** average SCPU time per operation *)
+  mix_bottleneck : string;
+}
+
+val read_mix : env -> ?ops:int -> record_bytes:int -> unit -> read_mix_row list
+(** §4.1's design payoff: "the SCPU is involved in updates only but not
+    in reads, thus minimizing the overhead for a query load dominated by
+    read queries". Sweeps the write fraction from read-only to
+    write-only; SCPU cost per operation scales with the write fraction
+    and a read-heavy store runs at disk speed. *)
+
+type scaling_row = {
+  scpus : int;
+  aggregate_rps : float;
+  speedup : float;  (** relative to one SCPU *)
+  scaling_bottleneck : string;
+}
+
+val multi_scpu_scaling :
+  ?strong_bits:int -> ?record_bytes:int -> ?records:int -> seed:string -> scpus_list:int list -> unit -> scaling_row list
+(** §5: "These results naturally scale if multiple SCPUs are available."
+    Round-robin record ingest across k SCPU-backed stores sharing one
+    host and one disk; aggregate throughput is limited by the busiest
+    resource. Scaling is near-linear until the shared host CPU or disk
+    saturates. *)
+
+type storage_row = { stage : string; vrdt_bytes : int; entries : int; windows : int }
+
+val storage_reduction : env -> ?records:int -> ?long_lived_every:int -> unit -> storage_row list
+(** §4.2.1's stated motivation: "Serial number issuing and VRDT
+    management are designed to minimize the VRDT-related storage."
+    Ingest a mixed-retention load (every [long_lived_every]-th record is
+    long-lived, the rest expire), run the RM, and report the VRDT
+    footprint before expiry, with per-record deletion proofs, and after
+    window collapsing expels them. *)
+
+type burst_row = {
+  arrival_rps : float;  (** burst write arrival rate *)
+  max_burst_min : float;
+      (** longest burst (minutes) whose strengthening debt still clears
+          within the weak constructs' security lifetime *)
+  debt_per_sec : float;  (** strengthening signatures accrued per burst second *)
+}
+
+val burst_sustainability :
+  ?profile:Worm_scpu.Cost_model.profile ->
+  ?strong_bits:int ->
+  ?weak_lifetime_min:float ->
+  ?rates:float list ->
+  unit ->
+  burst_row list
+(** §4.3 quantified: the paper allows deferred-construct bursts "of no
+    more than 60-180 minutes (life-time of the short-lived constructs)".
+    A burst at arrival rate [r] accrues strengthening debt at [2r]
+    signatures/s; draining it FIFO at the strong key's rate [s] after
+    the burst, every weak witness must be re-signed within its lifetime
+    [L], giving
+
+    {v T_max = L * min(1, s / (2r)) v}
+
+    — the paper's "no more than the lifetime" bound when the strong key
+    can keep pace ([2r <= s]), and the tighter repayment bound above it.
+    Rows where [T_max < L] tell the operator the lifetime alone is not
+    the binding constraint at that rate. *)
+
+type day_phase = { label : string; rate_per_sec : float; duration_s : float }
+
+type day_row = {
+  phase : string;
+  writes : int;
+  strong : int;
+  weak : int;
+  mac : int;
+  overdue_after : int;  (** deferred entries past their lifetime — must be 0 *)
+}
+
+val adaptive_day : env -> ?phases:day_phase list -> unit -> day_row list
+(** Drive a store through load phases with the §4.3 {!Worm_core.Adaptive}
+    controller choosing the witness strength per write, running idle
+    maintenance between phases. Default phases model a trading day:
+    opening burst, steady trading, lunch trickle, closing flood. The
+    invariant checked per row: no deferred witness ever outlives its
+    security lifetime. *)
+
+type table2_row = { operation : string; scpu : string; host : string }
+
+val table2 : ?profile:Worm_scpu.Cost_model.profile -> ?host:Worm_scpu.Cost_model.profile -> unit -> table2_row list
+(** Regenerate Table 2 from the calibrated cost models. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

@@ -1,0 +1,1 @@
+lib/simclock/clock.mli: Format

@@ -1,0 +1,29 @@
+type t = { mutable now : int64 }
+
+let create ?(start = 0L) () = { now = start }
+let now t = t.now
+
+let advance t delta =
+  if Int64.compare delta 0L < 0 then invalid_arg "Clock.advance: negative delta";
+  t.now <- Int64.add t.now delta
+
+let advance_to t target = if Int64.compare target t.now > 0 then t.now <- target
+
+let ns_of_sec s = Int64.of_float (s *. 1e9)
+let ns_of_us us = ns_of_sec (us *. 1e-6)
+let ns_of_ms ms = ns_of_sec (ms *. 1e-3)
+let ns_of_min m = ns_of_sec (m *. 60.)
+let ns_of_hours h = ns_of_sec (h *. 3600.)
+let ns_of_days d = ns_of_hours (d *. 24.)
+let ns_of_years y = ns_of_days (y *. 365.25)
+let sec_of_ns ns = Int64.to_float ns /. 1e9
+
+let pp_duration fmt ns =
+  let s = sec_of_ns ns in
+  if s < 1e-6 then Format.fprintf fmt "%Ldns" ns
+  else if s < 1e-3 then Format.fprintf fmt "%.1fus" (s *. 1e6)
+  else if s < 1. then Format.fprintf fmt "%.2fms" (s *. 1e3)
+  else if s < 120. then Format.fprintf fmt "%.2fs" s
+  else if s < 7200. then Format.fprintf fmt "%.1fmin" (s /. 60.)
+  else if s < 48. *. 3600. then Format.fprintf fmt "%.1fh" (s /. 3600.)
+  else Format.fprintf fmt "%.1fdays" (s /. 86400.)

@@ -1,0 +1,31 @@
+(** Virtual time for deterministic simulation.
+
+    The paper's SCPU carries a battery-backed tamper-protected clock used
+    to timestamp freshness-critical signatures (the [SN_current] bound)
+    and to drive the Retention Monitor's wake-up alarms. One {!t} is
+    shared by every component of a simulation run; only the simulation
+    driver advances it. Nanosecond resolution in an [int64]. *)
+
+type t
+
+val create : ?start:int64 -> unit -> t
+val now : t -> int64
+
+val advance : t -> int64 -> unit
+(** @raise Invalid_argument on a negative delta. *)
+
+val advance_to : t -> int64 -> unit
+(** Monotonic: earlier targets are ignored. *)
+
+(** Unit helpers. *)
+
+val ns_of_us : float -> int64
+val ns_of_ms : float -> int64
+val ns_of_sec : float -> int64
+val ns_of_min : float -> int64
+val ns_of_hours : float -> int64
+val ns_of_days : float -> int64
+val ns_of_years : float -> int64
+val sec_of_ns : int64 -> float
+val pp_duration : Format.formatter -> int64 -> unit
+(** Human-readable rendering: picks ns/µs/ms/s/min/h/days. *)

@@ -1,0 +1,1 @@
+lib/simdisk/disk.ml: Hashtbl Int64 List Option String Worm_simclock

@@ -1,0 +1,102 @@
+type addr = int
+
+type latency_model = { seek_ns : int64; bytes_per_sec : float }
+
+let enterprise_latency = { seek_ns = Worm_simclock.Clock.ns_of_ms 3.5; bytes_per_sec = 100e6 }
+let fast_latency = { seek_ns = Worm_simclock.Clock.ns_of_ms 0.1; bytes_per_sec = 500e6 }
+let zero_latency = { seek_ns = 0L; bytes_per_sec = infinity }
+
+type t = {
+  latency : latency_model;
+  live : (addr, string) Hashtbl.t;
+  residue : (addr, string) Hashtbl.t;
+  mutable next_addr : addr;
+  mutable busy_ns : int64;
+  mutable bytes : int;
+}
+
+let create ?(latency = enterprise_latency) () =
+  { latency; live = Hashtbl.create 256; residue = Hashtbl.create 64; next_addr = 0; busy_ns = 0L; bytes = 0 }
+
+let charge t nbytes =
+  let transfer =
+    if t.latency.bytes_per_sec = infinity then 0L
+    else Int64.of_float (float_of_int nbytes /. t.latency.bytes_per_sec *. 1e9)
+  in
+  t.busy_ns <- Int64.add t.busy_ns (Int64.add t.latency.seek_ns transfer)
+
+let write t data =
+  let addr = t.next_addr in
+  t.next_addr <- addr + 1;
+  Hashtbl.replace t.live addr data;
+  t.bytes <- t.bytes + String.length data;
+  charge t (String.length data);
+  addr
+
+let read t addr =
+  match Hashtbl.find_opt t.live addr with
+  | Some data ->
+      charge t (String.length data);
+      Some data
+  | None -> None
+
+let size t addr = Option.map String.length (Hashtbl.find_opt t.live addr)
+
+let shred_pattern pass = if pass mod 2 = 0 then '\x00' else '\xff'
+
+let shred t ~passes addr =
+  match Hashtbl.find_opt t.live addr with
+  | None -> false
+  | Some data ->
+      let n = String.length data in
+      for pass = 1 to max 1 passes do
+        charge t n;
+        Hashtbl.replace t.residue addr (String.make n (shred_pattern pass))
+      done;
+      Hashtbl.remove t.live addr;
+      t.bytes <- t.bytes - n;
+      true
+
+let record_count t = Hashtbl.length t.live
+let bytes_stored t = t.bytes
+let busy_ns t = t.busy_ns
+let reset_busy t = t.busy_ns <- 0L
+
+module Raw = struct
+  let exists t addr = Hashtbl.mem t.live addr
+
+  let tamper t addr ~f =
+    match Hashtbl.find_opt t.live addr with
+    | None -> false
+    | Some data ->
+        let data' = f data in
+        t.bytes <- t.bytes - String.length data + String.length data';
+        Hashtbl.replace t.live addr data';
+        true
+
+  let delete t addr =
+    match Hashtbl.find_opt t.live addr with
+    | None -> false
+    | Some data ->
+        Hashtbl.replace t.residue addr data;
+        Hashtbl.remove t.live addr;
+        t.bytes <- t.bytes - String.length data;
+        true
+
+  let residue t addr =
+    match Hashtbl.find_opt t.live addr with
+    | Some data -> Some data
+    | None -> Hashtbl.find_opt t.residue addr
+
+  let snapshot t = Hashtbl.fold (fun addr data acc -> (addr, data) :: acc) t.live []
+
+  let restore t image =
+    Hashtbl.reset t.live;
+    t.bytes <- 0;
+    List.iter
+      (fun (addr, data) ->
+        Hashtbl.replace t.live addr data;
+        t.bytes <- t.bytes + String.length data;
+        if addr >= t.next_addr then t.next_addr <- addr + 1)
+      image
+end

@@ -1,0 +1,79 @@
+(** Rewritable magnetic-disk model.
+
+    Strong WORM is deliberately built on conventional rewritable disks
+    (§3: "all recently-introduced WORM storage devices are built atop
+    conventional rewritable magnetic disks"), so the disk model must let
+    anyone with physical access rewrite anything: the {!Raw} interface
+    is the insider's toolkit and bypasses every software check. WORM
+    guarantees come from the layer above, never from this device.
+
+    The disk charges seek + transfer latency for every legitimate
+    operation into a busy-time ledger; the throughput simulator reads
+    the ledger to reproduce the paper's I/O-bottleneck observation (§5:
+    3–4 ms enterprise-disk latencies dominate the WORM layer). *)
+
+type t
+
+type addr = int
+(** Stable record address (the paper's physical record descriptor RD). *)
+
+type latency_model = {
+  seek_ns : int64;  (** per-operation positioning cost *)
+  bytes_per_sec : float;  (** sequential transfer rate *)
+}
+
+val enterprise_latency : latency_model
+(** 3.5 ms seek, 100 MB/s — the paper's "typical high-speed enterprise
+    disk" (§5). *)
+
+val fast_latency : latency_model
+(** 0.1 ms seek, 500 MB/s — an array-backed store where the WORM layer,
+    not I/O, is the bottleneck. *)
+
+val zero_latency : latency_model
+(** Free I/O, for isolating CPU costs. *)
+
+val create : ?latency:latency_model -> unit -> t
+
+val write : t -> string -> addr
+val read : t -> addr -> string option
+val size : t -> addr -> int option
+
+val shred : t -> passes:int -> addr -> bool
+(** Multi-pass overwrite then deallocate. Charges one full write per
+    pass. Returns [false] if the address is unallocated. After a shred
+    the forensic residue ({!Raw.residue}) carries only the final
+    overwrite pattern — the data is unrecoverable even with media
+    access, matching the paper's secure-deletion requirement. *)
+
+val record_count : t -> int
+val bytes_stored : t -> int
+
+val busy_ns : t -> int64
+(** Cumulative latency charged since creation (or the last reset). *)
+
+val reset_busy : t -> unit
+
+(** Direct media access — the super-user insider with a screwdriver.
+    Nothing here is charged, logged, or prevented. *)
+module Raw : sig
+  val exists : t -> addr -> bool
+
+  val tamper : t -> addr -> f:(string -> string) -> bool
+  (** Rewrite a record's bytes in place. Returns [false] if absent. *)
+
+  val delete : t -> addr -> bool
+  (** Drop a record without shredding: the old content remains as
+      forensically recoverable residue. *)
+
+  val residue : t -> addr -> string option
+  (** What a forensic read of the platter at a deallocated address
+      recovers: the last content for a {!delete}d record, the overwrite
+      pattern for a {!shred}ded one, [None] if never allocated. *)
+
+  val snapshot : t -> (addr * string) list
+  (** Full media image (the replication attack: copy the platters). *)
+
+  val restore : t -> (addr * string) list -> unit
+  (** Replace current contents with a previously captured image. *)
+end

@@ -1,0 +1,1 @@
+lib/util/ct.ml: Char String

@@ -1,0 +1,64 @@
+(** Deterministic binary serialization.
+
+    All multi-byte integers are big-endian. Variable-length fields are
+    length-prefixed. Encodings are canonical: a value has exactly one
+    encoding, so encodings can be hashed and signed directly. *)
+
+type encoder
+(** Mutable accumulator for an encoding in progress. *)
+
+val encoder : unit -> encoder
+val to_string : encoder -> string
+
+val u8 : encoder -> int -> unit
+(** @raise Invalid_argument if outside [0, 255]. *)
+
+val u16 : encoder -> int -> unit
+(** @raise Invalid_argument if outside [0, 65535]. *)
+
+val u32 : encoder -> int -> unit
+(** @raise Invalid_argument if outside [0, 2{^32}-1]. *)
+
+val u64 : encoder -> int64 -> unit
+val int_as_u64 : encoder -> int -> unit
+(** Non-negative [int] written as u64. @raise Invalid_argument if negative. *)
+
+val bool : encoder -> bool -> unit
+val bytes : encoder -> string -> unit
+(** Length-prefixed (u32) byte string. *)
+
+val list : (encoder -> 'a -> unit) -> encoder -> 'a list -> unit
+(** u32 count followed by the elements. *)
+
+val option : (encoder -> 'a -> unit) -> encoder -> 'a option -> unit
+
+type decoder
+(** Read cursor over an encoded string. *)
+
+exception Truncated
+(** Raised when a read runs past the end of the input. *)
+
+exception Malformed of string
+(** Raised on structurally invalid input (e.g. a bad bool tag). *)
+
+val decoder : string -> decoder
+val remaining : decoder -> int
+
+val read_u8 : decoder -> int
+val read_u16 : decoder -> int
+val read_u32 : decoder -> int
+val read_u64 : decoder -> int64
+val read_int_as_u64 : decoder -> int
+val read_bool : decoder -> bool
+val read_bytes : decoder -> string
+val read_list : (decoder -> 'a) -> decoder -> 'a list
+val read_option : (decoder -> 'a) -> decoder -> 'a option
+
+val expect_end : decoder -> unit
+(** @raise Malformed if input bytes remain. *)
+
+val encode : (encoder -> 'a -> unit) -> 'a -> string
+(** [encode enc v] runs [enc] on a fresh encoder and returns the bytes. *)
+
+val decode : (decoder -> 'a) -> string -> ('a, string) result
+(** [decode dec s] runs [dec], requiring all input to be consumed. *)

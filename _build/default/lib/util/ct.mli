@@ -1,0 +1,5 @@
+(** Timing-safe byte-string comparison. *)
+
+val equal : string -> string -> bool
+(** [equal a b] compares without early exit on the first mismatch.
+    Strings of different lengths compare unequal (length is not hidden). *)

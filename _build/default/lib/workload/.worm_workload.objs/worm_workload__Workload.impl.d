@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Int64 List Policy Printf Worm_core Worm_crypto

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Worm_core Worm_crypto

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Adaptive Alcotest Firmware Int64 List String Worm Worm_core Worm_scpu Worm_simclock Worm_testkit

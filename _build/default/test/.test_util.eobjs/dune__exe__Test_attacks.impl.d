@@ -1,0 +1,1 @@
+test/test_attacks.ml: Adversary Alcotest Client Firmware List Proof Serial String Vrd Vrdt Worm Worm_core Worm_scpu Worm_simclock Worm_simdisk Worm_testkit

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Int64 Lazy Printf String Worm_baseline Worm_crypto Worm_scpu Worm_simclock Worm_testkit

@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Adversary Alcotest Int64 List QCheck QCheck_alcotest Serial String Worm_blockdev Worm_core Worm_simclock Worm_simdisk Worm_testkit

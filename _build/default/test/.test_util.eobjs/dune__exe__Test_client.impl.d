@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Client Firmware Int64 List Proof Serial String Worm Worm_core Worm_crypto Worm_scpu Worm_simclock Worm_testkit

@@ -1,0 +1,1 @@
+test/test_core_types.ml: Alcotest Attr List Policy QCheck QCheck_alcotest Serial String Vrd Vrdt Wire Witness Worm_core Worm_simclock Worm_util

@@ -1,0 +1,1 @@
+test/test_dedup.ml: Adversary Alcotest Client List Proof QCheck QCheck_alcotest Serial String Vrd Vrdt Worm Worm_core Worm_simclock Worm_simdisk Worm_testkit

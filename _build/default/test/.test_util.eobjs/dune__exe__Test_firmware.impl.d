@@ -1,0 +1,1 @@
+test/test_firmware.ml: Alcotest Attr Authority Firmware Int64 Lazy List Policy QCheck QCheck_alcotest Serial String Vrd Wire Witness Worm Worm_core Worm_crypto Worm_scpu Worm_simclock Worm_testkit

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Authority Char Client Firmware Int64 List QCheck QCheck_alcotest Serial String Worm Worm_core Worm_fs Worm_simclock Worm_testkit Worm_util

@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Chained_hash Drbg Hmac List Nat QCheck QCheck_alcotest Sha1 Sha256 String Worm_crypto Worm_util

@@ -1,0 +1,1 @@
+test/test_journal.ml: Alcotest Authority Firmware Int64 Journal List Printf QCheck QCheck_alcotest Serial String Worm Worm_core Worm_crypto Worm_simclock Worm_testkit

@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest List Merkle Printf QCheck QCheck_alcotest String Worm_crypto

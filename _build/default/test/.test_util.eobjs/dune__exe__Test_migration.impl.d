@@ -1,0 +1,1 @@
+test/test_migration.ml: Adversary Alcotest Client Firmware Lazy List Migration Worm Worm_core Worm_scpu Worm_simclock Worm_simdisk Worm_testkit

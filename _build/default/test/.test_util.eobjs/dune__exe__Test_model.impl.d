@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Authority Client Firmware Hashtbl Int64 List Serial String Worm Worm_core Worm_crypto Worm_simclock Worm_testkit

@@ -1,0 +1,1 @@
+test/test_nat.ml: Alcotest Drbg Fmt List Nat QCheck QCheck_alcotest String Worm_crypto

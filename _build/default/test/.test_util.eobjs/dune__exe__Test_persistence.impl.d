@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Client Dedup_store Int64 List QCheck QCheck_alcotest Serial String Worm Worm_core Worm_simclock Worm_simdisk Worm_testkit

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Bytes Char Client List Proof QCheck QCheck_alcotest Serial String Worm Worm_core Worm_crypto Worm_proto Worm_simclock Worm_testkit Worm_util

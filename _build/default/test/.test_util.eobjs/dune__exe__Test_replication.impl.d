@@ -1,0 +1,1 @@
+test/test_replication.ml: Adversary Alcotest Attr Client Firmware Lazy List Option Policy Printf Replicator Serial String Vrd Vrdt Worm Worm_core Worm_scpu Worm_simclock Worm_simdisk Worm_testkit

@@ -1,0 +1,1 @@
+test/test_rsa.ml: Alcotest Bytes Cert Char Drbg Int64 Lazy List Nat Prime QCheck QCheck_alcotest Rsa String Worm_crypto Worm_simclock Worm_util

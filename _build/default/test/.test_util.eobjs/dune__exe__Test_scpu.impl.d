@@ -1,0 +1,1 @@
+test/test_scpu.ml: Alcotest Cert Drbg Int64 Lazy Printf Rsa String Worm_crypto Worm_scpu Worm_simclock

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Lazy List Policy String Worm_core Worm_crypto Worm_sim Worm_simdisk Worm_workload

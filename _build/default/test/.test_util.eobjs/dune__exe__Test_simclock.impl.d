@@ -1,0 +1,1 @@
+test/test_simclock.ml: Alcotest Format Int64 List QCheck QCheck_alcotest Worm_simclock

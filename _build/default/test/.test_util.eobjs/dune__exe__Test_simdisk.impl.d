@@ -1,0 +1,1 @@
+test/test_simdisk.ml: Alcotest Fun List QCheck QCheck_alcotest String Worm_simclock Worm_simdisk

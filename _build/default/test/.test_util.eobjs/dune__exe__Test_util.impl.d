@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Codec Ct Hex QCheck QCheck_alcotest String Worm_util

@@ -1,0 +1,1 @@
+test/test_vault.ml: Adversary Alcotest Client Firmware List Proof QCheck QCheck_alcotest Serial String Vault Vrd Vrdt Worm Worm_core Worm_crypto Worm_simdisk Worm_testkit Worm_util

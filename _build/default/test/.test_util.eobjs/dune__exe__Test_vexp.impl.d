@@ -1,0 +1,1 @@
+test/test_vexp.ml: Alcotest Deferred Int64 List Option QCheck QCheck_alcotest Serial Vexp Worm_core

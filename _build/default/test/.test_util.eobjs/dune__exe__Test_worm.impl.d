@@ -1,0 +1,1 @@
+test/test_worm.ml: Alcotest Attr Authority Firmware Format Int64 List Proof Serial String Vrd Vrdt Witness Worm Worm_core Worm_scpu Worm_simclock Worm_simdisk Worm_testkit

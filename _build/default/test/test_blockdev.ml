@@ -1,0 +1,102 @@
+(* The block-level WORM device (§4.1's embedded deployment point). *)
+
+open Worm_core
+open Worm_testkit.Testkit
+module Blockdev = Worm_blockdev
+module Clock = Worm_simclock.Clock
+
+let dev_env ?policy () =
+  let env = fresh_env () in
+  let dev = Blockdev.create ?policy ~block_size:256 ~store:env.store ~client:env.client () in
+  (env, dev)
+
+let test_append_read_roundtrip () =
+  let _, dev = dev_env () in
+  let lba0 = Blockdev.append dev "first block" in
+  let lba1 = Blockdev.append dev "second block" in
+  Alcotest.(check int64) "lba 0" 0L lba0;
+  Alcotest.(check int64) "lba 1" 1L lba1;
+  Alcotest.(check int64) "capacity" 2L (Blockdev.capacity_used dev);
+  (match Blockdev.read dev 0L with
+  | Blockdev.Data d -> Alcotest.(check string) "exact contents" "first block" d
+  | _ -> Alcotest.fail "read 0");
+  match Blockdev.read dev 1L with
+  | Blockdev.Data d -> Alcotest.(check string) "exact contents" "second block" d
+  | _ -> Alcotest.fail "read 1"
+
+let test_payload_edge_sizes () =
+  let _, dev = dev_env () in
+  let empty = Blockdev.append dev "" in
+  let full = Blockdev.append dev (String.make 252 'x') in
+  (match Blockdev.read dev empty with
+  | Blockdev.Data "" -> ()
+  | _ -> Alcotest.fail "empty payload");
+  (match Blockdev.read dev full with
+  | Blockdev.Data d -> Alcotest.(check int) "252 bytes" 252 (String.length d)
+  | _ -> Alcotest.fail "full payload");
+  Alcotest.check_raises "oversize" (Invalid_argument "Worm_blockdev.append: payload exceeds block size")
+    (fun () -> ignore (Blockdev.append dev (String.make 253 'x')))
+
+let test_unwritten_lbas_proven () =
+  let _, dev = dev_env () in
+  ignore (Blockdev.append dev "one");
+  (match Blockdev.read dev 7L with
+  | Blockdev.Unwritten -> ()
+  | _ -> Alcotest.fail "phantom lba");
+  match Blockdev.read dev (-1L) with
+  | Blockdev.Unwritten -> ()
+  | _ -> Alcotest.fail "negative lba"
+
+let test_expiry_surfaces_as_expired () =
+  let policy = short_policy ~retention_s:10. () in
+  let env, dev = dev_env ~policy () in
+  let lba = Blockdev.append dev "ephemeral" in
+  Clock.advance env.clock (Clock.ns_of_sec 20.);
+  Alcotest.(check int) "one block expired" 1 (Blockdev.expire dev);
+  match Blockdev.read dev lba with
+  | Blockdev.Expired -> ()
+  | _ -> Alcotest.fail "expired block still served"
+
+let test_tamper_surfaces_as_compromised () =
+  let env, dev = dev_env () in
+  let lba = Blockdev.append dev "target" in
+  let mallory = Adversary.create env.store in
+  ignore (Adversary.tamper_record_data mallory (Serial.of_int64 (Int64.add lba 1L)));
+  match Blockdev.read dev lba with
+  | Blockdev.Compromised _ -> ()
+  | _ -> Alcotest.fail "tampered block accepted"
+
+let test_blocks_uniform_on_media () =
+  (* every block on the platter is exactly block_size bytes: no length
+     side-channel in embedded deployments *)
+  let env, dev = dev_env () in
+  ignore (Blockdev.append dev "ab");
+  ignore (Blockdev.append dev (String.make 100 'z'));
+  Worm_simdisk.Disk.Raw.snapshot env.disk
+  |> List.iter (fun (_, content) -> Alcotest.(check int) "uniform size" 256 (String.length content))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"blockdev roundtrip" ~count:10
+    QCheck.(small_list (string_of_size (QCheck.Gen.int_bound 200)))
+    (fun payloads ->
+      let _, dev = dev_env () in
+      let lbas = List.map (Blockdev.append dev) payloads in
+      List.for_all2
+        (fun lba payload ->
+          match Blockdev.read dev lba with
+          | Blockdev.Data d -> String.equal d payload
+          | _ -> false)
+        lbas payloads)
+
+let suite =
+  [
+    ("append/read roundtrip", `Quick, test_append_read_roundtrip);
+    ("payload edge sizes", `Quick, test_payload_edge_sizes);
+    ("unwritten LBAs proven", `Quick, test_unwritten_lbas_proven);
+    ("expiry surfaces as Expired", `Quick, test_expiry_surfaces_as_expired);
+    ("tamper surfaces as Compromised", `Quick, test_tamper_surfaces_as_compromised);
+    ("blocks uniform on media", `Quick, test_blocks_uniform_on_media);
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]
+
+let () = Alcotest.run "worm_blockdev" [ ("blockdev", suite) ]

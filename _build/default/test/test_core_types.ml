@@ -1,0 +1,249 @@
+(* Core data types: serial numbers, policies, attributes, VRDs, the
+   VRDT, witnesses, and the wire statement formats. *)
+
+open Worm_core
+module Codec = Worm_util.Codec
+module Clock = Worm_simclock.Clock
+
+(* ---------- Serial ---------- *)
+
+let test_serial_basics () =
+  let s = Serial.of_int 41 in
+  Alcotest.(check int) "next" 42 (Serial.to_int (Serial.next s));
+  Alcotest.(check int) "prev" 40 (Serial.to_int (Serial.prev s));
+  Alcotest.(check bool) "lt" true Serial.(of_int 1 < of_int 2);
+  Alcotest.(check bool) "le refl" true Serial.(s <= s);
+  Alcotest.(check bool) "gt" true Serial.(of_int 2 > of_int 1);
+  Alcotest.(check int64) "distance" 5L (Serial.distance (Serial.of_int 10) (Serial.of_int 15));
+  Alcotest.(check int64) "negative distance" (-5L) (Serial.distance (Serial.of_int 15) (Serial.of_int 10));
+  Alcotest.check_raises "prev zero" (Invalid_argument "Serial.prev: zero") (fun () ->
+      ignore (Serial.prev Serial.zero));
+  Alcotest.check_raises "negative" (Invalid_argument "Serial.of_int64: negative") (fun () ->
+      ignore (Serial.of_int64 (-1L)))
+
+let test_serial_range () =
+  let to_ints l = List.map Serial.to_int l in
+  Alcotest.(check (list int)) "3..6" [ 3; 4; 5; 6 ] (to_ints (Serial.range (Serial.of_int 3) (Serial.of_int 6)));
+  Alcotest.(check (list int)) "singleton" [ 4 ] (to_ints (Serial.range (Serial.of_int 4) (Serial.of_int 4)));
+  Alcotest.(check (list int)) "empty" [] (to_ints (Serial.range (Serial.of_int 6) (Serial.of_int 3)))
+
+let prop_serial_codec =
+  QCheck.Test.make ~name:"serial codec roundtrip" ~count:200 QCheck.(map abs int) (fun n ->
+      let s = Serial.of_int n in
+      match Codec.decode Serial.decode (Codec.encode Serial.encode s) with
+      | Ok s' -> Serial.equal s s'
+      | Error _ -> false)
+
+(* ---------- Policy ---------- *)
+
+let test_policy_profiles () =
+  let p = Policy.of_regulation Policy.Sec17a4 in
+  Alcotest.(check bool) "six years" true (p.Policy.retention_ns = Clock.ns_of_years 6.);
+  Alcotest.(check int) "shred passes" 3 p.Policy.shred_passes;
+  let d = Policy.of_regulation Policy.Dod5015_2 in
+  Alcotest.(check bool) "DOD longest retention" true (d.Policy.retention_ns > p.Policy.retention_ns);
+  Alcotest.(check int) "DOD 7 passes" 7 d.Policy.shred_passes
+
+let test_policy_custom_validation () =
+  Alcotest.check_raises "negative retention" (Invalid_argument "Policy.custom: negative retention") (fun () ->
+      ignore (Policy.custom ~name:"x" ~retention_ns:(-1L) ~shred_passes:1));
+  Alcotest.check_raises "zero passes" (Invalid_argument "Policy.custom: need at least one shred pass")
+    (fun () -> ignore (Policy.custom ~name:"x" ~retention_ns:1L ~shred_passes:0))
+
+let all_policies =
+  Policy.
+    [
+      of_regulation Sec17a4;
+      of_regulation Hipaa;
+      of_regulation Sox;
+      of_regulation Dod5015_2;
+      of_regulation Ferpa;
+      of_regulation Glba;
+      of_regulation Fda21cfr11;
+      custom ~name:"my-policy" ~retention_ns:123456789L ~shred_passes:2;
+    ]
+
+let test_policy_codec () =
+  List.iter
+    (fun p ->
+      match Codec.decode Policy.decode (Codec.encode Policy.encode p) with
+      | Ok p' -> Alcotest.(check bool) (Policy.regulation_name p.Policy.regulation) true (Policy.equal p p')
+      | Error e -> Alcotest.fail e)
+    all_policies
+
+(* ---------- Attr ---------- *)
+
+let mk_attr ?(created_at = 1000L) () =
+  Attr.make ~created_at ~policy:(Policy.custom ~name:"t" ~retention_ns:500L ~shred_passes:1) ()
+
+let test_attr_expiry () =
+  let a = mk_attr () in
+  Alcotest.(check int64) "expiry" 1500L (Attr.expiry a);
+  Alcotest.(check bool) "not expired at expiry" false (Attr.is_expired a ~now:1500L);
+  Alcotest.(check bool) "expired after" true (Attr.is_expired a ~now:1501L);
+  Alcotest.(check bool) "deletable" true (Attr.deletable a ~now:1501L)
+
+let test_attr_hold_blocks_deletion () =
+  let hold = { Attr.lit_id = "case-1"; authority = "court"; credential = "sig"; held_at = 1400L; timeout = 9000L } in
+  let a = Attr.with_hold (mk_attr ()) hold in
+  Alcotest.(check bool) "on hold" true (Attr.on_hold a ~now:2000L);
+  Alcotest.(check bool) "not deletable while held" false (Attr.deletable a ~now:2000L);
+  Alcotest.(check bool) "hold times out" false (Attr.on_hold a ~now:9001L);
+  Alcotest.(check bool) "deletable after timeout" true (Attr.deletable a ~now:9001L);
+  let released = Attr.without_hold a in
+  Alcotest.(check bool) "deletable after release" true (Attr.deletable released ~now:2000L)
+
+let test_attr_codec () =
+  let plain = mk_attr () in
+  let held =
+    Attr.with_hold
+      (Attr.make ~f_flag:true ~mac_label:"secret" ~dac_label:"rwx" ~created_at:7L
+         ~policy:(Policy.of_regulation Policy.Hipaa) ())
+      { Attr.lit_id = "c"; authority = "a"; credential = "sig-bytes"; held_at = 1L; timeout = 2L }
+  in
+  List.iter
+    (fun a ->
+      match Codec.decode Attr.decode (Codec.encode Attr.encode a) with
+      | Ok a' -> Alcotest.(check bool) "roundtrip" true (Attr.equal a a')
+      | Error e -> Alcotest.fail e)
+    [ plain; held ]
+
+let test_attr_canonical_bytes_change_on_mutation () =
+  let a = mk_attr () in
+  let b = { a with Attr.f_flag = true } in
+  Alcotest.(check bool) "f_flag changes signing input" false (String.equal (Attr.to_bytes a) (Attr.to_bytes b));
+  let c = Attr.with_hold a { Attr.lit_id = "x"; authority = "y"; credential = "z"; held_at = 0L; timeout = 1L } in
+  Alcotest.(check bool) "hold changes signing input" false (String.equal (Attr.to_bytes a) (Attr.to_bytes c))
+
+(* ---------- Witness / VRD ---------- *)
+
+let dummy_vrd ?(sn = Serial.of_int 5) ?(meta = Witness.Strong "ms") ?(data = Witness.Mac "tag") () =
+  { Vrd.sn; attr = mk_attr (); rdl = [ 1; 2; 3 ]; data_hash = String.make 32 'h'; metasig = meta; datasig = data }
+
+let test_witness_strength () =
+  Alcotest.(check string) "strong" "strong" (Witness.strength_name (Witness.strength (Witness.Strong "s")));
+  Alcotest.(check string) "mac" "mac" (Witness.strength_name (Witness.strength (Witness.Mac "t")));
+  Alcotest.(check bool) "mac not client-verifiable" false (Witness.verifiable_by_client (Witness.Mac "t"));
+  Alcotest.(check bool) "strong client-verifiable" true (Witness.verifiable_by_client (Witness.Strong "s"))
+
+let test_vrd_weakest () =
+  Alcotest.(check string) "strong+mac = mac" "mac"
+    (Witness.strength_name (Vrd.weakest_strength (dummy_vrd ())));
+  Alcotest.(check string) "strong+strong = strong" "strong"
+    (Witness.strength_name (Vrd.weakest_strength (dummy_vrd ~data:(Witness.Strong "d") ())))
+
+let test_vrd_codec () =
+  let vrd = dummy_vrd () in
+  match Vrd.of_bytes (Vrd.to_bytes vrd) with
+  | Ok vrd' ->
+      Alcotest.(check bool) "sn" true (Serial.equal vrd.Vrd.sn vrd'.Vrd.sn);
+      Alcotest.(check (list int)) "rdl" vrd.Vrd.rdl vrd'.Vrd.rdl;
+      Alcotest.(check string) "hash" vrd.Vrd.data_hash vrd'.Vrd.data_hash
+  | Error e -> Alcotest.fail e
+
+let test_vrd_of_bytes_rejects_garbage () =
+  match Vrd.of_bytes "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage decoded"
+
+(* ---------- Vrdt ---------- *)
+
+let test_vrdt_basics () =
+  let t = Vrdt.create () in
+  Alcotest.(check int) "empty" 0 (Vrdt.entry_count t);
+  let vrd = dummy_vrd () in
+  Vrdt.set_active t vrd;
+  Alcotest.(check int) "one" 1 (Vrdt.entry_count t);
+  Alcotest.(check int) "active" 1 (Vrdt.active_count t);
+  (match Vrdt.find t vrd.Vrd.sn with
+  | Some (Vrdt.Active v) -> Alcotest.(check bool) "found" true (Serial.equal v.Vrd.sn vrd.Vrd.sn)
+  | _ -> Alcotest.fail "not found");
+  Vrdt.set_deleted t vrd.Vrd.sn ~proof:"proof-bytes";
+  Alcotest.(check int) "still one entry" 1 (Vrdt.entry_count t);
+  Alcotest.(check int) "no active" 0 (Vrdt.active_count t);
+  Alcotest.(check int) "one deleted" 1 (Vrdt.deleted_count t);
+  Vrdt.drop t vrd.Vrd.sn;
+  Alcotest.(check int) "dropped" 0 (Vrdt.entry_count t)
+
+let test_vrdt_active_sns_sorted () =
+  let t = Vrdt.create () in
+  List.iter (fun i -> Vrdt.set_active t (dummy_vrd ~sn:(Serial.of_int i) ())) [ 5; 1; 9; 3 ];
+  Vrdt.set_deleted t (Serial.of_int 7) ~proof:"p";
+  Alcotest.(check (list int)) "ascending actives" [ 1; 3; 5; 9 ] (List.map Serial.to_int (Vrdt.active_sns t))
+
+let test_vrdt_snapshot_restore () =
+  let t = Vrdt.create () in
+  Vrdt.set_active t (dummy_vrd ~sn:(Serial.of_int 1) ());
+  let image = Vrdt.Raw.snapshot t in
+  Vrdt.set_active t (dummy_vrd ~sn:(Serial.of_int 2) ());
+  Vrdt.Raw.restore t image;
+  Alcotest.(check int) "restored size" 1 (Vrdt.entry_count t);
+  Alcotest.(check bool) "post-snapshot entry gone" true (Vrdt.find t (Serial.of_int 2) = None)
+
+let test_vrdt_bytes_accounting () =
+  let t = Vrdt.create () in
+  Vrdt.set_active t (dummy_vrd ());
+  let active_bytes = Vrdt.approx_bytes t in
+  Vrdt.set_deleted t (dummy_vrd ()).Vrd.sn ~proof:(String.make 64 'p');
+  Alcotest.(check bool) "deletion proof smaller than VRD" true (Vrdt.approx_bytes t < active_bytes)
+
+(* ---------- Wire ---------- *)
+
+let test_wire_statements_distinct () =
+  (* Identical parameters must never yield identical statements across
+     statement kinds (domain separation). *)
+  let sn = Serial.of_int 9 in
+  let stmts =
+    [
+      Wire.metasig_msg ~store_id:"s" ~sn ~attr_bytes:"a";
+      Wire.datasig_msg ~store_id:"s" ~sn ~data_hash:"a";
+      Wire.deletion_msg ~store_id:"s" ~sn;
+      Wire.base_bound_msg ~store_id:"s" ~sn ~expires_at:0L;
+      Wire.current_bound_msg ~store_id:"s" ~sn ~timestamp:0L;
+      Wire.deletion_window_lo_msg ~store_id:"s" ~window_id:"w" ~sn;
+      Wire.deletion_window_hi_msg ~store_id:"s" ~window_id:"w" ~sn;
+      Wire.hold_credential_msg ~store_id:"s" ~sn ~timestamp:0L ~lit_id:"w";
+      Wire.release_credential_msg ~store_id:"s" ~sn ~timestamp:0L ~lit_id:"w";
+    ]
+  in
+  let sorted = List.sort_uniq compare stmts in
+  Alcotest.(check int) "all distinct" (List.length stmts) (List.length sorted)
+
+let test_wire_binds_store () =
+  let sn = Serial.of_int 9 in
+  Alcotest.(check bool) "store id bound" false
+    (String.equal (Wire.deletion_msg ~store_id:"store-A" ~sn) (Wire.deletion_msg ~store_id:"store-B" ~sn))
+
+let test_wire_binds_window_id () =
+  let sn = Serial.of_int 9 in
+  Alcotest.(check bool) "window id bound" false
+    (String.equal
+       (Wire.deletion_window_lo_msg ~store_id:"s" ~window_id:"w1" ~sn)
+       (Wire.deletion_window_lo_msg ~store_id:"s" ~window_id:"w2" ~sn))
+
+let suite =
+  [
+    ("serial basics", `Quick, test_serial_basics);
+    ("serial range", `Quick, test_serial_range);
+    ("policy profiles", `Quick, test_policy_profiles);
+    ("policy validation", `Quick, test_policy_custom_validation);
+    ("policy codec", `Quick, test_policy_codec);
+    ("attr expiry", `Quick, test_attr_expiry);
+    ("attr litigation hold", `Quick, test_attr_hold_blocks_deletion);
+    ("attr codec", `Quick, test_attr_codec);
+    ("attr canonical bytes", `Quick, test_attr_canonical_bytes_change_on_mutation);
+    ("witness strength", `Quick, test_witness_strength);
+    ("vrd weakest witness", `Quick, test_vrd_weakest);
+    ("vrd codec", `Quick, test_vrd_codec);
+    ("vrd rejects garbage", `Quick, test_vrd_of_bytes_rejects_garbage);
+    ("vrdt basics", `Quick, test_vrdt_basics);
+    ("vrdt active sns sorted", `Quick, test_vrdt_active_sns_sorted);
+    ("vrdt snapshot/restore", `Quick, test_vrdt_snapshot_restore);
+    ("vrdt byte accounting", `Quick, test_vrdt_bytes_accounting);
+    ("wire statements distinct", `Quick, test_wire_statements_distinct);
+    ("wire binds store id", `Quick, test_wire_binds_store);
+    ("wire binds window id", `Quick, test_wire_binds_window_id);
+    QCheck_alcotest.to_alcotest prop_serial_codec;
+  ]
+
+let () = Alcotest.run "worm_core_types" [ ("core-types", suite) ]

@@ -1,0 +1,213 @@
+(* Content-addressed block sharing: §4.2's overlapping VRs ("popular
+   email attachments ... stored only once"). *)
+
+open Worm_core
+open Worm_testkit.Testkit
+module Dedup_store = Worm_core.Dedup_store
+module Disk = Worm_simdisk.Disk
+module Clock = Worm_simclock.Clock
+
+let dedup_env () = fresh_env ~config:{ Worm.default_config with Worm.dedup = true } ()
+
+(* ---------- the raw layer ---------- *)
+
+let test_dedup_store_basics () =
+  let disk = Disk.create ~latency:Disk.zero_latency () in
+  let d = Dedup_store.create disk in
+  let a1 = Dedup_store.store_block d "attachment" in
+  let a2 = Dedup_store.store_block d "attachment" in
+  let a3 = Dedup_store.store_block d "different" in
+  Alcotest.(check int) "same content, same addr" a1 a2;
+  Alcotest.(check bool) "different content, different addr" true (a1 <> a3);
+  Alcotest.(check int) "refcount 2" 2 (Dedup_store.refcount d a1);
+  Alcotest.(check int) "one physical copy" 2 (Disk.record_count disk);
+  let s = Dedup_store.stats d in
+  Alcotest.(check int) "unique" 2 s.Dedup_store.unique_blocks;
+  Alcotest.(check int) "logical" 3 s.Dedup_store.logical_blocks
+
+let test_dedup_release_semantics () =
+  let disk = Disk.create ~latency:Disk.zero_latency () in
+  let d = Dedup_store.create disk in
+  let a = Dedup_store.store_block d "shared" in
+  ignore (Dedup_store.store_block d "shared");
+  (match Dedup_store.release d ~passes:1 a with
+  | Dedup_store.Still_referenced 1 -> ()
+  | _ -> Alcotest.fail "early free");
+  Alcotest.(check (option string)) "still readable" (Some "shared") (Dedup_store.read d a);
+  (match Dedup_store.release d ~passes:1 a with
+  | Dedup_store.Freed -> ()
+  | _ -> Alcotest.fail "not freed at zero refs");
+  Alcotest.(check (option string)) "gone" None (Dedup_store.read d a);
+  (match Dedup_store.release d ~passes:1 a with
+  | Dedup_store.Absent -> ()
+  | _ -> Alcotest.fail "release after free");
+  (* shredded, not just dropped *)
+  match Disk.Raw.residue disk a with
+  | Some residue -> Alcotest.(check bool) "no plaintext residue" false (String.equal residue "shared")
+  | None -> Alcotest.fail "no residue info"
+
+let test_dedup_ratio () =
+  let disk = Disk.create ~latency:Disk.zero_latency () in
+  let d = Dedup_store.create disk in
+  Alcotest.(check (float 0.001)) "empty ratio" 1.0 (Dedup_store.dedup_ratio d);
+  for _ = 1 to 10 do
+    ignore (Dedup_store.store_block d (String.make 1000 'x'))
+  done;
+  Alcotest.(check (float 0.001)) "10x sharing" 10.0 (Dedup_store.dedup_ratio d)
+
+(* ---------- through the WORM store ---------- *)
+
+let test_store_dedups_across_records () =
+  let env = dedup_env () in
+  let attachment = String.make 5000 'A' in
+  let sn1 = write env ~blocks:[ "mail-1"; attachment ] () in
+  let sn2 = write env ~blocks:[ "mail-2"; attachment ] () in
+  (match Worm.dedup_stats env.store with
+  | Some s ->
+      Alcotest.(check int) "three unique blocks" 3 s.Dedup_store.unique_blocks;
+      Alcotest.(check int) "four logical blocks" 4 s.Dedup_store.logical_blocks
+  | None -> Alcotest.fail "dedup not enabled");
+  (* both records remain fully verifiable *)
+  check_verdict "first verifies" "valid-data" env sn1;
+  check_verdict "second verifies" "valid-data" env sn2;
+  (* and they physically share the attachment's address *)
+  match (Vrdt.find (Worm.vrdt env.store) sn1, Vrdt.find (Worm.vrdt env.store) sn2) with
+  | Some (Vrdt.Active v1), Some (Vrdt.Active v2) ->
+      Alcotest.(check int) "shared block addr" (List.nth v1.Vrd.rdl 1) (List.nth v2.Vrd.rdl 1)
+  | _ -> Alcotest.fail "records missing"
+
+let test_shared_block_survives_one_deletion () =
+  let env = dedup_env () in
+  let attachment = String.make 5000 'A' in
+  let sn_short = write env ~policy:(short_policy ~retention_s:10. ()) ~blocks:[ attachment ] () in
+  let sn_long = write env ~policy:(short_policy ~retention_s:10_000. ()) ~blocks:[ attachment ] () in
+  ignore (expire_all env ~after_s:20.);
+  check_verdict "short-lived record deleted" "properly-deleted" env sn_short;
+  (* the surviving record still reads and verifies: the shared block was
+     only released, not shredded *)
+  check_verdict "long-lived record intact" "valid-data" env sn_long;
+  (* now expire the survivor; the block must be shredded for real *)
+  let rd =
+    match Vrdt.find (Worm.vrdt env.store) sn_long with
+    | Some (Vrdt.Active v) -> List.hd v.Vrd.rdl
+    | _ -> Alcotest.fail "missing"
+  in
+  ignore (expire_all env ~after_s:10_000.);
+  check_verdict "survivor deleted too" "properly-deleted" env sn_long;
+  Alcotest.(check bool) "block physically gone" false (Disk.Raw.exists env.disk rd)
+
+let test_dedup_disabled_by_default () =
+  let env = fresh_env () in
+  ignore (write env ~blocks:[ "same" ] ());
+  ignore (write env ~blocks:[ "same" ] ());
+  Alcotest.(check bool) "no dedup stats" true (Worm.dedup_stats env.store = None);
+  Alcotest.(check int) "two physical copies" 2 (Disk.record_count env.disk)
+
+let test_tampering_shared_block_detected_on_all_holders () =
+  let env = dedup_env () in
+  let attachment = String.make 2000 'A' in
+  let sn1 = write env ~blocks:[ attachment ] () in
+  let sn2 = write env ~blocks:[ attachment ] () in
+  let mallory = Adversary.create env.store in
+  ignore (Adversary.tamper_record_data mallory sn1);
+  (* one platter write corrupts the shared block: BOTH holders detect *)
+  (match verdict env sn1 with
+  | Client.Violation _ -> ()
+  | v -> Alcotest.fail (Client.verdict_name v));
+  match verdict env sn2 with
+  | Client.Violation _ -> ()
+  | v -> Alcotest.fail (Client.verdict_name v)
+
+(* ---------- overlapping VRs by explicit reference (§4.2) ---------- *)
+
+let test_write_shared_borrows_blocks () =
+  let env = dedup_env () in
+  let email = write env ~blocks:[ "mail body"; "attachment-bytes" ] () in
+  (* a second VR: new cover note + the SAME attachment, by reference *)
+  let digest =
+    match
+      Worm.write_shared env.store ~policy:(short_policy ())
+        ~parts:[ Worm.Fresh "weekly digest"; Worm.Borrow (email, 1) ]
+    with
+    | Ok sn -> sn
+    | Error e -> Alcotest.fail e
+  in
+  check_verdict "composite verifies" "valid-data" env digest;
+  (match Worm.read env.store digest with
+  | Proof.Found { blocks; _ } ->
+      Alcotest.(check (list string)) "content" [ "weekly digest"; "attachment-bytes" ] blocks
+  | r -> Alcotest.fail (Proof.describe r));
+  (* physically shared: same address in both RDLs *)
+  match (Vrdt.find (Worm.vrdt env.store) email, Vrdt.find (Worm.vrdt env.store) digest) with
+  | Some (Vrdt.Active e), Some (Vrdt.Active d) ->
+      Alcotest.(check int) "same physical block" (List.nth e.Vrd.rdl 1) (List.nth d.Vrd.rdl 1)
+  | _ -> Alcotest.fail "records missing"
+
+let test_write_shared_deletion_semantics () =
+  let env = dedup_env () in
+  let original = write env ~policy:(short_policy ~retention_s:10. ()) ~blocks:[ "shared blob" ] () in
+  let borrower =
+    match
+      Worm.write_shared env.store
+        ~policy:(short_policy ~retention_s:10_000. ())
+        ~parts:[ Worm.Borrow (original, 0) ]
+    with
+    | Ok sn -> sn
+    | Error e -> Alcotest.fail e
+  in
+  (* the original expires; the borrower keeps the block alive *)
+  ignore (expire_all env ~after_s:20.);
+  check_verdict "original deleted" "properly-deleted" env original;
+  check_verdict "borrower intact" "valid-data" env borrower
+
+let test_write_shared_validation () =
+  let env = dedup_env () in
+  let sn = write env ~blocks:[ "one block" ] () in
+  (match Worm.write_shared env.store ~policy:(short_policy ()) ~parts:[ Worm.Borrow (sn, 5) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range borrow accepted");
+  (match
+     Worm.write_shared env.store ~policy:(short_policy ()) ~parts:[ Worm.Borrow (Serial.of_int 99, 0) ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "phantom borrow accepted");
+  (* requires dedup *)
+  let plain = fresh_env () in
+  match Worm.write_shared plain.store ~policy:(short_policy ()) ~parts:[ Worm.Fresh "x" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "write_shared without dedup accepted"
+
+let prop_dedup_transparent =
+  (* dedup on/off must be observationally identical through reads *)
+  QCheck.Test.make ~name:"dedup transparent to reads" ~count:10
+    QCheck.(small_list (string_of_size (QCheck.Gen.int_bound 200)))
+    (fun payloads ->
+      QCheck.assume (payloads <> []);
+      let run dedup =
+        let env = fresh_env ~config:{ Worm.default_config with Worm.dedup } () in
+        let sns = List.map (fun p -> write env ~blocks:[ p ] ()) payloads in
+        List.map
+          (fun sn ->
+            match Worm.read env.store sn with
+            | Proof.Found { blocks; _ } -> String.concat "" blocks
+            | r -> Proof.describe r)
+          sns
+      in
+      run true = run false)
+
+let suite =
+  [
+    ("dedup store basics", `Quick, test_dedup_store_basics);
+    ("release semantics", `Quick, test_dedup_release_semantics);
+    ("dedup ratio", `Quick, test_dedup_ratio);
+    ("store dedups across records", `Quick, test_store_dedups_across_records);
+    ("shared block survives one deletion", `Quick, test_shared_block_survives_one_deletion);
+    ("dedup off by default", `Quick, test_dedup_disabled_by_default);
+    ("shared-block tamper detected everywhere", `Quick, test_tampering_shared_block_detected_on_all_holders);
+    ("write_shared borrows blocks", `Quick, test_write_shared_borrows_blocks);
+    ("write_shared deletion semantics", `Quick, test_write_shared_deletion_semantics);
+    ("write_shared validation", `Quick, test_write_shared_validation);
+    QCheck_alcotest.to_alcotest prop_dedup_transparent;
+  ]
+
+let () = Alcotest.run "worm_dedup" [ ("dedup", suite) ]

@@ -1,0 +1,161 @@
+(* Known-answer vectors (FIPS 180-4, RFC 2202/4231) and structural
+   properties for SHA-1, SHA-256, HMAC and the chained hash. *)
+
+open Worm_crypto
+module Hex = Worm_util.Hex
+
+let check_hex name expected actual = Alcotest.(check string) name expected (Hex.encode actual)
+
+(* ---------- SHA-256 (FIPS vectors) ---------- *)
+
+let test_sha256_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" (Sha256.digest "");
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" (Sha256.digest "abc");
+  check_hex "448-bit" "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest (String.make 1_000_000 'a'))
+
+let test_sha1_vectors () =
+  check_hex "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709" (Sha1.digest "");
+  check_hex "abc" "a9993e364706816aba3e25717850c26c9cd0d89d" (Sha1.digest "abc");
+  check_hex "448-bit" "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (Sha1.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f" (Sha1.digest (String.make 1_000_000 'a'))
+
+(* Incremental feeding must agree with one-shot digestion regardless of
+   chunking — this exercises the partial-block buffer paths. *)
+let prop_incremental_agrees hash_init hash_feed hash_get hash_digest name =
+  QCheck.Test.make ~name ~count:200
+    QCheck.(pair string (small_list small_nat))
+    (fun (s, cuts) ->
+      let ctx = hash_init () in
+      let n = String.length s in
+      let positions = List.sort_uniq compare (List.map (fun c -> if n = 0 then 0 else c mod (n + 1)) cuts) in
+      let rec feed_pieces start = function
+        | [] -> hash_feed ctx (String.sub s start (n - start))
+        | p :: rest when p >= start ->
+            hash_feed ctx (String.sub s start (p - start));
+            feed_pieces p rest
+        | _ :: rest -> feed_pieces start rest
+      in
+      feed_pieces 0 positions;
+      String.equal (hash_get ctx) (hash_digest s))
+
+let prop_sha256_incremental = prop_incremental_agrees Sha256.init Sha256.feed Sha256.get Sha256.digest "sha256 incremental"
+let prop_sha1_incremental = prop_incremental_agrees Sha1.init Sha1.feed Sha1.get Sha1.digest "sha1 incremental"
+
+let test_ctx_reuse_rejected () =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "x";
+  ignore (Sha256.get ctx);
+  Alcotest.check_raises "feed after get" (Invalid_argument "Sha256.feed: context already finalized") (fun () ->
+      Sha256.feed ctx "y")
+
+(* ---------- HMAC (RFC 4231 / RFC 2202) ---------- *)
+
+let test_hmac_sha256_vectors () =
+  check_hex "rfc4231 case 1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.sha256 ~key:(String.make 20 '\x0b') "Hi There");
+  check_hex "rfc4231 case 2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.sha256 ~key:"Jefe" "what do ya want for nothing?");
+  check_hex "rfc4231 case 3" "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hmac.sha256 ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'));
+  (* long key (hashed down) *)
+  check_hex "rfc4231 case 6" "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.sha256 ~key:(String.make 131 '\xaa') "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_hmac_sha1_vectors () =
+  check_hex "rfc2202 case 1" "b617318655057264e28bc0b6fb378c8ef146be00"
+    (Hmac.sha1 ~key:(String.make 20 '\x0b') "Hi There");
+  check_hex "rfc2202 case 2" "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+    (Hmac.sha1 ~key:"Jefe" "what do ya want for nothing?")
+
+let test_hmac_verify () =
+  let key = "secret" and msg = "payload" in
+  let mac = Hmac.sha256 ~key msg in
+  Alcotest.(check bool) "accepts" true (Hmac.verify_sha256 ~key ~msg ~mac);
+  Alcotest.(check bool) "rejects wrong msg" false (Hmac.verify_sha256 ~key ~msg:"payloae" ~mac);
+  Alcotest.(check bool) "rejects wrong key" false (Hmac.verify_sha256 ~key:"secre7" ~msg ~mac)
+
+(* ---------- Chained hash ---------- *)
+
+let test_chained_basic () =
+  let a = Chained_hash.of_blocks [ "one"; "two" ] in
+  let b = Chained_hash.add (Chained_hash.add Chained_hash.empty "one") "two" in
+  Alcotest.(check bool) "incremental = batch" true (Chained_hash.equal a b);
+  Alcotest.(check int) "32 bytes" 32 (String.length (Chained_hash.value a))
+
+let test_chained_boundary_sensitive () =
+  (* Length delimiting: moving a boundary must change the chain value. *)
+  let a = Chained_hash.of_blocks [ "ab"; "c" ] in
+  let b = Chained_hash.of_blocks [ "a"; "bc" ] in
+  let c = Chained_hash.of_blocks [ "abc" ] in
+  Alcotest.(check bool) "ab+c <> a+bc" false (Chained_hash.equal a b);
+  Alcotest.(check bool) "ab+c <> abc" false (Chained_hash.equal a c);
+  Alcotest.(check bool) "empty block matters" false
+    (Chained_hash.equal (Chained_hash.of_blocks [ "x"; "" ]) (Chained_hash.of_blocks [ "x" ]))
+
+let prop_chained_injective_on_order =
+  QCheck.Test.make ~name:"chained hash order-sensitive" ~count:200
+    QCheck.(pair (small_list string) (small_list string))
+    (fun (xs, ys) ->
+      if xs = ys then Chained_hash.(equal (of_blocks xs) (of_blocks ys))
+      else not Chained_hash.(equal (of_blocks xs) (of_blocks ys)))
+
+(* ---------- DRBG ---------- *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.create ~seed:"seed-1" and b = Drbg.create ~seed:"seed-1" in
+  Alcotest.(check string) "same seed, same stream" (Drbg.generate a 64) (Drbg.generate b 64);
+  let c = Drbg.create ~seed:"seed-2" in
+  Alcotest.(check bool) "different seed, different stream" false
+    (String.equal (Drbg.generate (Drbg.create ~seed:"seed-1") 64) (Drbg.generate c 64))
+
+let test_drbg_split_independent () =
+  let parent = Drbg.create ~seed:"parent" in
+  let c1 = Drbg.split parent ~label:"a" in
+  let c2 = Drbg.split parent ~label:"b" in
+  Alcotest.(check bool) "children differ" false (String.equal (Drbg.generate c1 32) (Drbg.generate c2 32))
+
+let prop_drbg_int_below_in_range =
+  QCheck.Test.make ~name:"int_below in range" ~count:300
+    QCheck.(pair string (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Drbg.create ~seed in
+      let v = Drbg.int_below rng bound in
+      v >= 0 && v < bound)
+
+let prop_drbg_nat_below_in_range =
+  QCheck.Test.make ~name:"nat_below in range" ~count:100 QCheck.string (fun seed ->
+      let rng = Drbg.create ~seed in
+      let bound = Nat.add (Drbg.nat_bits rng 100) Nat.one in
+      Nat.compare (Drbg.nat_below rng bound) bound < 0)
+
+let test_drbg_nat_bits_width () =
+  let rng = Drbg.create ~seed:"bits" in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "within width" true (Nat.bit_length (Drbg.nat_bits rng 65) <= 65)
+  done
+
+let suite =
+  [
+    ("sha256 FIPS vectors", `Quick, test_sha256_vectors);
+    ("sha1 FIPS vectors", `Quick, test_sha1_vectors);
+    ("context reuse rejected", `Quick, test_ctx_reuse_rejected);
+    ("hmac-sha256 RFC vectors", `Quick, test_hmac_sha256_vectors);
+    ("hmac-sha1 RFC vectors", `Quick, test_hmac_sha1_vectors);
+    ("hmac verify", `Quick, test_hmac_verify);
+    ("chained hash basics", `Quick, test_chained_basic);
+    ("chained hash boundaries", `Quick, test_chained_boundary_sensitive);
+    ("drbg determinism", `Quick, test_drbg_deterministic);
+    ("drbg split independence", `Quick, test_drbg_split_independent);
+    ("drbg nat_bits width", `Quick, test_drbg_nat_bits_width);
+    QCheck_alcotest.to_alcotest prop_sha256_incremental;
+    QCheck_alcotest.to_alcotest prop_sha1_incremental;
+    QCheck_alcotest.to_alcotest prop_chained_injective_on_order;
+    QCheck_alcotest.to_alcotest prop_drbg_int_below_in_range;
+    QCheck_alcotest.to_alcotest prop_drbg_nat_below_in_range;
+  ]
+
+let () = Alcotest.run "worm_hash" [ ("hash", suite) ]

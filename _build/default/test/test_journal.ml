@@ -1,0 +1,151 @@
+(* The SCPU-anchored operation journal: chaining, anchoring, and the
+   history-rewriting attacks the anchors defeat. *)
+
+open Worm_core
+open Worm_testkit.Testkit
+module Rsa = Worm_crypto.Rsa
+module Cert = Worm_crypto.Cert
+module Clock = Worm_simclock.Clock
+
+let journal_env () =
+  let env = fresh_env ~config:{ Worm.default_config with Worm.journal = true } () in
+  let j =
+    match Worm.journal env.store with
+    | Some j -> j
+    | None -> Alcotest.fail "journal not enabled"
+  in
+  (env, j)
+
+let signing env = (Firmware.signing_cert (Worm.firmware env.store)).Cert.key
+
+let test_append_and_chain () =
+  let env, j = journal_env () in
+  ignore env;
+  let e1 = Journal.append j (Journal.Op_custom "one") in
+  let e2 = Journal.append j (Journal.Op_custom "two") in
+  Alcotest.(check (pair int int)) "sequential" (1, 2) (e1.Journal.seq, e2.Journal.seq);
+  Alcotest.(check bool) "chain moves" false (String.equal e1.Journal.chain e2.Journal.chain);
+  Alcotest.(check bool) "chain verifies" true (Journal.verify_chain ~entries:(Journal.entries j));
+  Alcotest.(check int) "length" 2 (Journal.length j)
+
+let test_store_ops_journaled () =
+  let env, j = journal_env () in
+  let sn = write env ~policy:(short_policy ~retention_s:10. ()) () in
+  ignore (expire_all env ~after_s:20.);
+  let ops = List.map (fun e -> Journal.op_to_string e.Journal.op) (Journal.entries j) in
+  Alcotest.(check (list string)) "write then delete"
+    [ "write " ^ Serial.to_string sn; "delete " ^ Serial.to_string sn ]
+    ops
+
+let test_litigation_journaled () =
+  let env, j = journal_env () in
+  let authority = fresh_authority env in
+  let sn = write env () in
+  let timeout = Int64.add (Clock.now env.clock) (Clock.ns_of_days 10.) in
+  (match Authority.place_hold authority ~store:env.store ~sn ~lit_id:"case-7" ~timeout with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Firmware.error_to_string e));
+  (match Authority.release_hold authority ~store:env.store ~sn with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Firmware.error_to_string e));
+  let ops = List.map (fun e -> Journal.op_to_string e.Journal.op) (Journal.entries j) in
+  Alcotest.(check bool) "hold journaled" true
+    (List.mem (Printf.sprintf "hold %s (case-7)" (Serial.to_string sn)) ops);
+  Alcotest.(check bool) "release journaled" true
+    (List.mem (Printf.sprintf "release %s (case-7)" (Serial.to_string sn)) ops)
+
+let test_anchor_verifies () =
+  let env, j = journal_env () in
+  ignore (write_n env 3);
+  let a = Journal.anchor j in
+  Alcotest.(check int) "covers all entries" 3 a.Journal.upto_seq;
+  Alcotest.(check bool) "anchor verifies" true
+    (Journal.verify_anchor ~signing:(signing env) ~store_id:(Worm.store_id env.store)
+       ~entries:(Journal.entries j) a);
+  (* entries after the anchor do not disturb it *)
+  ignore (write env ());
+  Alcotest.(check bool) "anchor still verifies" true
+    (Journal.verify_anchor ~signing:(signing env) ~store_id:(Worm.store_id env.store)
+       ~entries:(Journal.entries j) a)
+
+let test_heartbeat_anchors () =
+  let env, j = journal_env () in
+  ignore (write env ());
+  Worm.heartbeat env.store;
+  Alcotest.(check int) "one anchor" 1 (List.length (Journal.anchors j))
+
+let test_rewrite_detected_by_anchor () =
+  let env, j = journal_env () in
+  let sns = write_n env 3 in
+  let a = Journal.anchor j in
+  (* Mallory rewrites history: entry 2 becomes a different operation,
+     chains recomputed so the journal remains self-consistent... *)
+  Alcotest.(check bool) "rewrite" true
+    (Journal.Raw.rewrite_entry j ~seq:2 ~op:(Journal.Op_custom "nothing happened"));
+  Alcotest.(check bool) "chain still self-consistent" true
+    (Journal.verify_chain ~entries:(Journal.entries j));
+  (* ...but the anchor catches it *)
+  Alcotest.(check bool) "anchor rejects rewritten history" false
+    (Journal.verify_anchor ~signing:(signing env) ~store_id:(Worm.store_id env.store)
+       ~entries:(Journal.entries j) a);
+  ignore sns
+
+let test_truncation_detected_by_anchor () =
+  let env, j = journal_env () in
+  ignore (write_n env 4);
+  let a = Journal.anchor j in
+  Journal.Raw.truncate j ~keep:2;
+  Alcotest.(check bool) "anchor rejects truncation" false
+    (Journal.verify_anchor ~signing:(signing env) ~store_id:(Worm.store_id env.store)
+       ~entries:(Journal.entries j) a)
+
+let test_forged_anchor_rejected () =
+  let env, j = journal_env () in
+  ignore (write env ());
+  let a = Journal.anchor j in
+  let forged = { a with Journal.upto_seq = 99 } in
+  Alcotest.(check bool) "forged anchor rejected" false
+    (Journal.verify_anchor ~signing:(signing env) ~store_id:(Worm.store_id env.store)
+       ~entries:(Journal.entries j) forged);
+  (* a foreign store's key cannot anchor this journal *)
+  let env2 = fresh_env () in
+  Alcotest.(check bool) "foreign key rejected" false
+    (Journal.verify_anchor ~signing:(signing env2) ~store_id:(Worm.store_id env.store)
+       ~entries:(Journal.entries j) a)
+
+let prop_chain_total_order =
+  QCheck.Test.make ~name:"any op sequence chains and verifies" ~count:25
+    QCheck.(small_list (int_bound 6))
+    (fun opcodes ->
+      let env, j = journal_env () in
+      ignore env;
+      List.iter
+        (fun c ->
+          let op =
+            match c with
+            | 0 -> Journal.Op_write (Serial.of_int c)
+            | 1 -> Journal.Op_delete (Serial.of_int c)
+            | 2 -> Journal.Op_hold (Serial.of_int c, "x")
+            | 3 -> Journal.Op_release (Serial.of_int c, "x")
+            | 4 -> Journal.Op_strengthen (Serial.of_int c)
+            | 5 -> Journal.Op_window (Serial.of_int c, Serial.of_int (c + 3))
+            | _ -> Journal.Op_custom "op"
+          in
+          ignore (Journal.append j op))
+        opcodes;
+      Journal.verify_chain ~entries:(Journal.entries j))
+
+let suite =
+  [
+    ("append and chain", `Quick, test_append_and_chain);
+    ("store ops journaled", `Quick, test_store_ops_journaled);
+    ("litigation journaled", `Quick, test_litigation_journaled);
+    ("anchor verifies", `Quick, test_anchor_verifies);
+    ("heartbeat anchors", `Quick, test_heartbeat_anchors);
+    ("rewrite detected by anchor", `Quick, test_rewrite_detected_by_anchor);
+    ("truncation detected by anchor", `Quick, test_truncation_detected_by_anchor);
+    ("forged anchors rejected", `Quick, test_forged_anchor_rejected);
+    QCheck_alcotest.to_alcotest prop_chain_total_order;
+  ]
+
+let () = Alcotest.run "worm_journal" [ ("journal", suite) ]

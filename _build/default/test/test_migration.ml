@@ -1,0 +1,118 @@
+(* Compliant migration: full-store transfer, attribute preservation,
+   attestation, and refusal paths. *)
+
+open Worm_core
+open Worm_testkit.Testkit
+module Clock = Worm_simclock.Clock
+
+let two_stores () =
+  let a = fresh_env () in
+  (* share the clock so "now" agrees across stores *)
+  let b =
+    let device =
+      Worm_scpu.Device.provision ~seed:"migration-target" ~clock:a.clock ~ca:(Lazy.force ca)
+        ~config:Worm_scpu.Device.test_config ~name:"scpu-target" ()
+    in
+    let disk = Worm_simdisk.Disk.create ~latency:Worm_simdisk.Disk.zero_latency () in
+    let store = Worm.create ~disk ~device ~ca:(ca_pub ()) () in
+    let client = Client.for_store ~ca:(ca_pub ()) ~clock:a.clock store in
+    { clock = a.clock; device; store; client; disk }
+  in
+  (a, b)
+
+let test_full_migration () =
+  let src, dst = two_stores () in
+  let live = write_n src ~retention_s:10_000. 5 in
+  let doomed = write_n src ~retention_s:10. 3 in
+  ignore (expire_all src ~after_s:20.);
+  match Migration.migrate ~source:src.store ~target:dst.store with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+      Alcotest.(check int) "five migrated" 5 (List.length report.Migration.mapping);
+      Alcotest.(check int) "three skipped as deleted" 3 report.Migration.skipped_deleted;
+      (* every migrated record verifies on the target *)
+      List.iter
+        (fun src_sn ->
+          let dst_sn = List.assoc src_sn report.Migration.mapping in
+          check_verdict "migrated verifies" "valid-data" dst dst_sn)
+        live;
+      ignore doomed;
+      (* the source attestation checks out for an auditor *)
+      Alcotest.(check bool) "manifest verifies" true
+        (Migration.verify_report ~source_client:src.client ~target_store_id:(Worm.store_id dst.store) report);
+      Alcotest.(check bool) "manifest bound to target" false
+        (Migration.verify_report ~source_client:src.client ~target_store_id:"elsewhere" report)
+
+let test_migration_preserves_retention_clock () =
+  let src, dst = two_stores () in
+  (* a record 60 s from expiry must stay 60 s from expiry after migration *)
+  let sn = write src ~policy:(short_policy ~retention_s:100. ()) () in
+  Clock.advance src.clock (Clock.ns_of_sec 40.);
+  (match Migration.migrate ~source:src.store ~target:dst.store with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+      let dst_sn = List.assoc sn report.Migration.mapping in
+      (* 50 s later (total 90 s of age): still retained on the target *)
+      Clock.advance src.clock (Clock.ns_of_sec 50.);
+      ignore (Worm.expire_due dst.store);
+      check_verdict "still retained" "valid-data" dst dst_sn;
+      (* 20 s more (110 s total): past the original retention *)
+      Clock.advance src.clock (Clock.ns_of_sec 20.);
+      ignore (Worm.expire_due dst.store);
+      check_verdict "expires on the original schedule" "properly-deleted" dst dst_sn)
+
+let test_migration_requires_strengthened_source () =
+  let src, dst = two_stores () in
+  ignore (write src ~witness:Firmware.Weak_deferred ());
+  (match Migration.migrate ~source:src.store ~target:dst.store with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "weak-witnessed store migrated");
+  (* after idle maintenance it goes through *)
+  Worm.idle_tick src.store;
+  match Migration.migrate ~source:src.store ~target:dst.store with
+  | Ok report -> Alcotest.(check int) "migrated" 1 (List.length report.Migration.mapping)
+  | Error e -> Alcotest.fail e
+
+let test_migration_refuses_tampered_source () =
+  let src, dst = two_stores () in
+  let sn = write src ~blocks:[ "good" ] () in
+  ignore (write src ~blocks:[ "fine" ] ());
+  let mallory = Adversary.create src.store in
+  ignore (Adversary.tamper_record_data mallory sn);
+  match Migration.migrate ~source:src.store ~target:dst.store with
+  | Error _ -> () (* the target SCPU refuses the corrupted record *)
+  | Ok _ -> Alcotest.fail "tampered record migrated"
+
+let test_migrated_store_resists_same_attacks () =
+  let src, dst = two_stores () in
+  let sn = write src ~blocks:[ "valuable" ] () in
+  match Migration.migrate ~source:src.store ~target:dst.store with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+      let dst_sn = List.assoc sn report.Migration.mapping in
+      let mallory = Adversary.create dst.store in
+      Alcotest.(check bool) "tampered on target" true (Adversary.tamper_record_data mallory dst_sn);
+      (match verdict dst dst_sn with
+      | Client.Violation _ -> ()
+      | v -> Alcotest.fail (Client.verdict_name v))
+
+let test_empty_store_migration () =
+  let src, dst = two_stores () in
+  match Migration.migrate ~source:src.store ~target:dst.store with
+  | Ok report ->
+      Alcotest.(check int) "nothing to move" 0 (List.length report.Migration.mapping);
+      Alcotest.(check bool) "manifest still verifies" true
+        (Migration.verify_report ~source_client:src.client ~target_store_id:(Worm.store_id dst.store) report)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    ("full migration", `Quick, test_full_migration);
+    ("retention clock preserved", `Quick, test_migration_preserves_retention_clock);
+    ("requires strengthened source", `Quick, test_migration_requires_strengthened_source);
+    ("refuses tampered source", `Quick, test_migration_refuses_tampered_source);
+    ("target resists the same attacks", `Quick, test_migrated_store_resists_same_attacks);
+    ("empty store migration", `Quick, test_empty_store_migration);
+  ]
+
+let () = Alcotest.run "worm_migration" [ ("migration", suite) ]

@@ -1,0 +1,154 @@
+(* Model-based testing: random operation sequences against a trivially
+   correct reference model. After every step, every serial number ever
+   issued (plus a margin of unallocated ones) is read through the store
+   and client-verified; the verdict must match the model's prediction.
+   No sequence of legitimate operations may ever produce a Violation. *)
+
+open Worm_core
+open Worm_testkit.Testkit
+module Clock = Worm_simclock.Clock
+module Drbg = Worm_crypto.Drbg
+
+type model_record = {
+  mutable deleted : bool;
+  expiry : int64;
+  mutable held_until : int64 option;
+  witness : Firmware.witness_mode;
+  mutable strengthened : bool;
+}
+
+type model = { records : (int64, model_record) Hashtbl.t; mutable issued : int64 }
+
+let expected_verdict model sn_i64 ~now:_ =
+  match Hashtbl.find_opt model.records sn_i64 with
+  | None -> if sn_i64 > model.issued then "never-written" else "unknown"
+  | Some r ->
+      if r.deleted then "properly-deleted"
+      else if r.witness = Firmware.Mac_deferred && not r.strengthened then "committed-unverifiable"
+      else "valid-data"
+
+let check_against_model env model =
+  let now = Clock.now env.clock in
+  let upto = Int64.add model.issued 3L in
+  let rec go sn_i64 =
+    if sn_i64 > upto then ()
+    else begin
+      let sn = Serial.of_int64 sn_i64 in
+      let expected = expected_verdict model sn_i64 ~now in
+      let actual = Client.verdict_name (verdict env sn) in
+      if expected <> "unknown" && expected <> actual then
+        Alcotest.failf "sn %Ld at t=%Ld: model says %s, store says %s" sn_i64 now expected actual;
+      (match verdict env sn with
+      | Client.Violation vs ->
+          Alcotest.failf "sn %Ld: spurious violation: %s" sn_i64
+            (String.concat ";" (List.map Client.violation_to_string vs))
+      | _ -> ());
+      go (Int64.add sn_i64 1L)
+    end
+  in
+  go 1L
+
+let witness_of_int = function
+  | 0 -> Firmware.Strong_now
+  | 1 -> Firmware.Weak_deferred
+  | _ -> Firmware.Mac_deferred
+
+let run_scenario ?(reboots = false) ~seed ~steps () =
+  let env_ref = ref (fresh_env ()) in
+  let rng = Drbg.create ~seed in
+  let model = { records = Hashtbl.create 64; issued = 0L } in
+  let authority = fresh_authority !env_ref in
+  for _step = 1 to steps do
+    let env = !env_ref in
+    (match Drbg.int_below rng 100 with
+    | n when n < 35 ->
+        (* write with a random retention and witness *)
+        let retention_s = 10. +. float_of_int (Drbg.int_below rng 300) in
+        let witness = witness_of_int (Drbg.int_below rng 3) in
+        let sn = write env ~witness ~policy:(short_policy ~retention_s ()) () in
+        model.issued <- Serial.to_int64 sn;
+        Hashtbl.replace model.records (Serial.to_int64 sn)
+          {
+            deleted = false;
+            expiry = Int64.add (Clock.now env.clock) (Clock.ns_of_sec retention_s);
+            held_until = None;
+            witness;
+            strengthened = witness = Firmware.Strong_now;
+          }
+    | n when n < 55 ->
+        (* time passes *)
+        Clock.advance env.clock (Clock.ns_of_sec (float_of_int (1 + Drbg.int_below rng 120)))
+    | n when n < 70 ->
+        (* the retention monitor runs *)
+        let now = Clock.now env.clock in
+        let outcomes = Worm.expire_due env.store in
+        List.iter
+          (fun (sn, result) ->
+            match (result, Hashtbl.find_opt model.records (Serial.to_int64 sn)) with
+            | Ok (), Some r ->
+                if now <= r.expiry then Alcotest.failf "premature deletion of %s" (Serial.to_string sn);
+                (match r.held_until with
+                | Some t when now <= t -> Alcotest.failf "deletion under hold of %s" (Serial.to_string sn)
+                | Some _ | None -> ());
+                r.deleted <- true
+            | Ok (), None -> Alcotest.fail "deleted a record the model never saw"
+            | Error _, _ -> ())
+          outcomes
+    | n when n < 85 ->
+        (* idle maintenance strengthens everything *)
+        Worm.idle_tick env.store;
+        Hashtbl.iter (fun _ r -> if not r.deleted then r.strengthened <- true) model.records
+    | n when n < 92 ->
+        (* compaction must be invisible to verdicts *)
+        ignore (Worm.compact_windows env.store)
+    | n when reboots && n < 96 -> ()
+    | _ ->
+        (* litigation hold on a random live record *)
+        let live =
+          Hashtbl.fold (fun sn r acc -> if r.deleted then acc else (sn, r) :: acc) model.records []
+        in
+        if live <> [] then begin
+          let sn_i64, r = List.nth live (Drbg.int_below rng (List.length live)) in
+          let timeout = Int64.add (Clock.now env.clock) (Clock.ns_of_sec 150.) in
+          match
+            Authority.place_hold authority ~store:env.store ~sn:(Serial.of_int64 sn_i64) ~lit_id:"model-case"
+              ~timeout
+          with
+          | Ok () ->
+              (* metasig is re-signed strongly, but datasig keeps its
+                 original strength, so a MAC record stays unverifiable *)
+              r.held_until <- Some timeout
+          | Error e -> Alcotest.failf "hold failed: %s" (Firmware.error_to_string e)
+        end);
+    (* host reboot: save the blob, reattach a fresh host to the same SCPU
+       and disk — verdicts must be indistinguishable *)
+    (if reboots && Drbg.int_below rng 10 = 0 then begin
+       let blob = Worm.save_host_state env.store in
+       match Worm.restore ~firmware:(Worm.firmware env.store) ~disk:env.disk ~host_state:blob () with
+       | Ok store' ->
+           let client' = Client.for_store ~ca:(ca_pub ()) ~clock:env.clock store' in
+           env_ref := { env with store = store'; client = client' }
+       | Error e -> Alcotest.failf "reboot failed: %s" e
+     end);
+    check_against_model !env_ref model
+  done;
+  let env = !env_ref in
+  (* closing sweep: strengthen everything and re-verify *)
+  Worm.idle_tick env.store;
+  Hashtbl.iter (fun _ r -> if not r.deleted then r.strengthened <- true) model.records;
+  check_against_model env model
+
+let test_scenario_1 () = run_scenario ~seed:"model-1" ~steps:60 ()
+let test_scenario_2 () = run_scenario ~seed:"model-2" ~steps:60 ()
+let test_scenario_3 () = run_scenario ~seed:"model-3" ~steps:60 ()
+let test_scenario_reboots () = run_scenario ~reboots:true ~seed:"model-4" ~steps:60 ()
+
+let suite =
+  [
+    ("random ops scenario 1", `Slow, test_scenario_1);
+    ("random ops scenario 2", `Slow, test_scenario_2);
+    ("random ops scenario 3", `Slow, test_scenario_3);
+    ("random ops with host reboots", `Slow, test_scenario_reboots);
+  ]
+
+let () = Alcotest.run "worm_model" [ ("model", suite) ]

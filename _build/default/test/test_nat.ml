@@ -1,0 +1,167 @@
+(* Arithmetic laws and known values for the bignum substrate. The RSA
+   layer is only as sound as these. *)
+
+open Worm_crypto
+
+let nat = Alcotest.testable (Fmt.of_to_string Nat.to_decimal) Nat.equal
+
+(* Generator: random naturals up to ~600 bits, biased toward small and
+   structured values. *)
+let gen_nat =
+  let open QCheck.Gen in
+  let small = map Nat.of_int (int_bound 1_000_000) in
+  let of_bits bits =
+    map
+      (fun s ->
+        let rng = Drbg.create ~seed:s in
+        Drbg.nat_bits rng bits)
+      (string_size (return 8))
+  in
+  frequency [ (2, small); (1, of_bits 64); (2, of_bits 256); (2, of_bits 600); (1, return Nat.zero); (1, return Nat.one) ]
+
+let arb_nat = QCheck.make ~print:Nat.to_decimal gen_nat
+let arb_pair = QCheck.make ~print:(fun (a, b) -> Nat.to_decimal a ^ "," ^ Nat.to_decimal b) QCheck.Gen.(pair gen_nat gen_nat)
+let arb_triple =
+  QCheck.make
+    ~print:(fun (a, b, c) -> String.concat "," (List.map Nat.to_decimal [ a; b; c ]))
+    QCheck.Gen.(triple gen_nat gen_nat gen_nat)
+
+let t name = QCheck.Test.make ~name ~count:200
+
+let prop_add_comm = t "add commutative" arb_pair (fun (a, b) -> Nat.equal (Nat.add a b) (Nat.add b a))
+
+let prop_add_assoc =
+  t "add associative" arb_triple (fun (a, b, c) ->
+      Nat.equal (Nat.add (Nat.add a b) c) (Nat.add a (Nat.add b c)))
+
+let prop_mul_comm = t "mul commutative" arb_pair (fun (a, b) -> Nat.equal (Nat.mul a b) (Nat.mul b a))
+
+let prop_mul_assoc =
+  t "mul associative" arb_triple (fun (a, b, c) ->
+      Nat.equal (Nat.mul (Nat.mul a b) c) (Nat.mul a (Nat.mul b c)))
+
+let prop_distrib =
+  t "mul distributes over add" arb_triple (fun (a, b, c) ->
+      Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)))
+
+let prop_add_sub = t "(a+b)-b = a" arb_pair (fun (a, b) -> Nat.equal (Nat.sub (Nat.add a b) b) a)
+
+let prop_divmod =
+  t "a = b*q + r with r < b" arb_pair (fun (a, b) ->
+      QCheck.assume (not (Nat.is_zero b));
+      let q, r = Nat.divmod a b in
+      Nat.equal a (Nat.add (Nat.mul b q) r) && Nat.compare r b < 0)
+
+let prop_shift_mul =
+  t "shift_left k = mul 2^k" (QCheck.pair arb_nat (QCheck.int_bound 100)) (fun (a, k) ->
+      Nat.equal (Nat.shift_left a k) (Nat.mul a (Nat.mod_pow ~base:Nat.two ~exp:(Nat.of_int k) ~modulus:(Nat.shift_left Nat.one 200))))
+
+let prop_shift_inverse =
+  t "shift right inverts shift left" (QCheck.pair arb_nat (QCheck.int_bound 100)) (fun (a, k) ->
+      Nat.equal (Nat.shift_right (Nat.shift_left a k) k) a)
+
+let prop_bytes_roundtrip = t "bytes roundtrip" arb_nat (fun a -> Nat.equal (Nat.of_bytes_be (Nat.to_bytes_be a)) a)
+
+let prop_decimal_roundtrip = t "decimal roundtrip" arb_nat (fun a -> Nat.equal (Nat.of_decimal (Nat.to_decimal a)) a)
+
+let prop_bit_length =
+  t "2^(bits-1) <= a < 2^bits" arb_nat (fun a ->
+      QCheck.assume (not (Nat.is_zero a));
+      let bits = Nat.bit_length a in
+      Nat.compare a (Nat.shift_left Nat.one bits) < 0
+      && Nat.compare a (Nat.shift_left Nat.one (bits - 1)) >= 0)
+
+let prop_mod_pow_agrees =
+  (* Montgomery (odd modulus) agrees with repeated multiplication. *)
+  t "mod_pow agrees with naive" (QCheck.triple arb_nat (QCheck.int_bound 40) arb_nat) (fun (base, e, m) ->
+      QCheck.assume (Nat.compare m Nat.two > 0);
+      let naive = ref (Nat.modulo Nat.one m) in
+      for _ = 1 to e do
+        naive := Nat.modulo (Nat.mul !naive base) m
+      done;
+      Nat.equal (Nat.mod_pow ~base ~exp:(Nat.of_int e) ~modulus:m) !naive)
+
+let prop_mod_pow_homomorphism =
+  (* exercises the windowed path (exponents > 128 bits): a^(e1+e2) must
+     equal a^e1 * a^e2 under any odd modulus *)
+  t "a^(e1+e2) = a^e1 * a^e2" arb_triple (fun (a, seed1, m) ->
+      QCheck.assume (Nat.compare m Nat.two > 0 && not (Nat.is_even m));
+      let rng = Drbg.create ~seed:(Nat.to_decimal seed1) in
+      let e1 = Drbg.nat_bits rng 200 and e2 = Drbg.nat_bits rng 170 in
+      let lhs = Nat.mod_pow ~base:a ~exp:(Nat.add e1 e2) ~modulus:m in
+      let rhs = Nat.modulo (Nat.mul (Nat.mod_pow ~base:a ~exp:e1 ~modulus:m) (Nat.mod_pow ~base:a ~exp:e2 ~modulus:m)) m in
+      Nat.equal lhs rhs)
+
+let prop_mod_inverse =
+  t "mod_inverse correct" arb_pair (fun (a, m) ->
+      QCheck.assume (Nat.compare m Nat.two > 0);
+      match Nat.mod_inverse a m with
+      | Some x -> Nat.equal (Nat.modulo (Nat.mul (Nat.modulo a m) x) m) Nat.one
+      | None -> not (Nat.is_one (Nat.gcd a m)))
+
+let prop_gcd_divides =
+  t "gcd divides both" arb_pair (fun (a, b) ->
+      QCheck.assume (not (Nat.is_zero a) || not (Nat.is_zero b));
+      let g = Nat.gcd a b in
+      QCheck.assume (not (Nat.is_zero g));
+      Nat.is_zero (Nat.modulo a g) && Nat.is_zero (Nat.modulo b g))
+
+let test_known_values () =
+  Alcotest.check nat "small mul" (Nat.of_int 1_000_000) (Nat.mul (Nat.of_int 1000) (Nat.of_int 1000));
+  let a = Nat.of_decimal "340282366920938463463374607431768211456" (* 2^128 *) in
+  Alcotest.check nat "2^128" a (Nat.shift_left Nat.one 128);
+  Alcotest.(check int) "bit_length 2^128" 129 (Nat.bit_length a);
+  Alcotest.check nat "pred/succ" a (Nat.succ (Nat.pred a));
+  (* 2^100 mod (1e9+7) *)
+  Alcotest.check nat "mod_pow known" (Nat.of_int 976371285)
+    (Nat.mod_pow ~base:Nat.two ~exp:(Nat.of_int 100) ~modulus:(Nat.of_int 1_000_000_007));
+  (* even modulus path *)
+  Alcotest.check nat "mod_pow even modulus" (Nat.of_int 743)
+    (Nat.mod_pow ~base:(Nat.of_int 7) ~exp:(Nat.of_int 11) ~modulus:(Nat.of_int 1000));
+  (* Fermat: 3^(p-1) = 1 mod p for prime p = 2^61-1 *)
+  let p = Nat.of_decimal "2305843009213693951" in
+  Alcotest.check nat "fermat M61" Nat.one (Nat.mod_pow ~base:(Nat.of_int 3) ~exp:(Nat.pred p) ~modulus:p)
+
+let test_edge_cases () =
+  Alcotest.(check bool) "zero is zero" true (Nat.is_zero Nat.zero);
+  Alcotest.(check int) "bit_length zero" 0 (Nat.bit_length Nat.zero);
+  Alcotest.check nat "zero bytes" Nat.zero (Nat.of_bytes_be "");
+  Alcotest.check nat "leading zero bytes" (Nat.of_int 258) (Nat.of_bytes_be "\x00\x00\x01\x02");
+  Alcotest.(check string) "to_bytes zero" "" (Nat.to_bytes_be Nat.zero);
+  Alcotest.(check string) "padded" "\x00\x00\x01\x02" (Nat.to_bytes_be_padded ~len:4 (Nat.of_int 258));
+  Alcotest.check_raises "padding too small" (Invalid_argument "Nat.to_bytes_be_padded: value too large")
+    (fun () -> ignore (Nat.to_bytes_be_padded ~len:1 (Nat.of_int 258)));
+  Alcotest.check_raises "negative of_int" (Invalid_argument "Nat.of_int: negative") (fun () ->
+      ignore (Nat.of_int (-1)));
+  Alcotest.check_raises "sub underflow" (Invalid_argument "Nat.sub: negative result") (fun () ->
+      ignore (Nat.sub Nat.one Nat.two));
+  (match Nat.divmod Nat.one Nat.zero with
+  | exception Division_by_zero -> ()
+  | _ -> Alcotest.fail "divide by zero accepted");
+  Alcotest.(check (option int)) "to_int_opt big" None (Nat.to_int_opt (Nat.shift_left Nat.one 80));
+  Alcotest.(check (option int)) "to_int_opt max" (Some max_int) (Nat.to_int_opt (Nat.of_int max_int));
+  Alcotest.check nat "modulo by one" Nat.zero (Nat.modulo (Nat.of_int 12345) Nat.one)
+
+let suite =
+  [
+    ("known values", `Quick, test_known_values);
+    ("edge cases", `Quick, test_edge_cases);
+    QCheck_alcotest.to_alcotest prop_add_comm;
+    QCheck_alcotest.to_alcotest prop_add_assoc;
+    QCheck_alcotest.to_alcotest prop_mul_comm;
+    QCheck_alcotest.to_alcotest prop_mul_assoc;
+    QCheck_alcotest.to_alcotest prop_distrib;
+    QCheck_alcotest.to_alcotest prop_add_sub;
+    QCheck_alcotest.to_alcotest prop_divmod;
+    QCheck_alcotest.to_alcotest prop_shift_mul;
+    QCheck_alcotest.to_alcotest prop_shift_inverse;
+    QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
+    QCheck_alcotest.to_alcotest prop_decimal_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bit_length;
+    QCheck_alcotest.to_alcotest prop_mod_pow_agrees;
+    QCheck_alcotest.to_alcotest prop_mod_pow_homomorphism;
+    QCheck_alcotest.to_alcotest prop_mod_inverse;
+    QCheck_alcotest.to_alcotest prop_gcd_divides;
+  ]
+
+let () = Alcotest.run "worm_nat" [ ("nat", suite) ]

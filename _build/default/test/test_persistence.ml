@@ -1,0 +1,130 @@
+(* Host restarts: the SCPU's NVRAM state and the disk survive; the
+   host-side bookkeeping round-trips through a blob. Restoring stale or
+   corrupted blobs must never create client-invisible damage. *)
+
+open Worm_core
+open Worm_testkit.Testkit
+module Clock = Worm_simclock.Clock
+module Disk = Worm_simdisk.Disk
+
+let reboot ?config env =
+  let blob = Worm.save_host_state env.store in
+  match Worm.restore ?config ~firmware:(Worm.firmware env.store) ~disk:env.disk ~host_state:blob () with
+  | Ok store -> { env with store }
+  | Error e -> Alcotest.fail e
+
+let test_roundtrip_reads () =
+  let env = fresh_env () in
+  let live = write_n env ~retention_s:10_000. 3 in
+  let dead = write_n env ~retention_s:10. 2 in
+  ignore (expire_all env ~after_s:20.);
+  let env' = reboot env in
+  List.iter (fun sn -> check_verdict "live after reboot" "valid-data" env' sn) live;
+  List.iter (fun sn -> check_verdict "deleted after reboot" "properly-deleted" env' sn) dead;
+  check_verdict "unallocated after reboot" "never-written" env' (Serial.of_int 99)
+
+let test_windows_survive () =
+  let env = fresh_env () in
+  let long = short_policy ~retention_s:10_000. () in
+  ignore (Worm.write env.store ~policy:long ~blocks:[ "anchor" ]);
+  let middle = write_n env ~retention_s:10. 4 in
+  ignore (Worm.write env.store ~policy:long ~blocks:[ "anchor" ]);
+  ignore (expire_all env ~after_s:20.);
+  ignore (Worm.compact_windows env.store);
+  Alcotest.(check int) "window formed" 1 (List.length (Worm.deletion_windows env.store));
+  let env' = reboot env in
+  Alcotest.(check int) "window survives" 1 (List.length (Worm.deletion_windows env'.store));
+  List.iter (fun sn -> check_verdict "window proof after reboot" "properly-deleted" env' sn) middle
+
+let test_store_continues_after_reboot () =
+  let env = fresh_env () in
+  let before = write env ~blocks:[ "before" ] () in
+  let env' = reboot env in
+  (* writes continue with the SCPU's serial counter, no gaps, no reuse *)
+  let after = Worm.write env'.store ~policy:(short_policy ()) ~blocks:[ "after" ] in
+  Alcotest.(check int64) "serials continue" (Int64.add (Serial.to_int64 before) 1L) (Serial.to_int64 after);
+  check_verdict "old record fine" "valid-data" env' before;
+  check_verdict "new record fine" "valid-data" env' after;
+  (* and the RM still knows the schedule (it lives in the SCPU) *)
+  ignore (expire_all env' ~after_s:200.);
+  check_verdict "expiry still enforced" "properly-deleted" env' before
+
+let test_deferred_and_audits_survive () =
+  let config = { Worm.default_config with Worm.datasig_mode = Worm.Host_hash } in
+  let env = fresh_env ~config () in
+  let sns = write_n env ~witness:Worm_core.Firmware.Weak_deferred 3 in
+  Alcotest.(check int) "deferred before" 3 (List.length (Worm.deferred_backlog env.store));
+  let env' = reboot ~config env in
+  Alcotest.(check int) "deferred after reboot" 3 (List.length (Worm.deferred_backlog env'.store));
+  Alcotest.(check int) "audits after reboot" 3 (List.length (Worm.audit_backlog env'.store));
+  Worm.idle_tick env'.store;
+  Alcotest.(check int) "all strengthened" 0 (List.length (Worm.deferred_backlog env'.store));
+  List.iter (fun sn -> check_verdict "verifiable" "valid-data" env' sn) sns
+
+let test_dedup_refcounts_rebuilt () =
+  let config = { Worm.default_config with Worm.dedup = true } in
+  let env = fresh_env ~config () in
+  let shared = String.make 2000 'S' in
+  let sn1 = write env ~policy:(short_policy ~retention_s:10. ()) ~blocks:[ shared ] () in
+  let sn2 = write env ~policy:(short_policy ~retention_s:10_000. ()) ~blocks:[ shared ] () in
+  let env' = reboot ~config env in
+  (match Worm.dedup_stats env'.store with
+  | Some s ->
+      Alcotest.(check int) "one unique block" 1 s.Dedup_store.unique_blocks;
+      Alcotest.(check int) "two references" 2 s.Dedup_store.logical_blocks
+  | None -> Alcotest.fail "dedup missing after restore");
+  (* deleting one still leaves the shared block for the other *)
+  ignore (expire_all env' ~after_s:20.);
+  check_verdict "first deleted" "properly-deleted" env' sn1;
+  check_verdict "second intact" "valid-data" env' sn2
+
+let test_corrupt_blob_rejected () =
+  let env = fresh_env () in
+  ignore (write env ());
+  let blob = Worm.save_host_state env.store in
+  (match Worm.restore ~firmware:(Worm.firmware env.store) ~disk:env.disk ~host_state:"garbage" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage blob accepted");
+  let truncated = String.sub blob 0 (String.length blob / 2) in
+  match Worm.restore ~firmware:(Worm.firmware env.store) ~disk:env.disk ~host_state:truncated () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated blob accepted"
+
+let test_stale_blob_is_rollback () =
+  (* Restoring an old blob = the rollback attack: the SCPU's counter has
+     moved on, so the omission is detectable. *)
+  let env = fresh_env () in
+  ignore (write env ());
+  let stale_blob = Worm.save_host_state env.store in
+  let regretted = write env ~blocks:[ "written after the backup" ] () in
+  Clock.advance env.clock (Clock.ns_of_min 6.);
+  match Worm.restore ~firmware:(Worm.firmware env.store) ~disk:env.disk ~host_state:stale_blob () with
+  | Error e -> Alcotest.fail e
+  | Ok rolled_back ->
+      let env' = { env with store = rolled_back } in
+      (match verdict env' regretted with
+      | Client.Violation _ -> ()
+      | v -> Alcotest.failf "stale restore hid a record: %s" (Client.verdict_name v))
+
+let prop_blob_roundtrip_stable =
+  QCheck.Test.make ~name:"blob roundtrip is stable" ~count:10 QCheck.(int_bound 8) (fun n ->
+      let env = fresh_env () in
+      ignore (write_n env (n + 1));
+      let blob = Worm.save_host_state env.store in
+      match Worm.restore ~firmware:(Worm.firmware env.store) ~disk:env.disk ~host_state:blob () with
+      | Error _ -> false
+      | Ok store' -> String.equal blob (Worm.save_host_state store'))
+
+let suite =
+  [
+    ("reads roundtrip", `Quick, test_roundtrip_reads);
+    ("windows survive", `Quick, test_windows_survive);
+    ("store continues after reboot", `Quick, test_store_continues_after_reboot);
+    ("deferred/audits survive", `Quick, test_deferred_and_audits_survive);
+    ("dedup refcounts rebuilt", `Quick, test_dedup_refcounts_rebuilt);
+    ("corrupt blob rejected", `Quick, test_corrupt_blob_rejected);
+    ("stale blob is the rollback attack", `Quick, test_stale_blob_is_rollback);
+    QCheck_alcotest.to_alcotest prop_blob_roundtrip_stable;
+  ]
+
+let () = Alcotest.run "worm_persistence" [ ("persistence", suite) ]

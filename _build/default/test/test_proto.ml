@@ -1,0 +1,240 @@
+(* Client/server protocol: codec roundtrips, remote verified reads, and
+   man-in-the-middle resistance (an untrusted transport adds nothing to
+   the untrusted host's powers). *)
+
+open Worm_core
+open Worm_testkit.Testkit
+module Message = Worm_proto.Message
+module Server = Worm_proto.Server
+module Remote_client = Worm_proto.Remote_client
+module Clock = Worm_simclock.Clock
+module Codec = Worm_util.Codec
+
+let remote_env () =
+  let env = fresh_env () in
+  let server = Server.create env.store in
+  let transport = Server.handle_bytes server in
+  (env, server, transport)
+
+let connect_exn env transport =
+  match Remote_client.connect ~ca:(ca_pub ()) ~clock:env.clock transport with
+  | Ok rc -> rc
+  | Error e -> Alcotest.fail e
+
+(* ---------- codecs ---------- *)
+
+let test_request_codec () =
+  let cases =
+    [ Message.Hello; Message.Read (Serial.of_int 42); Message.Read_many [ Serial.of_int 1; Serial.of_int 2 ] ]
+  in
+  List.iter
+    (fun r ->
+      match Message.decode_request (Message.encode_request r) with
+      | Ok r' -> Alcotest.(check bool) "roundtrip" true (r = r')
+      | Error e -> Alcotest.fail e)
+    cases;
+  match Message.decode_request "\xff" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage request decoded"
+
+let test_response_codec_all_proof_shapes () =
+  (* produce one live response of every shape from a real store *)
+  let env = fresh_env () in
+  let long = short_policy ~retention_s:10_000. () in
+  ignore (Worm.write env.store ~policy:long ~blocks:[ "anchor" ]);
+  let deleted = write_n env ~retention_s:10. 4 in
+  ignore (Worm.write env.store ~policy:long ~blocks:[ "anchor2" ]);
+  let live = Worm.write env.store ~policy:long ~blocks:[ "alpha"; "beta" ] in
+  ignore (expire_all env ~after_s:20.);
+  ignore (Worm.compact_windows env.store);
+  let shapes =
+    [
+      Worm.read env.store live (* Found *);
+      Worm.read env.store (List.hd deleted) (* window or below-base or deleted *);
+      Worm.read env.store (Serial.of_int 999) (* unallocated *);
+      Proof.Refused "test excuse";
+    ]
+  in
+  List.iter
+    (fun response ->
+      let encoded = Codec.encode Message.encode_read_response response in
+      match Codec.decode Message.decode_read_response encoded with
+      | Ok response' ->
+          (* re-encoding must be stable (canonical) *)
+          Alcotest.(check string)
+            ("stable: " ^ Proof.describe response)
+            encoded
+            (Codec.encode Message.encode_read_response response')
+      | Error e -> Alcotest.fail e)
+    shapes
+
+let test_verdict_survives_serialization () =
+  (* verifying a decoded response gives the same verdict as the local one *)
+  let env = fresh_env () in
+  let sn = write env ~blocks:[ "payload" ] () in
+  let local = Worm.read env.store sn in
+  let remote =
+    match Codec.decode Message.decode_read_response (Codec.encode Message.encode_read_response local) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "same verdict"
+    (Client.verdict_name (Client.verify_read env.client ~sn local))
+    (Client.verdict_name (Client.verify_read env.client ~sn remote))
+
+(* ---------- the protocol ---------- *)
+
+let test_handshake_and_read () =
+  let env, _server, transport = remote_env () in
+  let sn = write env ~blocks:[ "remote payload" ] () in
+  let rc = connect_exn env transport in
+  Alcotest.(check string) "store id" (Worm.store_id env.store) (Remote_client.store_id rc);
+  (match Remote_client.read rc sn with
+  | Client.Valid_data { blocks; _ } -> Alcotest.(check (list string)) "data" [ "remote payload" ] blocks
+  | v -> Alcotest.fail (Client.verdict_name v));
+  match Remote_client.read rc (Serial.of_int 50) with
+  | Client.Never_written -> ()
+  | v -> Alcotest.fail (Client.verdict_name v)
+
+let test_audit_sweep () =
+  let env, _server, transport = remote_env () in
+  let sns = write_n env ~retention_s:10. 3 in
+  let keep = write env ~policy:(short_policy ~retention_s:10_000. ()) () in
+  ignore (expire_all env ~after_s:20.);
+  let rc = connect_exn env transport in
+  let results = Remote_client.audit_sweep rc ~lo:Serial.first ~hi:(Serial.of_int 4) in
+  Alcotest.(check int) "four rows" 4 (List.length results);
+  List.iter
+    (fun sn ->
+      match List.assoc sn results with
+      | Client.Properly_deleted -> ()
+      | v -> Alcotest.fail (Client.verdict_name v))
+    sns;
+  (match List.assoc keep results with
+  | Client.Valid_data _ -> ()
+  | v -> Alcotest.fail (Client.verdict_name v));
+  Alcotest.(check bool) "bytes accounted" true
+    (Remote_client.bytes_sent rc > 0 && Remote_client.bytes_received rc > 0)
+
+let test_handshake_against_wrong_ca () =
+  let env, _server, transport = remote_env () in
+  ignore env;
+  let other_ca = Worm_crypto.Rsa.public_of (Worm_crypto.Rsa.generate rng ~bits:512) in
+  match Remote_client.connect ~ca:other_ca ~clock:env.clock transport with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "foreign CA accepted over the wire"
+
+(* ---------- adversarial transports ---------- *)
+
+let flip_byte i s =
+  if String.length s <= i then s
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    Bytes.to_string b
+  end
+
+let test_mitm_bitflip_detected () =
+  let env, _server, transport = remote_env () in
+  let sn = write env ~blocks:[ "sensitive" ] () in
+  let rc = connect_exn env transport in
+  (* sanity: clean read works *)
+  (match Remote_client.read rc sn with
+  | Client.Valid_data _ -> ()
+  | v -> Alcotest.fail (Client.verdict_name v));
+  (* now flip a byte somewhere in every read response (the handshake is
+     left alone so the connection establishes) *)
+  let evil_transport req =
+    match Message.decode_request req with
+    | Ok Message.Hello -> transport req
+    | _ -> flip_byte 40 (transport req)
+  in
+  let rc_evil = connect_exn env evil_transport in
+  match Remote_client.read rc_evil sn with
+  | Client.Violation _ -> ()
+  | v -> Alcotest.fail ("bitflip accepted: " ^ Client.verdict_name v)
+
+let test_mitm_response_substitution_detected () =
+  let env, _server, transport = remote_env () in
+  let sn_a = write env ~blocks:[ "record A" ] () in
+  let sn_b = write env ~blocks:[ "record B" ] () in
+  let rc_evil =
+    connect_exn env (fun req ->
+        (* answer every read with record A's (valid!) reply *)
+        match Message.decode_request req with
+        | Ok (Message.Read _) -> transport (Message.encode_request (Message.Read sn_a))
+        | _ -> transport req)
+  in
+  match Remote_client.read rc_evil sn_b with
+  | Client.Violation _ -> () (* either wrong-serial inside the verdict or reply-sn mismatch *)
+  | v -> Alcotest.fail ("substitution accepted: " ^ Client.verdict_name v)
+
+let test_mitm_garbage_and_drop () =
+  let env, _server, transport = remote_env () in
+  let sn = write env () in
+  let rc = connect_exn env transport in
+  ignore rc;
+  let rc_garbage = connect_exn env (fun req -> if String.length req > 2 then "garbage" else transport req) in
+  (match Remote_client.read rc_garbage sn with
+  | Client.Violation [ Client.Absence_unproven ] -> ()
+  | v -> Alcotest.fail ("garbage accepted: " ^ Client.verdict_name v));
+  (* protocol errors likewise prove nothing *)
+  let rc_err =
+    connect_exn env (fun req ->
+        match Message.decode_request req with
+        | Ok Message.Hello -> transport req
+        | _ -> Message.encode_response (Message.Protocol_error "server on fire"))
+  in
+  match Remote_client.read rc_err sn with
+  | Client.Violation [ Client.Absence_unproven ] -> ()
+  | v -> Alcotest.fail ("error reply accepted: " ^ Client.verdict_name v)
+
+(* ---------- network accounting ---------- *)
+
+let test_batching_amortizes_round_trips () =
+  let env, _server, transport = remote_env () in
+  let sns = write_n env 20 in
+  let lo = List.hd sns and hi = List.nth sns 19 in
+  (* one-by-one *)
+  let net1 = Worm_proto.Netsim.create ~rtt_ns:1_000_000L () in
+  let rc1 = connect_exn env (Worm_proto.Netsim.wrap net1 transport) in
+  List.iter (fun sn -> ignore (Remote_client.read rc1 sn)) sns;
+  (* batched *)
+  let net2 = Worm_proto.Netsim.create ~rtt_ns:1_000_000L () in
+  let rc2 = connect_exn env (Worm_proto.Netsim.wrap net2 transport) in
+  ignore (Remote_client.audit_sweep rc2 ~lo ~hi);
+  Alcotest.(check int) "per-record: 21 round trips" 21 (Worm_proto.Netsim.requests net1);
+  Alcotest.(check int) "batched: 2 round trips" 2 (Worm_proto.Netsim.requests net2);
+  Alcotest.(check bool) "batching wins on wire time" true
+    (Worm_proto.Netsim.elapsed_ns net2 < Worm_proto.Netsim.elapsed_ns net1);
+  (* the payload bytes are about the same either way *)
+  let b1 = Worm_proto.Netsim.bytes_transferred net1 and b2 = Worm_proto.Netsim.bytes_transferred net2 in
+  Alcotest.(check bool) "similar byte volume" true (float_of_int b2 /. float_of_int b1 > 0.8)
+
+let prop_request_codec_total =
+  QCheck.Test.make ~name:"request decoder total on random bytes" ~count:300 QCheck.string (fun s ->
+      match Message.decode_request s with
+      | Ok _ | Error _ -> true)
+
+let prop_response_codec_total =
+  QCheck.Test.make ~name:"response decoder total on random bytes" ~count:300 QCheck.string (fun s ->
+      match Message.decode_response s with
+      | Ok _ | Error _ -> true)
+
+let suite =
+  [
+    ("request codec", `Quick, test_request_codec);
+    ("response codec, all proof shapes", `Quick, test_response_codec_all_proof_shapes);
+    ("verdict survives serialization", `Quick, test_verdict_survives_serialization);
+    ("handshake and read", `Quick, test_handshake_and_read);
+    ("audit sweep", `Quick, test_audit_sweep);
+    ("wrong CA over the wire", `Quick, test_handshake_against_wrong_ca);
+    ("MITM bitflip detected", `Quick, test_mitm_bitflip_detected);
+    ("MITM substitution detected", `Quick, test_mitm_response_substitution_detected);
+    ("MITM garbage/drop yields no proof", `Quick, test_mitm_garbage_and_drop);
+    ("batching amortizes round trips", `Quick, test_batching_amortizes_round_trips);
+    QCheck_alcotest.to_alcotest prop_request_codec_total;
+    QCheck_alcotest.to_alcotest prop_response_codec_total;
+  ]
+
+let () = Alcotest.run "worm_proto" [ ("proto", suite) ]

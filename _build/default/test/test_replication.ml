@@ -1,0 +1,166 @@
+(* Duplicate-copy replication (SEC 17a-4(f)) and mirror-assisted
+   healing, plus retention extension. *)
+
+open Worm_core
+open Worm_testkit.Testkit
+module Clock = Worm_simclock.Clock
+module Disk = Worm_simdisk.Disk
+
+let replicated_env () =
+  let p = fresh_env () in
+  let m_device =
+    Worm_scpu.Device.provision
+      ~seed:(Printf.sprintf "mirror-%d" (incr counter; !counter))
+      ~clock:p.clock ~ca:(Lazy.force ca) ~config:Worm_scpu.Device.test_config ~name:"scpu-mirror" ()
+  in
+  let m_disk = Disk.create ~latency:Disk.zero_latency () in
+  let m_store = Worm.create ~disk:m_disk ~device:m_device ~ca:(ca_pub ()) () in
+  let m_client = Client.for_store ~ca:(ca_pub ()) ~clock:p.clock m_store in
+  let m = { clock = p.clock; device = m_device; store = m_store; client = m_client; disk = m_disk } in
+  (p, m, Replicator.create ~primary:p.store ~mirror:m.store)
+
+let test_mirrored_writes () =
+  let p, m, r = replicated_env () in
+  let psn, msn = Replicator.write r ~policy:(short_policy ()) ~blocks:[ "duplicate me" ] in
+  check_verdict "primary copy" "valid-data" p psn;
+  check_verdict "mirror copy" "valid-data" m msn;
+  Alcotest.(check (option int64)) "pairing recorded" (Some (Serial.to_int64 msn))
+    (Option.map Serial.to_int64 (Replicator.mirror_sn r psn))
+
+let test_divergence_audit_clean () =
+  let p, m, r = replicated_env () in
+  for _ = 1 to 4 do
+    ignore (Replicator.write r ~policy:(short_policy ()) ~blocks:[ "same" ])
+  done;
+  Alcotest.(check int) "no divergence" 0
+    (List.length (Replicator.divergence_audit r ~primary_client:p.client ~mirror_client:m.client))
+
+let test_divergence_audit_detects_tamper () =
+  let p, m, r = replicated_env () in
+  let psn, _ = Replicator.write r ~policy:(short_policy ()) ~blocks:[ "original" ] in
+  ignore (Replicator.write r ~policy:(short_policy ()) ~blocks:[ "untouched" ]);
+  let mallory = Adversary.create p.store in
+  ignore (Adversary.tamper_record_data mallory psn);
+  match Replicator.divergence_audit r ~primary_client:p.client ~mirror_client:m.client with
+  | [ d ] ->
+      Alcotest.(check int64) "names the damaged pair" (Serial.to_int64 psn) (Serial.to_int64 d.Replicator.primary_sn);
+      Alcotest.(check bool) "primary flagged" true
+        (String.length d.Replicator.primary_verdict > 0 && d.Replicator.primary_verdict <> "valid-data")
+  | ds -> Alcotest.failf "expected 1 divergence, got %d" (List.length ds)
+
+let test_heal_data_after_corruption () =
+  let p, m, r = replicated_env () in
+  ignore m;
+  let psn, _ = Replicator.write r ~policy:(short_policy ()) ~blocks:[ "block-a"; "block-b" ] in
+  let mallory = Adversary.create p.store in
+  ignore (Adversary.tamper_record_data mallory psn);
+  (match verdict p psn with
+  | Client.Violation _ -> ()
+  | v -> Alcotest.fail (Client.verdict_name v));
+  (match Replicator.heal_data r ~sn:psn with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_verdict "healed and verifying" "valid-data" p psn
+
+let test_heal_data_after_destruction () =
+  let p, _, r = replicated_env () in
+  let psn, _ = Replicator.write r ~policy:(short_policy ()) ~blocks:[ "precious" ] in
+  let mallory = Adversary.create p.store in
+  ignore (Adversary.premature_destroy mallory psn);
+  (match Replicator.heal_data r ~sn:psn with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_verdict "resurrected from mirror" "valid-data" p psn
+
+let test_heal_data_refuses_bad_mirror () =
+  (* both copies damaged: the primary's datasig stops a bad heal *)
+  let p, m, r = replicated_env () in
+  let psn, msn = Replicator.write r ~policy:(short_policy ()) ~blocks:[ "fragile" ] in
+  let mallory_p = Adversary.create p.store in
+  let mallory_m = Adversary.create m.store in
+  ignore (Adversary.tamper_record_data mallory_p psn);
+  ignore (Adversary.substitute_record_data mallory_m msn "forged replacement");
+  match Replicator.heal_data r ~sn:psn with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "healed from a forged mirror"
+
+let test_heal_missing () =
+  let p, _, r = replicated_env () in
+  let psn, _ = Replicator.write r ~policy:(short_policy ()) ~blocks:[ "vanished" ] in
+  let mallory = Adversary.create p.store in
+  ignore (Adversary.hide_record mallory psn);
+  match Replicator.heal_missing r ~sn:psn with
+  | Ok new_sn ->
+      check_verdict "re-ingested" "valid-data" p new_sn;
+      Alcotest.(check bool) "new serial" false (Serial.equal new_sn psn)
+  | Error e -> Alcotest.fail e
+
+let test_replicated_expiry () =
+  let p, m, r = replicated_env () in
+  ignore (Replicator.write r ~policy:(short_policy ~retention_s:10. ()) ~blocks:[ "short" ]);
+  ignore (Replicator.write r ~policy:(short_policy ~retention_s:10_000. ()) ~blocks:[ "long" ]);
+  Clock.advance p.clock (Clock.ns_of_sec 20.);
+  let dp, dm = Replicator.expire_due r in
+  Alcotest.(check (pair int int)) "one deletion each side" (1, 1) (dp, dm);
+  Alcotest.(check int) "copies agree afterwards" 0
+    (List.length (Replicator.divergence_audit r ~primary_client:p.client ~mirror_client:m.client))
+
+(* ---------- retention extension ---------- *)
+
+let test_extend_retention () =
+  let env = fresh_env () in
+  let sn = write env ~policy:(short_policy ~retention_s:100. ()) () in
+  let fw = Worm.firmware env.store in
+  let vrd_bytes =
+    match Vrdt.find (Worm.vrdt env.store) sn with
+    | Some (Vrdt.Active vrd) -> Vrd.to_bytes vrd
+    | _ -> Alcotest.fail "missing"
+  in
+  (* shortening refused *)
+  (match Firmware.extend_retention fw ~vrd_bytes ~new_retention_ns:(Clock.ns_of_sec 50.) with
+  | Error Firmware.Retention_shortening -> ()
+  | _ -> Alcotest.fail "shortening accepted");
+  (* extension re-signed and rescheduled *)
+  (match Firmware.extend_retention fw ~vrd_bytes ~new_retention_ns:(Clock.ns_of_sec 500.) with
+  | Ok vrd' ->
+      Vrdt.set_active (Worm.vrdt env.store) vrd';
+      Alcotest.(check int64) "new retention" (Clock.ns_of_sec 500.)
+        vrd'.Vrd.attr.Attr.policy.Policy.retention_ns
+  | Error e -> Alcotest.fail (Firmware.error_to_string e));
+  (* the record now survives its original expiry... *)
+  ignore (expire_all env ~after_s:150.);
+  check_verdict "survives old expiry" "valid-data" env sn;
+  (* ...and still expires at the extended time *)
+  ignore (expire_all env ~after_s:400.);
+  check_verdict "expires at extension" "properly-deleted" env sn
+
+let test_extend_retention_rejects_forgery () =
+  let env = fresh_env () in
+  let sn = write env ~policy:(short_policy ~retention_s:100. ()) () in
+  let fw = Worm.firmware env.store in
+  match Vrdt.find (Worm.vrdt env.store) sn with
+  | Some (Vrdt.Active vrd) -> begin
+      let forged = { vrd with Vrd.attr = { vrd.Vrd.attr with Attr.f_flag = true } } in
+      match
+        Firmware.extend_retention fw ~vrd_bytes:(Vrd.to_bytes forged) ~new_retention_ns:(Clock.ns_of_sec 500.)
+      with
+      | Error Firmware.Bad_witness -> ()
+      | _ -> Alcotest.fail "forged VRD accepted"
+    end
+  | _ -> Alcotest.fail "missing"
+
+let suite =
+  [
+    ("mirrored writes", `Quick, test_mirrored_writes);
+    ("divergence audit clean", `Quick, test_divergence_audit_clean);
+    ("divergence audit detects tamper", `Quick, test_divergence_audit_detects_tamper);
+    ("heal corrupted data", `Quick, test_heal_data_after_corruption);
+    ("heal destroyed data", `Quick, test_heal_data_after_destruction);
+    ("heal refuses forged mirror", `Quick, test_heal_data_refuses_bad_mirror);
+    ("heal missing record", `Quick, test_heal_missing);
+    ("replicated expiry", `Quick, test_replicated_expiry);
+    ("extend retention", `Quick, test_extend_retention);
+    ("extend retention rejects forgery", `Quick, test_extend_retention_rejects_forgery);
+  ]
+
+let () = Alcotest.run "worm_replication" [ ("replication", suite) ]

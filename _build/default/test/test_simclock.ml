@@ -1,0 +1,57 @@
+(* Virtual clock semantics. *)
+
+module Clock = Worm_simclock.Clock
+
+let test_monotonic_advance () =
+  let c = Clock.create () in
+  Alcotest.(check int64) "starts at zero" 0L (Clock.now c);
+  Clock.advance c 100L;
+  Alcotest.(check int64) "advanced" 100L (Clock.now c);
+  Clock.advance c 0L;
+  Alcotest.(check int64) "zero advance ok" 100L (Clock.now c);
+  Alcotest.check_raises "negative advance" (Invalid_argument "Clock.advance: negative delta") (fun () ->
+      Clock.advance c (-1L))
+
+let test_advance_to () =
+  let c = Clock.create ~start:50L () in
+  Clock.advance_to c 200L;
+  Alcotest.(check int64) "moved forward" 200L (Clock.now c);
+  Clock.advance_to c 100L;
+  Alcotest.(check int64) "earlier target ignored" 200L (Clock.now c)
+
+let test_unit_conversions () =
+  Alcotest.(check int64) "1s" 1_000_000_000L (Clock.ns_of_sec 1.);
+  Alcotest.(check int64) "1ms" 1_000_000L (Clock.ns_of_ms 1.);
+  Alcotest.(check int64) "1us" 1_000L (Clock.ns_of_us 1.);
+  Alcotest.(check int64) "1min" 60_000_000_000L (Clock.ns_of_min 1.);
+  Alcotest.(check int64) "1h" 3_600_000_000_000L (Clock.ns_of_hours 1.);
+  Alcotest.(check int64) "1day" 86_400_000_000_000L (Clock.ns_of_days 1.);
+  Alcotest.(check (float 1e-9)) "roundtrip" 42.5 (Clock.sec_of_ns (Clock.ns_of_sec 42.5));
+  (* a 6-year SEC retention is representable with lots of headroom *)
+  Alcotest.(check bool) "6 years fits" true (Clock.ns_of_years 6. < Int64.div Int64.max_int 10L)
+
+let test_pp_duration () =
+  let s v = Format.asprintf "%a" Clock.pp_duration v in
+  Alcotest.(check string) "ns" "500ns" (s 500L);
+  Alcotest.(check string) "sec" "2.00s" (s (Clock.ns_of_sec 2.));
+  Alcotest.(check string) "min" "5.0min" (s (Clock.ns_of_min 5.));
+  Alcotest.(check string) "days" "3.0days" (s (Clock.ns_of_days 3.))
+
+let prop_advance_accumulates =
+  QCheck.Test.make ~name:"advances accumulate" ~count:200
+    QCheck.(small_list (int_bound 1_000_000))
+    (fun deltas ->
+      let c = Clock.create () in
+      List.iter (fun d -> Clock.advance c (Int64.of_int d)) deltas;
+      Clock.now c = Int64.of_int (List.fold_left ( + ) 0 deltas))
+
+let suite =
+  [
+    ("monotonic advance", `Quick, test_monotonic_advance);
+    ("advance_to", `Quick, test_advance_to);
+    ("unit conversions", `Quick, test_unit_conversions);
+    ("duration printing", `Quick, test_pp_duration);
+    QCheck_alcotest.to_alcotest prop_advance_accumulates;
+  ]
+
+let () = Alcotest.run "worm_simclock" [ ("clock", suite) ]

@@ -1,0 +1,102 @@
+(* Disk model: storage semantics, latency ledger, shredding residue, and
+   the raw insider surface. *)
+
+module Disk = Worm_simdisk.Disk
+module Clock = Worm_simclock.Clock
+
+let test_write_read () =
+  let d = Disk.create ~latency:Disk.zero_latency () in
+  let a1 = Disk.write d "hello" in
+  let a2 = Disk.write d "world" in
+  Alcotest.(check bool) "distinct addresses" true (a1 <> a2);
+  Alcotest.(check (option string)) "read back 1" (Some "hello") (Disk.read d a1);
+  Alcotest.(check (option string)) "read back 2" (Some "world") (Disk.read d a2);
+  Alcotest.(check (option string)) "absent" None (Disk.read d 999);
+  Alcotest.(check (option int)) "size" (Some 5) (Disk.size d a1);
+  Alcotest.(check int) "count" 2 (Disk.record_count d);
+  Alcotest.(check int) "bytes" 10 (Disk.bytes_stored d)
+
+let test_latency_ledger () =
+  let latency = { Disk.seek_ns = 1000L; bytes_per_sec = 1e9 } in
+  let d = Disk.create ~latency () in
+  let a = Disk.write d (String.make 1000 'x') in
+  (* 1000 ns seek + 1000 bytes at 1 GB/s = 1000 ns transfer *)
+  Alcotest.(check int64) "write charge" 2000L (Disk.busy_ns d);
+  ignore (Disk.read d a);
+  Alcotest.(check int64) "read charge" 4000L (Disk.busy_ns d);
+  ignore (Disk.read d 12345);
+  Alcotest.(check int64) "missing read free" 4000L (Disk.busy_ns d);
+  Disk.reset_busy d;
+  Alcotest.(check int64) "reset" 0L (Disk.busy_ns d)
+
+let test_shred_semantics () =
+  let d = Disk.create ~latency:Disk.zero_latency () in
+  let a = Disk.write d "incriminating" in
+  Alcotest.(check bool) "shred succeeds" true (Disk.shred d ~passes:3 a);
+  Alcotest.(check (option string)) "gone" None (Disk.read d a);
+  Alcotest.(check int) "count zero" 0 (Disk.record_count d);
+  (* Secure deletion: forensic residue shows only the overwrite pattern. *)
+  (match Disk.Raw.residue d a with
+  | Some residue ->
+      Alcotest.(check int) "residue length" 13 (String.length residue);
+      Alcotest.(check bool) "no plaintext residue" false (String.equal residue "incriminating");
+      String.iter (fun c -> Alcotest.(check char) "pattern byte" '\xff' c) residue
+  | None -> Alcotest.fail "no residue at all");
+  Alcotest.(check bool) "double shred fails" false (Disk.shred d ~passes:3 a)
+
+let test_shred_charges_per_pass () =
+  let latency = { Disk.seek_ns = 0L; bytes_per_sec = 1e9 } in
+  let d = Disk.create ~latency () in
+  let a = Disk.write d (String.make 1000 'x') in
+  Disk.reset_busy d;
+  ignore (Disk.shred d ~passes:7 a);
+  Alcotest.(check int64) "7 overwrite passes" 7000L (Disk.busy_ns d)
+
+let test_raw_delete_leaves_residue () =
+  (* A plain (non-shredded) delete is forensically recoverable — this is
+     why the shredding requirement exists. *)
+  let d = Disk.create ~latency:Disk.zero_latency () in
+  let a = Disk.write d "recoverable" in
+  Alcotest.(check bool) "raw delete" true (Disk.Raw.delete d a);
+  Alcotest.(check (option string)) "read fails" None (Disk.read d a);
+  Alcotest.(check (option string)) "but residue is the data" (Some "recoverable") (Disk.Raw.residue d a)
+
+let test_raw_tamper () =
+  let d = Disk.create ~latency:Disk.zero_latency () in
+  let a = Disk.write d "original" in
+  Alcotest.(check bool) "tamper" true (Disk.Raw.tamper d a ~f:(fun _ -> "forged!"));
+  Alcotest.(check (option string)) "forged content served" (Some "forged!") (Disk.read d a);
+  Alcotest.(check int) "byte accounting updated" 7 (Disk.bytes_stored d);
+  Alcotest.(check bool) "tamper absent addr" false (Disk.Raw.tamper d 999 ~f:Fun.id)
+
+let test_snapshot_restore () =
+  let d = Disk.create ~latency:Disk.zero_latency () in
+  let a1 = Disk.write d "one" in
+  let image = Disk.Raw.snapshot d in
+  let a2 = Disk.write d "two" in
+  ignore (Disk.Raw.tamper d a1 ~f:(fun _ -> "mutated"));
+  Disk.Raw.restore d image;
+  Alcotest.(check (option string)) "rollback undoes tamper" (Some "one") (Disk.read d a1);
+  Alcotest.(check (option string)) "post-snapshot write vanished" None (Disk.read d a2);
+  let a3 = Disk.write d "three" in
+  Alcotest.(check bool) "addresses do not collide after restore" true (a3 > a2)
+
+let prop_roundtrip_many =
+  QCheck.Test.make ~name:"write/read many" ~count:100 QCheck.(small_list string) (fun contents ->
+      let d = Disk.create ~latency:Disk.zero_latency () in
+      let addrs = List.map (Disk.write d) contents in
+      List.for_all2 (fun a c -> Disk.read d a = Some c) addrs contents)
+
+let suite =
+  [
+    ("write/read", `Quick, test_write_read);
+    ("latency ledger", `Quick, test_latency_ledger);
+    ("shred semantics", `Quick, test_shred_semantics);
+    ("shred charges per pass", `Quick, test_shred_charges_per_pass);
+    ("raw delete leaves residue", `Quick, test_raw_delete_leaves_residue);
+    ("raw tamper", `Quick, test_raw_tamper);
+    ("snapshot/restore", `Quick, test_snapshot_restore);
+    QCheck_alcotest.to_alcotest prop_roundtrip_many;
+  ]
+
+let () = Alcotest.run "worm_simdisk" [ ("disk", suite) ]
