@@ -2,38 +2,136 @@
    evaluation (§5), plus wall-clock microbenchmarks of this library's own
    primitives via Bechamel.
 
-   Sections:
-     TABLE 2    primitive rates from the calibrated cost models
-     FIGURE 1   throughput vs record size, all witnessing modes
-     §4.3       the bus-limited HMAC-witnessing claim
-     §5         the I/O-bottleneck observation (disk-latency sweep)
-     ABLATION   window scheme vs Merkle tree update costs (§2.3/§4.1)
-     BECHAMEL   real wall-clock rates of the pure-OCaml primitives
-                (this machine's analogue of Table 2's columns) *)
+   Sections (run all, or a subset via --only):
+     table2     primitive rates from the calibrated cost models
+     figure1    throughput vs record size, all witnessing modes
+     hmac       the bus-limited HMAC-witnessing claim (§4.3)
+     iobound    the I/O-bottleneck observation (§5 disk-latency sweep)
+     ablation   window scheme vs Merkle tree update costs (§2.3/§4.1)
+     readmix    SCPU-free read path (§4.1)
+     storage    VRDT storage reduction via deletion windows (§4.2.1)
+     burst      maximum safe burst length per arrival rate (§4.3)
+     adaptive   adaptive witness strength across a day of load (§4.3)
+     scaling    multi-SCPU scaling (§5)
+     local      Figure 1 re-projected onto THIS host's measured rates
+     bechamel   real wall-clock rates of the pure-OCaml primitives
+
+   Flags:
+     --json <path>    also write machine-readable results (BENCH_RESULTS.json)
+     --quick          reduced record counts and Bechamel quotas (CI smoke)
+     --only <section> run just this section; repeatable *)
 
 open Bechamel
 open Toolkit
 module Sim = Worm_sim.Sim
+module Cost_model = Worm_scpu.Cost_model
 open Worm_crypto
 
 let hr title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 76 '=') title (String.make 76 '=')
 
 (* ------------------------------------------------------------------ *)
+(* Minimal JSON emitter (the sealed build ships no JSON library).
+   Floats that are nan/inf have no JSON spelling and become null. *)
 
-let print_table2 () =
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec json_to_buf buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+      else Buffer.add_string buf "null"
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (json_escape s);
+      Buffer.add_char buf '"'
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          json_to_buf buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          json_to_buf buf (Str k);
+          Buffer.add_char buf ':';
+          json_to_buf buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 4096 in
+  json_to_buf buf j;
+  Buffer.contents buf
+
+(* Sections append their machine-readable payloads here. *)
+let json_sections : (string * json) list ref = ref []
+let add_json name payload = json_sections := (name, payload) :: !json_sections
+
+let json_of_measurement (m : Sim.measurement) =
+  Obj
+    [
+      ("label", Str m.Sim.label);
+      ("record_bytes", Int m.Sim.record_bytes);
+      ("records", Int m.Sim.records);
+      ("rps", Float m.Sim.throughput_rps);
+      ("bottleneck", Str m.Sim.bottleneck);
+      ("scpu_s", Float m.Sim.scpu_s);
+      ("host_s", Float m.Sim.host_s);
+      ("disk_s", Float m.Sim.disk_s);
+      ("idle_scpu_s", Float m.Sim.idle_scpu_s);
+      ("deferred_after_idle", Int m.Sim.deferred_after_idle);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let print_table2 ~quick:_ ~env:_ =
   hr "TABLE 2 -- primitive rates (calibrated cost models vs the paper's anchors)";
+  let rows = Sim.table2 () in
   Printf.printf "%-28s %14s %14s\n" "Function" "IBM 4764" "P4 @ 3.4GHz";
-  List.iter
-    (fun r -> Printf.printf "%-28s %14s %14s\n" r.Sim.operation r.Sim.scpu r.Sim.host)
-    (Sim.table2 ());
+  List.iter (fun r -> Printf.printf "%-28s %14s %14s\n" r.Sim.operation r.Sim.scpu r.Sim.host) rows;
   Printf.printf
     "\n(paper: 4200/848/316-470 sig/s; 1.42/18.6 MB/s; 75-90 MB/s DMA on the 4764\n\
-    \        1315/261/43 sig/s; 80/120+ MB/s; 1+ GB/s on the P4)\n"
+    \        1315/261/43 sig/s; 80/120+ MB/s; 1+ GB/s on the P4)\n";
+  add_json "table2"
+    (Arr
+       (List.map
+          (fun r -> Obj [ ("operation", Str r.Sim.operation); ("scpu", Str r.Sim.scpu); ("host", Str r.Sim.host) ])
+          rows))
 
-let print_figure1 env =
+let print_figure1 ~quick ~env =
   hr "FIGURE 1 -- throughput vs record size (records/s, fast disk)";
-  let measurements = Sim.figure1 env () in
+  let records = if quick then 8 else 24 in
+  let measurements = Sim.figure1 (Lazy.force env) ~records () in
   let sizes = Worm_workload.Workload.figure1_sizes in
   let mode_labels = List.map (fun (m : Sim.mode) -> m.Sim.label) Sim.all_modes in
   Printf.printf "%-10s" "size";
@@ -56,79 +154,172 @@ let print_figure1 env =
     sizes;
   Printf.printf
     "\n(paper: 450-500 rec/s sustained without deferring; 2000-2500 rec/s with\n\
-    \ deferred 512-bit constructs, in bursts of at most the security lifetime)\n"
+    \ deferred 512-bit constructs, in bursts of at most the security lifetime)\n";
+  add_json "figure1" (Arr (List.map json_of_measurement measurements))
 
-let print_hmac env =
+let print_hmac ~quick ~env =
   hr "SECTION 4.3 -- HMAC witnessing removes the signature bottleneck";
+  let records = if quick then 8 else 24 in
   Printf.printf "%-26s %12s %12s %16s\n" "mode (1 KB records)" "rec/s" "bottleneck" "idle SCPU (ms)";
+  let rows =
+    List.map
+      (fun mode -> Sim.run_write_burst (Lazy.force env) ~mode ~record_bytes:1024 ~records ())
+      [ Sim.mode_strong_host_hash; Sim.mode_weak_host_hash; Sim.mode_mac_host_hash ]
+  in
   List.iter
-    (fun mode ->
-      let m = Sim.run_write_burst env ~mode ~record_bytes:1024 ~records:24 () in
+    (fun (m : Sim.measurement) ->
       Printf.printf "%-26s %12.0f %12s %16.2f\n" m.Sim.label m.Sim.throughput_rps m.Sim.bottleneck
         (m.Sim.idle_scpu_s *. 1e3))
-    [ Sim.mode_strong_host_hash; Sim.mode_weak_host_hash; Sim.mode_mac_host_hash ]
+    rows;
+  add_json "hmac" (Arr (List.map json_of_measurement rows))
 
-let print_iobound env =
+let print_iobound ~quick ~env =
   hr "SECTION 5 -- I/O seek latency becomes the dominant bottleneck";
+  let records = if quick then 8 else 24 in
+  let rows = Sim.io_bottleneck (Lazy.force env) ~records ~record_bytes:1024 () in
   Printf.printf "%-12s %12s %12s\n" "seek (ms)" "rec/s" "bottleneck";
   List.iter
     (fun (seek_ms, m) -> Printf.printf "%-12.1f %12.0f %12s\n" seek_ms m.Sim.throughput_rps m.Sim.bottleneck)
-    (Sim.io_bottleneck env ~record_bytes:1024 ());
-  Printf.printf "\n(paper: 3-4ms enterprise-disk latencies are ~2x the projected SCPU overhead)\n"
+    rows;
+  Printf.printf "\n(paper: 3-4ms enterprise-disk latencies are ~2x the projected SCPU overhead)\n";
+  add_json "iobound"
+    (Arr (List.map (fun (seek_ms, m) -> Obj [ ("seek_ms", Float seek_ms); ("row", json_of_measurement m) ]) rows))
 
-let print_ablation env =
+let print_ablation ~quick ~env =
   hr "ABLATION -- O(1) window authentication vs O(log n) Merkle maintenance";
+  let ns = if quick then [ 256; 4096; 65536 ] else [ 256; 1024; 4096; 16384; 65536 ] in
+  let rows = Sim.window_vs_merkle (Lazy.force env) ~ns in
   Printf.printf "%-12s %18s %18s %18s\n" "records" "window us/update" "merkle us/update" "merkle hashes/up";
   List.iter
     (fun r ->
       Printf.printf "%-12d %18.1f %18.1f %18.1f\n" r.Sim.n r.Sim.window_scpu_us_per_update
         r.Sim.merkle_scpu_us_per_update r.Sim.merkle_hashes_per_update)
-    (Sim.window_vs_merkle env ~ns:[ 256; 1024; 4096; 16384; 65536 ])
+    rows;
+  add_json "ablation"
+    (Arr
+       (List.map
+          (fun r ->
+            Obj
+              [
+                ("records", Int r.Sim.n);
+                ("window_us_per_update", Float r.Sim.window_scpu_us_per_update);
+                ("merkle_us_per_update", Float r.Sim.merkle_scpu_us_per_update);
+                ("merkle_hashes_per_update", Float r.Sim.merkle_hashes_per_update);
+              ])
+          rows))
 
-let print_storage env =
-  hr "SECTION 4.2.1 -- VRDT storage reduction via deletion windows";
-  Printf.printf "%-32s %14s %10s %10s\n" "stage" "VRDT bytes" "entries" "windows";
-  List.iter
-    (fun r -> Printf.printf "%-32s %14d %10d %10d\n" r.Sim.stage r.Sim.vrdt_bytes r.Sim.entries r.Sim.windows)
-    (Sim.storage_reduction env ())
-
-let print_burst_sustainability () =
-  hr "SECTION 4.3 -- maximum safe burst length per arrival rate (2h weak lifetime)";
-  Printf.printf "%-16s %20s %20s\n" "arrivals (rec/s)" "debt (sigs/s)" "max burst (min)";
-  List.iter
-    (fun r ->
-      Printf.printf "%-16.0f %20.0f %20.1f\n" r.Sim.arrival_rps r.Sim.debt_per_sec r.Sim.max_burst_min)
-    (Sim.burst_sustainability ());
-  Printf.printf
-    "\n(paper: 2000-2500 rec/s \"in bursts of no more than 60-180 minutes\";\n\
-    \ at 2096 rec/s the FIFO repayment bound is the binding one)\n"
-
-let print_read_mix env =
+let print_read_mix ~quick ~env =
   hr "SECTION 4.1 -- the SCPU witnesses updates only; reads are free of it";
+  let ops = if quick then 60 else 200 in
+  let rows = Sim.read_mix (Lazy.force env) ~ops ~record_bytes:1024 () in
   Printf.printf "%-16s %14s %18s %12s\n" "write fraction" "ops/s" "SCPU us/op" "bottleneck";
   List.iter
     (fun r ->
       Printf.printf "%-16.2f %14.0f %18.1f %12s\n" r.Sim.write_fraction r.Sim.ops_per_sec r.Sim.scpu_us_per_op
         r.Sim.mix_bottleneck)
-    (Sim.read_mix env ~record_bytes:1024 ())
+    rows;
+  add_json "readmix"
+    (Arr
+       (List.map
+          (fun r ->
+            Obj
+              [
+                ("write_fraction", Float r.Sim.write_fraction);
+                ("ops_per_sec", Float r.Sim.ops_per_sec);
+                ("scpu_us_per_op", Float r.Sim.scpu_us_per_op);
+                ("bottleneck", Str r.Sim.mix_bottleneck);
+              ])
+          rows))
 
-let print_adaptive_day env =
+let print_storage ~quick ~env =
+  hr "SECTION 4.2.1 -- VRDT storage reduction via deletion windows";
+  let records = if quick then 120 else 400 in
+  let rows = Sim.storage_reduction (Lazy.force env) ~records () in
+  Printf.printf "%-32s %14s %10s %10s\n" "stage" "VRDT bytes" "entries" "windows";
+  List.iter
+    (fun r -> Printf.printf "%-32s %14d %10d %10d\n" r.Sim.stage r.Sim.vrdt_bytes r.Sim.entries r.Sim.windows)
+    rows;
+  add_json "storage"
+    (Arr
+       (List.map
+          (fun r ->
+            Obj
+              [
+                ("stage", Str r.Sim.stage);
+                ("vrdt_bytes", Int r.Sim.vrdt_bytes);
+                ("entries", Int r.Sim.entries);
+                ("windows", Int r.Sim.windows);
+              ])
+          rows))
+
+let print_burst_sustainability ~quick:_ ~env:_ =
+  hr "SECTION 4.3 -- maximum safe burst length per arrival rate (2h weak lifetime)";
+  let rows = Sim.burst_sustainability () in
+  Printf.printf "%-16s %20s %20s\n" "arrivals (rec/s)" "debt (sigs/s)" "max burst (min)";
+  List.iter
+    (fun r -> Printf.printf "%-16.0f %20.0f %20.1f\n" r.Sim.arrival_rps r.Sim.debt_per_sec r.Sim.max_burst_min)
+    rows;
+  Printf.printf
+    "\n(paper: 2000-2500 rec/s \"in bursts of no more than 60-180 minutes\";\n\
+    \ at 2096 rec/s the FIFO repayment bound is the binding one)\n";
+  add_json "burst"
+    (Arr
+       (List.map
+          (fun r ->
+            Obj
+              [
+                ("arrival_rps", Float r.Sim.arrival_rps);
+                ("debt_per_sec", Float r.Sim.debt_per_sec);
+                ("max_burst_min", Float r.Sim.max_burst_min);
+              ])
+          rows))
+
+let print_adaptive_day ~quick:_ ~env =
   hr "SECTION 4.3 -- adaptive witness strength across a day of load phases";
+  let rows = Sim.adaptive_day (Lazy.force env) () in
   Printf.printf "%-18s %8s %8s %8s %8s %14s\n" "phase" "writes" "strong" "weak" "mac" "overdue after";
   List.iter
     (fun r ->
       Printf.printf "%-18s %8d %8d %8d %8d %14d\n" r.Sim.phase r.Sim.writes r.Sim.strong r.Sim.weak r.Sim.mac
         r.Sim.overdue_after)
-    (Sim.adaptive_day env ())
+    rows;
+  add_json "adaptive"
+    (Arr
+       (List.map
+          (fun r ->
+            Obj
+              [
+                ("phase", Str r.Sim.phase);
+                ("writes", Int r.Sim.writes);
+                ("strong", Int r.Sim.strong);
+                ("weak", Int r.Sim.weak);
+                ("mac", Int r.Sim.mac);
+                ("overdue_after", Int r.Sim.overdue_after);
+              ])
+          rows))
 
-let print_scaling () =
+let print_scaling ~quick ~env:_ =
   hr "SECTION 5 -- \"results naturally scale if multiple SCPUs are available\"";
+  let records = if quick then 16 else 48 in
+  let rows = Sim.multi_scpu_scaling ~records ~seed:"bench-scaling" ~scpus_list:[ 1; 2; 4; 8 ] () in
   Printf.printf "%-8s %16s %10s %12s\n" "SCPUs" "aggregate rec/s" "speedup" "bottleneck";
   List.iter
     (fun r ->
       Printf.printf "%-8d %16.0f %9.2fx %12s\n" r.Sim.scpus r.Sim.aggregate_rps r.Sim.speedup
         r.Sim.scaling_bottleneck)
-    (Sim.multi_scpu_scaling ~seed:"bench-scaling" ~scpus_list:[ 1; 2; 4; 8 ] ())
+    rows;
+  add_json "scaling"
+    (Arr
+       (List.map
+          (fun r ->
+            Obj
+              [
+                ("scpus", Int r.Sim.scpus);
+                ("aggregate_rps", Float r.Sim.aggregate_rps);
+                ("speedup", Float r.Sim.speedup);
+                ("bottleneck", Str r.Sim.scaling_bottleneck);
+              ])
+          rows))
 
 (* ------------------------------------------------------------------ *)
 
@@ -143,6 +334,8 @@ let tests =
   [
     Test.make ~name:"rsa-512-sign" (Staged.stage (fun () -> Rsa.sign (Lazy.force key512) "msg"));
     Test.make ~name:"rsa-1024-sign" (Staged.stage (fun () -> Rsa.sign (Lazy.force key1024) "msg"));
+    Test.make ~name:"rsa-1024-sign-batch8"
+      (Staged.stage (fun () -> Rsa.sign_batch (Lazy.force key1024) [ "m1"; "m2"; "m3"; "m4"; "m5"; "m6"; "m7"; "m8" ]));
     Test.make ~name:"rsa-1024-verify"
       (Staged.stage (fun () ->
            Rsa.verify (Rsa.public_of (Lazy.force key1024)) ~msg:"msg" ~signature:(Lazy.force sig1024)));
@@ -156,14 +349,17 @@ let tests =
       (Staged.stage (fun () -> Chained_hash.add Chained_hash.empty (Lazy.force block_64k)));
   ]
 
-let run_bechamel () =
+let run_bechamel ~quick ~env:_ =
   hr "BECHAMEL -- wall-clock rates of the pure-OCaml primitives on this host";
   (* force the lazies outside the measured region *)
   ignore (Lazy.force sig1024);
   ignore (Lazy.force block_1k);
   ignore (Lazy.force block_64k);
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:None () in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.08) ~kde:None ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:None ()
+  in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (Test.make_grouped ~name:"prims" tests) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
@@ -180,21 +376,143 @@ let run_bechamel () =
     (fun (name, ns) ->
       if Float.is_nan ns then Printf.printf "%-28s %16s %16s\n" name "-" "-"
       else Printf.printf "%-28s %16.0f %16.0f\n" name ns (1e9 /. ns))
-    rows
+    rows;
+  add_json "primitives"
+    (Arr
+       (List.map
+          (fun (name, ns) ->
+            Obj
+              [
+                ("name", Str name);
+                ("ns_per_op", Float ns);
+                ("ops_per_sec", (if Float.is_nan ns || ns <= 0. then Null else Float (1e9 /. ns)));
+              ])
+          rows))
+
+(* ------------------------------------------------------------------ *)
+(* Project Figure 1 onto the running host: measure this machine's actual
+   signing and hashing rates with plain wall-clock loops, calibrate a
+   Cost_model profile from them, and run the sweep. *)
+
+let time_per_op ~min_time_s ~min_iters f =
+  ignore (f ());
+  (* warm-up *)
+  let t0 = Unix.gettimeofday () in
+  let n = ref 0 in
+  let elapsed = ref 0. in
+  while !elapsed < min_time_s || !n < min_iters do
+    ignore (f ());
+    incr n;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed /. float_of_int !n
+
+let print_local ~quick ~env:_ =
+  hr "LOCAL -- Figure 1 projected onto this host's measured primitive rates";
+  let budget = if quick then 0.05 else 0.25 in
+  let sign_rate key = 1. /. time_per_op ~min_time_s:budget ~min_iters:4 (fun () -> Rsa.sign (Lazy.force key) "msg") in
+  let hash_rate block bytes =
+    float_of_int bytes /. time_per_op ~min_time_s:budget ~min_iters:16 (fun () -> Sha256.digest (Lazy.force block))
+  in
+  let r512 = sign_rate key512 in
+  let r1024 = sign_rate key1024 in
+  let h1k = hash_rate block_1k 1024 in
+  let h64k = hash_rate block_64k 65536 in
+  Printf.printf "measured: rsa-512 %.0f sig/s, rsa-1024 %.0f sig/s, sha256 %.1f / %.1f MB/s\n" r512 r1024
+    (h1k /. 1e6) (h64k /. 1e6);
+  let profile =
+    Cost_model.of_measurements ~name:"this host"
+      ~rsa_sign_anchors:[ (512, r512); (1024, r1024) ]
+      ~hash_small:(1024, h1k) ~hash_large:(65536, h64k) ()
+  in
+  let records = if quick then 6 else 16 in
+  let sizes = [ 1024; 4096; 16384; 65536 ] in
+  let rows = Sim.local_figure1 ~profile ~records ~sizes ~seed:"bench-local" () in
+  Printf.printf "%-26s %12s %12s %12s\n" "mode" "size" "rec/s" "bottleneck";
+  List.iter
+    (fun (m : Sim.measurement) ->
+      Printf.printf "%-26s %9d KB %12.0f %12s\n" m.Sim.label (m.Sim.record_bytes / 1024) m.Sim.throughput_rps
+        m.Sim.bottleneck)
+    rows;
+  add_json "local_sim"
+    (Obj
+       [
+         ( "measured",
+           Obj
+             [
+               ("rsa_512_sign_per_sec", Float r512);
+               ("rsa_1024_sign_per_sec", Float r1024);
+               ("sha256_1k_bytes_per_sec", Float h1k);
+               ("sha256_64k_bytes_per_sec", Float h64k);
+             ] );
+         ("rows", Arr (List.map json_of_measurement rows));
+       ])
 
 (* ------------------------------------------------------------------ *)
 
+let sections =
+  [
+    ("table2", print_table2);
+    ("figure1", print_figure1);
+    ("hmac", print_hmac);
+    ("iobound", print_iobound);
+    ("ablation", print_ablation);
+    ("readmix", print_read_mix);
+    ("storage", print_storage);
+    ("burst", print_burst_sustainability);
+    ("adaptive", print_adaptive_day);
+    ("scaling", print_scaling);
+    ("local", print_local);
+    ("bechamel", run_bechamel);
+  ]
+
 let () =
-  print_table2 ();
-  let env = Sim.make_env ~seed:"bench-harness" () in
-  print_figure1 env;
-  print_hmac env;
-  print_iobound env;
-  print_ablation env;
-  print_read_mix env;
-  print_storage env;
-  print_burst_sustainability ();
-  print_adaptive_day env;
-  print_scaling ();
-  run_bechamel ();
+  let json_path = ref None in
+  let quick = ref false in
+  let only = ref [] in
+  let speclist =
+    [
+      ("--json", Arg.String (fun p -> json_path := Some p), "<path>  also write machine-readable results");
+      ("--quick", Arg.Set quick, "  reduced record counts and Bechamel quotas (CI smoke)");
+      ("--only", Arg.String (fun s -> only := s :: !only), "<section>  run just this section; repeatable");
+    ]
+  in
+  let usage = "bench/main.exe [--quick] [--json <path>] [--only <section>]*\nsections: "
+              ^ String.concat ", " (List.map fst sections) in
+  Arg.parse speclist
+    (fun anon ->
+      Printf.eprintf "unexpected argument %S\n%s\n" anon usage;
+      exit 2)
+    usage;
+  let selected =
+    match !only with
+    | [] -> sections
+    | names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n sections) then begin
+              Printf.eprintf "unknown section %S\nsections: %s\n" n (String.concat ", " (List.map fst sections));
+              exit 2
+            end)
+          names;
+        List.filter (fun (n, _) -> List.mem n names) sections
+  in
+  let env = lazy (Sim.make_env ~seed:"bench-harness" ()) in
+  List.iter (fun (_, run) -> run ~quick:!quick ~env) selected;
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obj
+          [
+            ("schema", Str "worm-bench/1");
+            ("quick", Bool !quick);
+            ("sections", Obj (List.rev !json_sections));
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (json_to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path);
   Printf.printf "\nAll benchmark sections completed.\n"

@@ -46,6 +46,20 @@ let take_batch t ~max =
   in
   go [] max
 
+let take_until t ~deadline ~max =
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else begin
+      match Key_set.min_elt_opt t.entries with
+      | Some ((d, sn) as key) when Int64.compare d deadline <= 0 ->
+          t.entries <- Key_set.remove key t.entries;
+          Hashtbl.remove t.by_sn sn;
+          go ({ sn; deadline = d } :: acc) (n - 1)
+      | Some _ | None -> List.rev acc
+    end
+  in
+  go [] max
+
 let overdue t ~now =
   Key_set.fold
     (fun (deadline, sn) acc -> if Int64.compare deadline now < 0 then { sn; deadline } :: acc else acc)

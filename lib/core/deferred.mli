@@ -26,6 +26,11 @@ val peek : t -> entry option
 val take_batch : t -> max:int -> entry list
 (** Remove and return up to [max] entries, earliest deadline first. *)
 
+val take_until : t -> deadline:int64 -> max:int -> entry list
+(** Like {!take_batch}, but stops at the first entry whose deadline is
+    after [deadline] — sizes a repayment batch to the urgency horizon
+    without dequeuing work that can still wait. *)
+
 val overdue : t -> now:int64 -> entry list
 (** Entries whose deadline has already passed (a protocol failure if
     non-empty — they can no longer be safely strengthened). Does not

@@ -92,15 +92,6 @@ let signing_pub t = (Device.signing_cert t.dev).Cert.key
 let strong_bits t = (Device.config t.dev).Device.strong_bits
 let weak_bits t = (Device.config t.dev).Device.weak_bits
 
-(* Witness a statement according to the requested strength. *)
-let make_witness t ~mode msg =
-  match mode with
-  | Strong_now -> Witness.Strong (Device.sign_strong t.dev msg)
-  | Weak_deferred ->
-      let cert, signature = Device.sign_weak t.dev msg in
-      Witness.Weak { cert; signature }
-  | Mac_deferred -> Witness.Mac (Device.hmac_tag t.dev msg)
-
 (* Re-verify one of our own witnesses. Weak witnesses are honored only
    while their certificate is valid: §4.3's security-lifetime bound. *)
 let verify_witness t msg = function
@@ -139,8 +130,25 @@ let write t ~attr ~rdl ~data ~mode =
         Hashtbl.replace t.pending_audit sn ();
         hash
   in
-  let metasig = make_witness t ~mode (Wire.metasig_msg ~store_id:t.store_id ~sn ~attr_bytes) in
-  let datasig = make_witness t ~mode (Wire.datasig_msg ~store_id:t.store_id ~sn ~data_hash) in
+  let meta_msg = Wire.metasig_msg ~store_id:t.store_id ~sn ~attr_bytes in
+  let data_msg = Wire.datasig_msg ~store_id:t.store_id ~sn ~data_hash in
+  (* Both witnesses of a write go through the batch entry points so the
+     device pays per-key setup once per record, not once per signature. *)
+  let metasig, datasig =
+    match mode with
+    | Strong_now -> (
+        match Device.sign_strong_batch t.dev [ meta_msg; data_msg ] with
+        | [ s_meta; s_data ] -> (Witness.Strong s_meta, Witness.Strong s_data)
+        | _ -> assert false)
+    | Weak_deferred -> (
+        let cert, sigs = Device.sign_weak_batch t.dev [ meta_msg; data_msg ] in
+        match sigs with
+        | [ s_meta; s_data ] ->
+            (Witness.Weak { cert; signature = s_meta }, Witness.Weak { cert; signature = s_data })
+        | _ -> assert false)
+    | Mac_deferred ->
+        (Witness.Mac (Device.hmac_tag t.dev meta_msg), Witness.Mac (Device.hmac_tag t.dev data_msg))
+  in
   t.current <- sn;
   Log.debug (fun m ->
       m "write %s mode=%s expiry=%Ld" (Serial.to_string sn)
@@ -232,7 +240,11 @@ let collapse_window t ~lo ~hi =
         Ok { window_id; lo; hi; sig_lo; sig_hi }
   end
 
-let strengthen t ~vrd_bytes ~data =
+(* Phase 1 of strengthening: everything except the strong signatures —
+   decode, authenticate, re-verify the deferred datasig, and run any
+   pending data audit. Returns the record plus the two statements that
+   still need strong witnesses. *)
+let strengthen_validate t ~vrd_bytes ~data =
   let* vrd = decode_vrd vrd_bytes in
   let* () = authenticate_vrd t vrd in
   let data_msg = Wire.datasig_msg ~store_id:t.store_id ~sn:vrd.sn ~data_hash:vrd.data_hash in
@@ -258,10 +270,32 @@ let strengthen t ~vrd_bytes ~data =
       end
     in
     let meta_msg = Wire.metasig_msg ~store_id:t.store_id ~sn:vrd.sn ~attr_bytes:(Attr.to_bytes vrd.attr) in
-    let metasig = Witness.Strong (Device.sign_strong t.dev meta_msg) in
-    let datasig = Witness.Strong (Device.sign_strong t.dev data_msg) in
-    Ok { vrd with Vrd.metasig; datasig }
+    Ok (vrd, meta_msg, data_msg)
   end
+
+(* Batch strengthening: validate every entry first, then produce all the
+   strong witnesses in one signing batch (2 per surviving record), then
+   reassemble. Per-entry failures stay per-entry — one bad VRD does not
+   poison the rest of the burst. *)
+let strengthen_batch t entries =
+  let validated = List.map (fun (vrd_bytes, data) -> strengthen_validate t ~vrd_bytes ~data) entries in
+  let msgs =
+    List.concat_map (function Ok (_, meta_msg, data_msg) -> [ meta_msg; data_msg ] | Error _ -> []) validated
+  in
+  let sigs = Device.sign_strong_batch t.dev msgs in
+  let rec reassemble validated sigs =
+    match (validated, sigs) with
+    | [], _ -> []
+    | Error e :: rest, _ -> Error e :: reassemble rest sigs
+    | Ok (vrd, _, _) :: rest, s_meta :: s_data :: sigs' ->
+        Ok { vrd with Vrd.metasig = Witness.Strong s_meta; datasig = Witness.Strong s_data }
+        :: reassemble rest sigs'
+    | Ok _ :: _, _ -> assert false
+  in
+  reassemble validated sigs
+
+let strengthen t ~vrd_bytes ~data =
+  match strengthen_batch t [ (vrd_bytes, data) ] with [ r ] -> r | _ -> assert false
 
 let pending_audit t = Hashtbl.fold (fun sn () acc -> sn :: acc) t.pending_audit [] |> List.sort Serial.compare
 

@@ -107,6 +107,13 @@ val strengthen : t -> vrd_bytes:string -> data:data_source -> (Vrd.t, error) res
     For a [Claimed_hash] write this is also where the data audit
     happens: pass [Blocks] to have the SCPU rehash and compare. *)
 
+val strengthen_batch : t -> (string * data_source) list -> (Vrd.t, error) result list
+(** Strengthen a burst of records in one signing batch: all entries are
+    validated (and audited) first, then every surviving record's two
+    strong witnesses are produced through {!Worm_scpu.Device.sign_strong_batch}.
+    Results are positional, and a failing entry does not affect the
+    others — the deferred-repayment loop drives this. *)
+
 val extend_retention : t -> vrd_bytes:string -> new_retention_ns:int64 -> (Vrd.t, error) result
 (** Variable retention (the flexibility §3 notes optical WORM lacks):
     lengthen a live record's retention period and re-witness the

@@ -358,26 +358,57 @@ let read_blocks_exn t (vrd : Vrd.t) =
          | None -> failwith "Worm: data block unreadable during maintenance")
        vrd.Vrd.rdl)
 
-let strengthen_pending t ?(max = max_int) () =
-  let batch = Deferred.take_batch t.deferred ~max in
-  List.fold_left
-    (fun count { Deferred.sn; _ } ->
-      match Vrdt.find t.vrdt sn with
-      | Some (Vrdt.Active vrd) -> begin
-          let data =
-            if Hashtbl.mem t.audit_queue sn then Firmware.Blocks (read_blocks_exn t vrd)
-            else Firmware.Claimed_hash (vrd.Vrd.data_hash, 0)
-          in
-          match Firmware.strengthen t.fw ~vrd_bytes:(Vrd.to_bytes vrd) ~data with
+(* Deferred repayment drains in chunks so each trip into the firmware
+   amortizes signing setup over a whole burst without holding an
+   unboundedly large batch of VRDs in flight. *)
+let strengthen_chunk = 32
+
+let strengthen_pending t ?deadline ?(max = max_int) () =
+  let strengthened = ref 0 in
+  let taken = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let want = min strengthen_chunk (max - !taken) in
+    let batch =
+      if want <= 0 then []
+      else begin
+        match deadline with
+        | Some d -> Deferred.take_until t.deferred ~deadline:d ~max:want
+        | None -> Deferred.take_batch t.deferred ~max:want
+      end
+    in
+    if batch = [] then continue := false
+    else begin
+      taken := !taken + List.length batch;
+      let entries =
+        List.filter_map
+          (fun { Deferred.sn; _ } ->
+            match Vrdt.find t.vrdt sn with
+            | Some (Vrdt.Active vrd) ->
+                let data =
+                  if Hashtbl.mem t.audit_queue sn then Firmware.Blocks (read_blocks_exn t vrd)
+                  else Firmware.Claimed_hash (vrd.Vrd.data_hash, 0)
+                in
+                Some (sn, vrd, data)
+            | Some (Vrdt.Deleted _) | None -> None)
+          batch
+      in
+      let results =
+        Firmware.strengthen_batch t.fw (List.map (fun (_, vrd, data) -> (Vrd.to_bytes vrd, data)) entries)
+      in
+      List.iter2
+        (fun (sn, _, _) result ->
+          match result with
           | Ok vrd' ->
               Vrdt.set_active t.vrdt vrd';
               Hashtbl.remove t.audit_queue sn;
               record_op t (Journal.Op_strengthen sn);
-              count + 1
-          | Error e -> failwith ("Worm.strengthen_pending: " ^ Firmware.error_to_string e)
-        end
-      | Some (Vrdt.Deleted _) | None -> count)
-    0 batch
+              incr strengthened
+          | Error e -> failwith ("Worm.strengthen_pending: " ^ Firmware.error_to_string e))
+        entries results
+    end
+  done;
+  !strengthened
 
 let run_audits t ?(max = max_int) () =
   let pending = Hashtbl.fold (fun sn () acc -> sn :: acc) t.audit_queue [] |> List.sort Serial.compare in

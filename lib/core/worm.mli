@@ -127,10 +127,12 @@ val import_record :
 val heartbeat : t -> unit
 (** Refresh the timestamped current bound (one strong signature). *)
 
-val strengthen_pending : t -> ?max:int -> unit -> int
-(** Drain the deferred queue: upgrade weak/MAC witnesses to strong
-    signatures, running any pending data audits. Returns the number
-    strengthened. *)
+val strengthen_pending : t -> ?deadline:int64 -> ?max:int -> unit -> int
+(** Drain the deferred queue in signing batches: upgrade weak/MAC
+    witnesses to strong signatures, running any pending data audits.
+    [deadline] limits repayment to entries due by that time (an idle
+    window can pay down only what is urgent); [max] bounds how many
+    queue entries are dequeued. Returns the number strengthened. *)
 
 val run_audits : t -> ?max:int -> unit -> int
 (** Rehash [Host_hash]-mode records inside the SCPU (idle-time audit).

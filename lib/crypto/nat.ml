@@ -245,12 +245,27 @@ let mod_inverse a m =
     go m a (false, zero) (false, one)
   end
 
-(* Montgomery reduction for odd moduli (SOS variant): full product first,
-   then n rounds of single-limb reduction. *)
-type mont = { m : t; n0' : int; r2 : t; limbs : int }
+(* Montgomery arithmetic for odd moduli. Values inside the domain are
+   kept as fixed-width [limbs]-length arrays (< m, not canonicalized) so
+   the inner loops never allocate: a context carries two preallocated
+   scratch buffers that every multiply/square/reduce runs through. A
+   context is therefore NOT reentrant — one modular exponentiation at a
+   time per context — which is fine for this single-threaded codebase
+   and lets callers cache contexts per key for the signing hot path. *)
+type mont = {
+  m : t;  (* modulus, canonical: exactly [limbs] limbs, top nonzero *)
+  n0' : int;  (* -m^-1 mod 2^31 *)
+  r2 : int array;  (* R^2 mod m, fixed width *)
+  one_m : int array;  (* R mod m: Montgomery form of 1, fixed width *)
+  limbs : int;
+  tmp : int array;  (* limbs + 2: CIOS accumulator *)
+  sq : int array;  (* 2*limbs + 1: squaring / plain-reduction buffer *)
+}
+
+let mont_modulus ctx = ctx.m
 
 let mont_init (m : t) =
-  assert (not (is_even m));
+  if is_zero m || is_even m then invalid_arg "Nat.mont_init: modulus must be odd";
   let limbs = Array.length m in
   let m0 = m.(0) in
   (* Hensel lifting: five Newton steps take a 1-bit inverse to >= 32 bits. *)
@@ -261,62 +276,206 @@ let mont_init (m : t) =
   let n0' = (base_mask + 1 - !inv) land base_mask in
   let r_mod_m = modulo (shift_left one (base_bits * limbs)) m in
   let r2 = modulo (mul r_mod_m r_mod_m) m in
-  { m; n0'; r2; limbs }
+  let pad a =
+    let w = Array.make limbs 0 in
+    Array.blit a 0 w 0 (Array.length a);
+    w
+  in
+  {
+    m;
+    n0';
+    r2 = pad r2;
+    one_m = pad r_mod_m;
+    limbs;
+    tmp = Array.make (limbs + 2) 0;
+    sq = Array.make ((2 * limbs) + 1) 0;
+  }
 
-(* redc ctx t = t / R mod m, for t < m * R. *)
-let redc ctx (t0 : t) : t =
-  let n = ctx.limbs in
-  let t = Array.make ((2 * n) + 1) 0 in
-  Array.blit t0 0 t 0 (Array.length t0);
+(* dst <- src mod m where src is the [limbs+1]-wide value at [src.(off)
+   .. src.(off+limbs)] known to be < 2m (top limb 0 or 1). *)
+let mont_sub_once ctx (src : int array) off (dst : int array) =
+  let n = ctx.limbs and m = ctx.m in
+  let ge =
+    src.(off + n) > 0
+    ||
+    let rec cmp i = if i < 0 then true else if src.(off + i) <> m.(i) then src.(off + i) > m.(i) else cmp (i - 1) in
+    cmp (n - 1)
+  in
+  if ge then begin
+    let borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let d = Array.unsafe_get src (off + i) - Array.unsafe_get m i - !borrow in
+      Array.unsafe_set dst i (d land base_mask);
+      borrow := (d asr base_bits) land 1
+    done
+  end
+  else Array.blit src off dst 0 n
+
+(* Fused CIOS multiply: dst <- a*b/R mod m without materializing the
+   double-width product. Each outer round interleaves one limb of the
+   schoolbook product with one limb of the reduction, accumulating in
+   ctx.tmp; [dst] may alias [a] or [b]. *)
+let mont_mul ctx (dst : int array) (a : int array) (b : int array) =
+  let n = ctx.limbs and m = ctx.m and t = ctx.tmp in
+  Array.fill t 0 (n + 2) 0;
+  for i = 0 to n - 1 do
+    let ai = Array.unsafe_get a i in
+    (* t += a_i * b *)
+    let c = ref 0 in
+    for j = 0 to n - 1 do
+      let x = Array.unsafe_get t j + (ai * Array.unsafe_get b j) + !c in
+      Array.unsafe_set t j (x land base_mask);
+      c := x lsr base_bits
+    done;
+    let x = t.(n) + !c in
+    t.(n) <- x land base_mask;
+    t.(n + 1) <- x lsr base_bits;
+    (* t <- (t + u*m) / 2^31 *)
+    let u = (t.(0) * ctx.n0') land base_mask in
+    let c = ref ((t.(0) + (u * Array.unsafe_get m 0)) lsr base_bits) in
+    for j = 1 to n - 1 do
+      let x = Array.unsafe_get t j + (u * Array.unsafe_get m j) + !c in
+      Array.unsafe_set t (j - 1) (x land base_mask);
+      c := x lsr base_bits
+    done;
+    let x = t.(n) + !c in
+    t.(n - 1) <- x land base_mask;
+    t.(n) <- t.(n + 1) + (x lsr base_bits);
+    t.(n + 1) <- 0
+  done;
+  mont_sub_once ctx t 0 dst
+
+(* Montgomery reduction of the double-width value sitting in ctx.sq:
+   dst <- sq / R mod m (SOS rounds, in place). *)
+let mont_reduce_scratch ctx (dst : int array) =
+  let n = ctx.limbs and m = ctx.m and t = ctx.sq in
   for i = 0 to n - 1 do
     let u = (t.(i) * ctx.n0') land base_mask in
     if u <> 0 then begin
-      let carry = ref 0 in
+      let c = ref 0 in
       for j = 0 to n - 1 do
-        let x = t.(i + j) + (u * ctx.m.(j)) + !carry in
-        t.(i + j) <- x land base_mask;
-        carry := x lsr base_bits
+        let x = Array.unsafe_get t (i + j) + (u * Array.unsafe_get m j) + !c in
+        Array.unsafe_set t (i + j) (x land base_mask);
+        c := x lsr base_bits
       done;
       let k = ref (i + n) in
-      while !carry <> 0 do
-        let x = t.(!k) + !carry in
+      while !c <> 0 do
+        let x = t.(!k) + !c in
         t.(!k) <- x land base_mask;
-        carry := x lsr base_bits;
+        c := x lsr base_bits;
         incr k
       done
     end
   done;
-  let r = normalize (Array.sub t n (n + 1)) in
-  if compare r ctx.m >= 0 then sub r ctx.m else r
+  mont_sub_once ctx t n dst
 
-let montmul ctx a b = redc ctx (mul a b)
+(* Dedicated squaring: the cross products a_i*a_j (i<j) are computed
+   once, doubled by a linear shift pass, and the diagonal a_i^2 terms
+   added — about half the limb products of mont_mul — then reduced.
+   (Doubling each product inline would overflow 63-bit ints: 2*(2^31-1)^2
+   > max_int, hence the separate shift pass.) *)
+let mont_sqr ctx (dst : int array) (a : int array) =
+  let n = ctx.limbs and t = ctx.sq in
+  let len = (2 * n) + 1 in
+  Array.fill t 0 len 0;
+  for i = 0 to n - 2 do
+    let ai = Array.unsafe_get a i in
+    if ai <> 0 then begin
+      let c = ref 0 in
+      for j = i + 1 to n - 1 do
+        let x = Array.unsafe_get t (i + j) + (ai * Array.unsafe_get a j) + !c in
+        Array.unsafe_set t (i + j) (x land base_mask);
+        c := x lsr base_bits
+      done;
+      let k = ref (i + n) in
+      while !c <> 0 do
+        let x = t.(!k) + !c in
+        t.(!k) <- x land base_mask;
+        c := x lsr base_bits;
+        incr k
+      done
+    end
+  done;
+  let c = ref 0 in
+  for i = 0 to len - 1 do
+    let x = (Array.unsafe_get t i lsl 1) lor !c in
+    Array.unsafe_set t i (x land base_mask);
+    c := x lsr base_bits
+  done;
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    let ai = Array.unsafe_get a i in
+    let p = ai * ai in
+    let x = Array.unsafe_get t (2 * i) + (p land base_mask) + !c in
+    Array.unsafe_set t (2 * i) (x land base_mask);
+    let x1 = Array.unsafe_get t ((2 * i) + 1) + (p lsr base_bits) + (x lsr base_bits) in
+    Array.unsafe_set t ((2 * i) + 1) (x1 land base_mask);
+    c := x1 lsr base_bits
+  done;
+  if !c <> 0 then begin
+    let k = ref (2 * n) in
+    while !c <> 0 do
+      let x = t.(!k) + !c in
+      t.(!k) <- x land base_mask;
+      c := x lsr base_bits;
+      incr k
+    done
+  end;
+  mont_reduce_scratch ctx dst
 
 (* Fixed 4-bit windows: 4 squarings plus at most one table multiply per
    window, a ~17% multiply saving over binary square-and-multiply at RSA
    sizes. The 16-entry table costs 14 extra multiplies up front, well
    repaid beyond ~128-bit exponents; short exponents take the binary
    path. *)
-let mod_pow_mont ~base ~exp ~modulus =
-  let ctx = mont_init modulus in
-  let base = modulo base modulus in
-  if is_zero base then if is_zero exp then modulo one modulus else zero
+let mod_pow_ctx ctx ~base ~exp =
+  let n = ctx.limbs in
+  (* Bring [base] into Montgomery form without a long division. CIOS
+     tolerates one operand up to R, so an n-limb base converts directly;
+     a wider base first folds through a Montgomery reduction (valid while
+     base < m*R, i.e. bit_length base <= bit_length m + 31n - 1) and two
+     r2 multiplies undo the R^-1. Only oversized bases — never hit by the
+     RSA paths — fall back to [modulo]. *)
+  let base_m = Array.make n 0 in
+  let blen = Array.length base in
+  if blen <= n then begin
+    Array.blit base 0 base_m 0 blen;
+    mont_mul ctx base_m base_m ctx.r2
+  end
+  else if blen <= 2 * n && bit_length base <= bit_length ctx.m + (base_bits * n) - 1
+  then begin
+    Array.fill ctx.sq 0 ((2 * n) + 1) 0;
+    Array.blit base 0 ctx.sq 0 blen;
+    mont_reduce_scratch ctx base_m;
+    mont_mul ctx base_m base_m ctx.r2;
+    mont_mul ctx base_m base_m ctx.r2
+  end
   else begin
-    let base_m = montmul ctx base ctx.r2 in
-    let one_m = redc ctx ctx.r2 (* = R mod m: Montgomery form of 1 *) in
+    let b = modulo base ctx.m in
+    Array.blit b 0 base_m 0 (Array.length b);
+    mont_mul ctx base_m base_m ctx.r2
+  end;
+  let base_zero =
+    let rec all_zero i = i >= n || (base_m.(i) = 0 && all_zero (i + 1)) in
+    all_zero 0
+  in
+  if base_zero then if is_zero exp then modulo one ctx.m else zero
+  else begin
     let nbits = bit_length exp in
+    let acc = Array.make n 0 in
     if nbits <= 128 then begin
-      let acc = ref one_m in
+      Array.blit ctx.one_m 0 acc 0 n;
       for i = nbits - 1 downto 0 do
-        acc := montmul ctx !acc !acc;
-        if test_bit exp i then acc := montmul ctx !acc base_m
-      done;
-      redc ctx !acc
+        mont_sqr ctx acc acc;
+        if test_bit exp i then mont_mul ctx acc acc base_m
+      done
     end
     else begin
-      let table = Array.make 16 one_m in
-      table.(1) <- base_m;
+      let table = Array.init 16 (fun _ -> Array.make n 0) in
+      Array.blit ctx.one_m 0 table.(0) 0 n;
+      Array.blit base_m 0 table.(1) 0 n;
       for i = 2 to 15 do
-        table.(i) <- montmul ctx table.(i - 1) base_m
+        mont_mul ctx table.(i) table.(i - 1) base_m
       done;
       let windows = (nbits + 3) / 4 in
       let window_value w =
@@ -327,17 +486,21 @@ let mod_pow_mont ~base ~exp ~modulus =
         done;
         !v
       in
-      let acc = ref table.(window_value (windows - 1)) in
+      Array.blit table.(window_value (windows - 1)) 0 acc 0 n;
       for w = windows - 2 downto 0 do
-        acc := montmul ctx !acc !acc;
-        acc := montmul ctx !acc !acc;
-        acc := montmul ctx !acc !acc;
-        acc := montmul ctx !acc !acc;
+        mont_sqr ctx acc acc;
+        mont_sqr ctx acc acc;
+        mont_sqr ctx acc acc;
+        mont_sqr ctx acc acc;
         let v = window_value w in
-        if v > 0 then acc := montmul ctx !acc table.(v)
-      done;
-      redc ctx !acc
-    end
+        if v > 0 then mont_mul ctx acc acc table.(v)
+      done
+    end;
+    (* out of Montgomery form: acc / R mod m *)
+    Array.fill ctx.sq 0 ((2 * n) + 1) 0;
+    Array.blit acc 0 ctx.sq 0 n;
+    mont_reduce_scratch ctx acc;
+    normalize (Array.copy acc)
   end
 
 let mod_pow_generic ~base ~exp ~modulus =
@@ -353,7 +516,7 @@ let mod_pow ~base ~exp ~modulus =
   if is_zero modulus then raise Division_by_zero;
   if is_one modulus then zero
   else if is_even modulus then mod_pow_generic ~base ~exp ~modulus
-  else mod_pow_mont ~base ~exp ~modulus
+  else mod_pow_ctx (mont_init modulus) ~base ~exp
 
 let of_bytes_be s =
   let n = String.length s in

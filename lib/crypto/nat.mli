@@ -60,10 +60,36 @@ val mod_inverse : t -> t -> t option
 (** [mod_inverse a m] is [Some x] with [a * x = 1 (mod m)] when
     [gcd a m = 1], otherwise [None]. *)
 
+type mont
+(** Precomputed Montgomery context for a fixed odd modulus: the limb
+    inverse, [R^2 mod m], and preallocated scratch buffers for the fused
+    CIOS multiply / squaring inner loops. Building one costs a full
+    division ([R^2 mod m]); cache it per key and pass it to {!mod_pow}
+    to keep that cost off the signing hot path. A context's scratch is
+    reused across calls, so a single context must not be used from two
+    concurrent exponentiations (fine single-threaded). *)
+
+val mont_init : t -> mont
+(** @raise Invalid_argument if the modulus is zero or even. *)
+
+val mont_modulus : mont -> t
+
 val mod_pow : base:t -> exp:t -> modulus:t -> t
 (** Modular exponentiation. Uses Montgomery reduction for odd moduli and
-    a generic square-and-multiply fallback otherwise.
+    a generic square-and-multiply fallback otherwise. Builds a fresh
+    Montgomery context per call — for repeated exponentiations under one
+    modulus, build the context once and use {!mod_pow_ctx}.
     @raise Division_by_zero on a zero modulus. *)
+
+val mod_pow_ctx : mont -> base:t -> exp:t -> t
+(** [mod_pow_ctx ctx ~base ~exp] is [base^exp mod (mont_modulus ctx)]
+    through the fused-CIOS fast path, with no per-call setup — the
+    signing hot path for cached per-key contexts. *)
+
+val mod_pow_generic : base:t -> exp:t -> modulus:t -> t
+(** Reference square-and-multiply implementation (no Montgomery forms,
+    any modulus). Slow; exposed as the cross-check oracle for the fused
+    CIOS fast path. *)
 
 val of_bytes_be : string -> t
 (** Big-endian bytes to natural. The empty string is zero. *)

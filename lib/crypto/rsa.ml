@@ -10,6 +10,8 @@ type secret = {
   dp : Nat.t; (* d mod (p-1) *)
   dq : Nat.t; (* d mod (q-1) *)
   qinv : Nat.t; (* q^-1 mod p *)
+  mont_p : Nat.mont; (* cached Montgomery context for p *)
+  mont_q : Nat.mont; (* cached Montgomery context for q *)
 }
 
 let e_65537 = Nat.of_int 65537
@@ -45,22 +47,46 @@ let generate rng ~bits =
     | Some v -> v
     | None -> assert false (* p, q distinct primes *)
   in
-  { pub = { n; e = e_65537 }; d; p; q; dp = Nat.modulo d p1; dq = Nat.modulo d q1; qinv }
+  { pub = { n; e = e_65537 }; d; p; q;
+    dp = Nat.modulo d p1; dq = Nat.modulo d q1; qinv;
+    mont_p = Nat.mont_init p; mont_q = Nat.mont_init q }
 
 let public_of sk = sk.pub
 let modulus_bytes pub = (Nat.bit_length pub.n + 7) / 8
 
 let raw_apply_secret sk m =
   let m = Nat.modulo m sk.pub.n in
-  let m1 = Nat.mod_pow ~base:m ~exp:sk.dp ~modulus:sk.p in
-  let m2 = Nat.mod_pow ~base:m ~exp:sk.dq ~modulus:sk.q in
+  let m1 = Nat.mod_pow_ctx sk.mont_p ~base:m ~exp:sk.dp in
+  let m2 = Nat.mod_pow_ctx sk.mont_q ~base:m ~exp:sk.dq in
   (* h = qinv * (m1 - m2) mod p, with the subtraction lifted above zero *)
   let m2_mod_p = Nat.modulo m2 sk.p in
   let diff = Nat.modulo (Nat.sub (Nat.add m1 sk.p) m2_mod_p) sk.p in
   let h = Nat.modulo (Nat.mul sk.qinv diff) sk.p in
   Nat.add m2 (Nat.mul h sk.q)
 
-let raw_apply_public pub s = Nat.mod_pow ~base:s ~exp:pub.e ~modulus:pub.n
+(* [public] is a transparent record, so verification contexts live in a
+   small module-level memo instead of the key itself. Keyed by the
+   modulus; bounded so a stream of one-shot keys cannot grow it without
+   limit. Even/zero moduli (never produced by [generate], but [public]
+   is an open record) fall through to the generic path. *)
+let public_ctx_memo : (Nat.t, Nat.mont) Hashtbl.t = Hashtbl.create 8
+
+let public_ctx n =
+  match Hashtbl.find_opt public_ctx_memo n with
+  | Some ctx -> Some ctx
+  | None ->
+      if Nat.is_zero n || Nat.is_even n then None
+      else begin
+        if Hashtbl.length public_ctx_memo > 64 then Hashtbl.reset public_ctx_memo;
+        let ctx = Nat.mont_init n in
+        Hashtbl.add public_ctx_memo n ctx;
+        Some ctx
+      end
+
+let raw_apply_public pub s =
+  match public_ctx pub.n with
+  | Some ctx -> Nat.mod_pow_ctx ctx ~base:s ~exp:pub.e
+  | None -> Nat.mod_pow ~base:s ~exp:pub.e ~modulus:pub.n
 
 (* DER DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1). *)
 let sha256_prefix =
@@ -72,12 +98,19 @@ let emsa_pkcs1_v15 ~k msg =
   if k < tlen + 11 then invalid_arg "Rsa: modulus too small for PKCS#1 encoding";
   "\x00\x01" ^ String.make (k - tlen - 3) '\xff' ^ "\x00" ^ t
 
-let sign sk msg =
-  let k = modulus_bytes sk.pub in
+let sign_one sk ~k msg =
   let em = emsa_pkcs1_v15 ~k msg in
   let m = Nat.of_bytes_be em in
   let s = raw_apply_secret sk m in
   Nat.to_bytes_be_padded ~len:k s
+
+let sign sk msg =
+  let k = modulus_bytes sk.pub in
+  sign_one sk ~k msg
+
+let sign_batch sk msgs =
+  let k = modulus_bytes sk.pub in
+  List.map (sign_one sk ~k) msgs
 
 let verify pub ~msg ~signature =
   let k = modulus_bytes pub in

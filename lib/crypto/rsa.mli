@@ -21,6 +21,11 @@ val sign : secret -> string -> string
 (** [sign key msg] returns the PKCS#1 v1.5 signature over
     [SHA-256(msg)], as a modulus-width byte string. *)
 
+val sign_batch : secret -> string list -> string list
+(** [sign_batch key msgs] signs each message in order. Equivalent to
+    [List.map (sign key) msgs] but hoists the per-key setup so burst
+    witnessing and deferred-signature repayment pay it once. *)
+
 val verify : public -> msg:string -> signature:string -> bool
 
 val raw_apply_secret : secret -> Nat.t -> Nat.t

@@ -37,6 +37,34 @@ let host_p4 =
     hmac_fixed_ns = 500.;
   }
 
+(* Build a profile from anchors measured on the running host (the bench
+   harness feeds Bechamel numbers in) so the simulator can project
+   Figure-1 throughput for THIS machine next to the paper's hardware. *)
+let of_measurements ~name ~rsa_sign_anchors ~hash_small ~hash_large
+    ?(dma_bytes_per_sec = 1e9) ?(hmac_fixed_ns = 500.) () =
+  if rsa_sign_anchors = [] then invalid_arg "Cost_model.of_measurements: no RSA anchors";
+  let rec ascending = function
+    | (b1, r1) :: ((b2, r2) :: _ as rest) ->
+        if b1 >= b2 then invalid_arg "Cost_model.of_measurements: anchors must ascend in bits";
+        if r1 <= 0. || r2 <= 0. then invalid_arg "Cost_model.of_measurements: non-positive rate";
+        ascending rest
+    | [ (_, r) ] -> if r <= 0. then invalid_arg "Cost_model.of_measurements: non-positive rate"
+    | [] -> ()
+  in
+  ascending rsa_sign_anchors;
+  let (b1, r1) = hash_small and (b2, r2) = hash_large in
+  if b1 <= 0 || b2 <= b1 || r1 <= 0. || r2 <= 0. then
+    invalid_arg "Cost_model.of_measurements: bad hash anchors";
+  let overhead, peak = hash_params ~small:hash_small ~large:hash_large in
+  {
+    name;
+    rsa_sign_anchors;
+    hash_call_overhead_ns = max 0. overhead;
+    hash_bytes_per_sec = peak;
+    dma_bytes_per_sec;
+    hmac_fixed_ns;
+  }
+
 let rsa_sign_sec profile ~bits =
   if bits <= 0 then invalid_arg "Cost_model.rsa_sign: non-positive bits";
   let anchors = profile.rsa_sign_anchors in

@@ -33,6 +33,25 @@ type profile = {
 val ibm_4764 : profile
 val host_p4 : profile
 
+val of_measurements :
+  name:string ->
+  rsa_sign_anchors:(int * float) list ->
+  hash_small:int * float ->
+  hash_large:int * float ->
+  ?dma_bytes_per_sec:float ->
+  ?hmac_fixed_ns:float ->
+  unit ->
+  profile
+(** Calibrate a profile from rates measured on the running host:
+    [rsa_sign_anchors] are (modulus bits, signatures/s) ascending in
+    bits; [hash_small]/[hash_large] are (block bytes, bytes/s) at two
+    block sizes, decomposed into per-call overhead + streaming peak the
+    same way the Table-2 profiles are. Defaults assume a host-class
+    memory bus (1 GB/s DMA) and in-process HMAC (500 ns fixed). The
+    bench harness uses this to project the paper's Figure-1 sweep onto
+    the machine the benchmarks just ran on.
+    @raise Invalid_argument on empty, unsorted, or non-positive anchors. *)
+
 val rsa_sign_ns : profile -> bits:int -> int64
 val rsa_sign_per_sec : profile -> bits:int -> float
 

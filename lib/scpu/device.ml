@@ -141,6 +141,32 @@ let sign_weak t msg =
   t.stats <- { t.stats with weak_signs = t.stats.weak_signs + 1 };
   (k.weak_cert, Rsa.sign k.weak msg)
 
+(* Batch variants: one trip through the key material for a whole burst.
+   The ledger still charges per signature — amortization buys back the
+   host-side setup, not the modular exponentiations themselves. *)
+
+let sign_strong_batch t msgs =
+  let k = keys t in
+  let count = List.length msgs in
+  charge t (Int64.mul (Int64.of_int count) (Cost_model.rsa_sign_ns t.config.profile ~bits:t.config.strong_bits));
+  t.stats <- { t.stats with strong_signs = t.stats.strong_signs + count };
+  Rsa.sign_batch k.signing msgs
+
+let sign_deletion_batch t msgs =
+  let k = keys t in
+  let count = List.length msgs in
+  charge t (Int64.mul (Int64.of_int count) (Cost_model.rsa_sign_ns t.config.profile ~bits:t.config.strong_bits));
+  t.stats <- { t.stats with deletion_signs = t.stats.deletion_signs + count };
+  Rsa.sign_batch k.deletion msgs
+
+let sign_weak_batch t msgs =
+  rotate_weak_if_needed t;
+  let k = keys t in
+  let count = List.length msgs in
+  charge t (Int64.mul (Int64.of_int count) (Cost_model.rsa_sign_ns t.config.profile ~bits:t.config.weak_bits));
+  t.stats <- { t.stats with weak_signs = t.stats.weak_signs + count };
+  (k.weak_cert, Rsa.sign_batch k.weak msgs)
+
 let hmac_tag t msg =
   let k = keys t in
   charge t (Cost_model.hmac_ns t.config.profile ~bytes:(String.length msg));

@@ -80,6 +80,18 @@ val sign_deletion : t -> string -> string
 val sign_weak : t -> string -> Worm_crypto.Cert.t * string
 (** Sign with the current short-lived key; returns its certificate. *)
 
+val sign_strong_batch : t -> string list -> string list
+(** [sign_strong_batch t msgs] signs every message with s in order.
+    Charges and counts one strong signature per message; the batch form
+    amortizes per-key setup across the burst (§4.3). *)
+
+val sign_deletion_batch : t -> string list -> string list
+
+val sign_weak_batch : t -> string list -> Worm_crypto.Cert.t * string list
+(** Batch form of {!sign_weak}. The key is rotated (at most once) before
+    the batch, so every signature in it verifies under the single
+    returned certificate. *)
+
 val hmac_tag : t -> string -> string
 (** MAC under a device-internal key (fastest deferred mode, §4.3). Only
     this device can verify. *)

@@ -90,6 +90,16 @@ let figure1 env ?(records = 24) () =
         Worm_workload.Workload.figure1_sizes)
     all_modes
 
+(* Figure 1 re-projected onto a profile calibrated from rates measured
+   on the running host (Cost_model.of_measurements): what THIS machine
+   would sustain as the SCPU, next to the paper's 2008 hardware. *)
+let local_figure1 ~profile ?(records = 24) ?sizes ~seed () =
+  let env = make_env ~profile ~seed () in
+  let sizes = Option.value sizes ~default:Worm_workload.Workload.figure1_sizes in
+  List.concat_map
+    (fun mode -> List.map (fun record_bytes -> run_write_burst env ~mode ~record_bytes ~records ()) sizes)
+    all_modes
+
 let io_bottleneck env ?(records = 24) ~record_bytes () =
   let seeks_ms = [ 0.0; 0.5; 1.0; 2.0; 3.5; 5.0; 8.0 ] in
   List.map

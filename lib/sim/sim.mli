@@ -77,6 +77,14 @@ val figure1 : env -> ?records:int -> unit -> measurement list
 (** The full Figure 1 sweep: {!all_modes} x {!Worm_workload.Workload.figure1_sizes},
     on a fast disk so the WORM layer (not I/O) is what is measured. *)
 
+val local_figure1 :
+  profile:Worm_scpu.Cost_model.profile -> ?records:int -> ?sizes:int list -> seed:string -> unit -> measurement list
+(** Figure 1 with the SCPU cost model replaced by a profile calibrated
+    from measurements on the running host (see
+    {!Worm_scpu.Cost_model.of_measurements}): projects what this machine
+    would sustain in each witnessing mode. Provisions its own
+    environment so the caller's [env] profile is undisturbed. *)
+
 val io_bottleneck : env -> ?records:int -> record_bytes:int -> unit -> (float * measurement) list
 (** §5's closing observation: sweep disk seek latency 0–8 ms and watch
     the bottleneck shift from the WORM layer to I/O. Returns

@@ -8,11 +8,18 @@ let check_hex name expected actual = Alcotest.(check string) name expected (Hex.
 
 (* ---------- SHA-256 (FIPS vectors) ---------- *)
 
+(* NIST 896-bit two-block message (FIPS 180-4 appendix): exercises the
+   multi-block compression path with padding spilling into a third block. *)
+let nist_896 =
+  "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+  ^ "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+
 let test_sha256_vectors () =
   check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" (Sha256.digest "");
   check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" (Sha256.digest "abc");
   check_hex "448-bit" "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
     (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "896-bit" "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" (Sha256.digest nist_896);
   check_hex "million a" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
     (Sha256.digest (String.make 1_000_000 'a'))
 
@@ -21,7 +28,46 @@ let test_sha1_vectors () =
   check_hex "abc" "a9993e364706816aba3e25717850c26c9cd0d89d" (Sha1.digest "abc");
   check_hex "448-bit" "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
     (Sha1.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "896-bit" "a49b2446a02c645bf419f995b67091253a04a259" (Sha1.digest nist_896);
   check_hex "million a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f" (Sha1.digest (String.make 1_000_000 'a'))
+
+(* Deterministic streaming checks: feed the 896-bit vector in pieces cut
+   at odd offsets so every partial-block buffer state gets crossed
+   (1-byte feeds, a cut mid-first-block, a cut one byte past the block
+   boundary, and 7-byte strides that never align with 64). *)
+let test_streaming_odd_offsets () =
+  let feed_at_cuts feed ctx cuts =
+    let n = String.length nist_896 in
+    let cuts = List.sort_uniq compare (List.filter (fun c -> c > 0 && c < n) cuts) @ [ n ] in
+    ignore
+      (List.fold_left
+         (fun start p ->
+           feed ctx (String.sub nist_896 start (p - start));
+           p)
+         0 cuts)
+  in
+  let strides k = List.init (String.length nist_896 / k) (fun i -> (i + 1) * k) in
+  let check256 name cuts =
+    let ctx = Sha256.init () in
+    feed_at_cuts Sha256.feed ctx cuts;
+    check_hex name "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" (Sha256.get ctx)
+  in
+  let check1 name cuts =
+    let ctx = Sha1.init () in
+    feed_at_cuts Sha1.feed ctx cuts;
+    check_hex name "a49b2446a02c645bf419f995b67091253a04a259" (Sha1.get ctx)
+  in
+  List.iter
+    (fun (name, cuts) ->
+      check256 ("sha256 " ^ name) cuts;
+      check1 ("sha1 " ^ name) cuts)
+    [
+      ("byte at a time", strides 1);
+      ("7-byte strides", strides 7);
+      ("cut mid-block", [ 37 ]);
+      ("cut at 63/64/65", [ 63; 64; 65 ]);
+      ("uneven trio", [ 1; 66; 111 ]);
+    ]
 
 (* Incremental feeding must agree with one-shot digestion regardless of
    chunking — this exercises the partial-block buffer paths. *)
@@ -142,6 +188,7 @@ let suite =
   [
     ("sha256 FIPS vectors", `Quick, test_sha256_vectors);
     ("sha1 FIPS vectors", `Quick, test_sha1_vectors);
+    ("streaming at odd offsets", `Quick, test_streaming_odd_offsets);
     ("context reuse rejected", `Quick, test_ctx_reuse_rejected);
     ("hmac-sha256 RFC vectors", `Quick, test_hmac_sha256_vectors);
     ("hmac-sha1 RFC vectors", `Quick, test_hmac_sha1_vectors);

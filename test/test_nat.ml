@@ -92,6 +92,42 @@ let prop_mod_pow_homomorphism =
       let rhs = Nat.modulo (Nat.mul (Nat.mod_pow ~base:a ~exp:e1 ~modulus:m) (Nat.mod_pow ~base:a ~exp:e2 ~modulus:m)) m in
       Nat.equal lhs rhs)
 
+let prop_ctx_agrees_generic =
+  (* The fused-CIOS fast path must agree with the reference
+     square-and-multiply on random odd moduli of mixed widths,
+     including double-width bases (the CRT signing shape). *)
+  t "mod_pow_ctx agrees with mod_pow_generic" arb_triple (fun (base, exp, m) ->
+      QCheck.assume (Nat.compare m Nat.two > 0 && not (Nat.is_even m));
+      let ctx = Nat.mont_init m in
+      Nat.equal (Nat.mod_pow_ctx ctx ~base ~exp) (Nat.mod_pow_generic ~base ~exp ~modulus:m))
+
+let prop_ctx_reuse =
+  (* One cached context across many exponentiations: scratch-buffer
+     reuse must not leak state between calls. *)
+  t "context reuse is stateless" arb_pair (fun (m, seed) ->
+      QCheck.assume (Nat.compare m Nat.two > 0 && not (Nat.is_even m));
+      let ctx = Nat.mont_init m in
+      let rng = Drbg.create ~seed:(Nat.to_decimal seed) in
+      List.for_all
+        (fun _ ->
+          let base = Drbg.nat_bits rng 300 and exp = Drbg.nat_bits rng 80 in
+          Nat.equal (Nat.mod_pow_ctx ctx ~base ~exp) (Nat.mod_pow_generic ~base ~exp ~modulus:m))
+        [ (); (); (); () ])
+
+let test_mont_ctx () =
+  Alcotest.check_raises "mont_init even" (Invalid_argument "Nat.mont_init: modulus must be odd")
+    (fun () -> ignore (Nat.mont_init (Nat.of_int 10)));
+  Alcotest.check_raises "mont_init zero" (Invalid_argument "Nat.mont_init: modulus must be odd")
+    (fun () -> ignore (Nat.mont_init Nat.zero));
+  let m = Nat.of_int 1_000_000_007 in
+  let ctx = Nat.mont_init m in
+  Alcotest.check nat "mont_modulus" m (Nat.mont_modulus ctx);
+  Alcotest.check nat "ctx mod_pow known" (Nat.of_int 976371285)
+    (Nat.mod_pow_ctx ctx ~base:Nat.two ~exp:(Nat.of_int 100));
+  Alcotest.check nat "ctx base multiple of m" Nat.zero
+    (Nat.mod_pow_ctx ctx ~base:(Nat.mul m (Nat.of_int 7)) ~exp:(Nat.of_int 5));
+  Alcotest.check nat "ctx zero exponent" Nat.one (Nat.mod_pow_ctx ctx ~base:(Nat.of_int 42) ~exp:Nat.zero)
+
 let prop_mod_inverse =
   t "mod_inverse correct" arb_pair (fun (a, m) ->
       QCheck.assume (Nat.compare m Nat.two > 0);
@@ -160,6 +196,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_bit_length;
     QCheck_alcotest.to_alcotest prop_mod_pow_agrees;
     QCheck_alcotest.to_alcotest prop_mod_pow_homomorphism;
+    ("montgomery context", `Quick, test_mont_ctx);
+    QCheck_alcotest.to_alcotest prop_ctx_agrees_generic;
+    QCheck_alcotest.to_alcotest prop_ctx_reuse;
     QCheck_alcotest.to_alcotest prop_mod_inverse;
     QCheck_alcotest.to_alcotest prop_gcd_divides;
   ]

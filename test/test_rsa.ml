@@ -69,6 +69,18 @@ let test_raw_roundtrip () =
   Alcotest.(check bool) "CRT private op inverts public op" true
     (Nat.equal (Nat.modulo m pub.Rsa.n) (Rsa.raw_apply_public pub c))
 
+let test_sign_batch () =
+  let key = Lazy.force key512 in
+  let pub = Rsa.public_of key in
+  let msgs = [ ""; "a"; "batch message"; String.make 300 'x' ] in
+  let sigs = Rsa.sign_batch key msgs in
+  Alcotest.(check int) "one signature per message" (List.length msgs) (List.length sigs);
+  Alcotest.(check (list string)) "batch equals sequential" (List.map (Rsa.sign key) msgs) sigs;
+  List.iter2
+    (fun msg signature -> Alcotest.(check bool) "batch signature verifies" true (Rsa.verify pub ~msg ~signature))
+    msgs sigs;
+  Alcotest.(check (list string)) "empty batch" [] (Rsa.sign_batch key [])
+
 let prop_sign_verify =
   QCheck.Test.make ~name:"sign/verify on random messages" ~count:30 QCheck.string (fun msg ->
       let key = Lazy.force key512 in
@@ -155,6 +167,7 @@ let suite =
     ("tampered signature rejected", `Quick, test_signature_tamper_detected);
     ("cross-key rejected", `Quick, test_cross_key_rejected);
     ("raw CRT roundtrip", `Quick, test_raw_roundtrip);
+    ("batch signing", `Quick, test_sign_batch);
     ("small modulus rejected", `Quick, test_generate_rejects_small);
     ("public key codec", `Quick, test_public_codec);
     ("fingerprint stable", `Quick, test_fingerprint_stable);

@@ -119,6 +119,47 @@ let test_ledger_and_stats () =
   Alcotest.(check int) "hash ops" 1 st.Device.hash_ops;
   Alcotest.(check int) "dma bytes" 65536 st.Device.dma_bytes
 
+let test_batch_signing () =
+  let dev, _ = fresh_device () in
+  let msgs = [ "r1"; "r2"; "r3" ] in
+  (* batch output must be indistinguishable from the one-at-a-time path *)
+  let batch = Device.sign_strong_batch dev msgs in
+  Alcotest.(check (list string)) "strong batch = sequential" (List.map (Device.sign_strong dev) msgs) batch;
+  Device.reset_busy dev;
+  let before = Device.stats dev in
+  let _ = Device.sign_strong_batch dev msgs in
+  let st = Device.stats dev in
+  Alcotest.(check int) "batch counts every signature" (before.Device.strong_signs + 3) st.Device.strong_signs;
+  let per_sig = Cost_model.rsa_sign_ns (Device.config dev).Device.profile ~bits:(Device.config dev).Device.strong_bits in
+  Alcotest.(check int64) "batch charges per signature" (Int64.mul 3L per_sig) (Device.busy_ns dev);
+  (* weak batch: one cert covers the whole batch *)
+  let cert, wsigs = Device.sign_weak_batch dev msgs in
+  List.iter2
+    (fun msg signature ->
+      Alcotest.(check bool) "weak batch member verifies" true (Rsa.verify cert.Cert.key ~msg ~signature))
+    msgs wsigs;
+  let dsigs = Device.sign_deletion_batch dev msgs in
+  let dcert = Device.deletion_cert dev in
+  List.iter2
+    (fun msg signature ->
+      Alcotest.(check bool) "deletion batch member verifies" true (Rsa.verify dcert.Cert.key ~msg ~signature))
+    msgs dsigs
+
+let test_of_measurements () =
+  let p =
+    Cost_model.of_measurements ~name:"local" ~rsa_sign_anchors:[ (512, 4000.); (1024, 900.) ]
+      ~hash_small:(1024, 50e6) ~hash_large:(65536, 200e6) ()
+  in
+  close "anchor 512 reproduced" 4000. (Cost_model.rsa_sign_per_sec p ~bits:512);
+  close "anchor 1024 reproduced" 900. (Cost_model.rsa_sign_per_sec p ~bits:1024);
+  close "hash small reproduced" 50. (Cost_model.hash_mb_per_sec p ~block_bytes:1024);
+  close "hash large reproduced" 200. (Cost_model.hash_mb_per_sec p ~block_bytes:65536);
+  Alcotest.check_raises "unsorted anchors"
+    (Invalid_argument "Cost_model.of_measurements: anchors must ascend in bits") (fun () ->
+      ignore
+        (Cost_model.of_measurements ~name:"bad" ~rsa_sign_anchors:[ (1024, 900.); (512, 4000.) ]
+           ~hash_small:(1024, 50e6) ~hash_large:(65536, 200e6) ()))
+
 let test_hmac_internal () =
   let dev, _ = fresh_device () in
   let tag = Device.hmac_tag dev "record" in
@@ -163,6 +204,8 @@ let suite =
     ("weak key chain", `Quick, test_weak_key_chain);
     ("weak key rotation", `Quick, test_weak_key_rotation);
     ("ledger and stats", `Quick, test_ledger_and_stats);
+    ("batch signing", `Quick, test_batch_signing);
+    ("profile from measurements", `Quick, test_of_measurements);
     ("internal hmac", `Quick, test_hmac_internal);
     ("deterministic provisioning", `Quick, test_deterministic_provisioning);
     ("tamper response", `Quick, test_tamper_response);
