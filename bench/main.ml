@@ -298,6 +298,38 @@ let print_adaptive_day ~quick:_ ~env =
               ])
           rows))
 
+let print_audit ~quick ~env =
+  hr "CONTINUOUS AUDIT -- scrub overhead vs ingest throughput per slice budget";
+  let records = if quick then 60 else 150 in
+  let rows = Sim.audit_overhead (Lazy.force env) ~records () in
+  Printf.printf "%-12s %10s %10s %12s %14s %14s %10s %9s\n" "budget (ms)" "scanned" "slices" "recs/slice"
+    "baseline r/s" "w/ scrub r/s" "overhead" "findings";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12.1f %10d %10d %12.1f %14.1f %14.1f %9.1f%% %9d\n" r.Sim.slice_budget_ms r.Sim.audit_records
+        r.Sim.audit_slices r.Sim.scanned_per_slice r.Sim.audit_baseline_rps r.Sim.with_scrub_rps
+        r.Sim.audit_overhead_pct r.Sim.audit_findings)
+    rows;
+  Printf.printf "\n(budget trades audit latency against per-tick jitter; total scrub work is constant.\n\
+                \ findings must be 0 on an honest store)\n";
+  add_json "audit"
+    (Arr
+       (List.map
+          (fun r ->
+            Obj
+              [
+                ("slice_budget_ms", Float r.Sim.slice_budget_ms);
+                ("records_scanned", Int r.Sim.audit_records);
+                ("slices", Int r.Sim.audit_slices);
+                ("scanned_per_slice", Float r.Sim.scanned_per_slice);
+                ("scrub_host_s", Float r.Sim.scrub_host_s);
+                ("baseline_rps", Float r.Sim.audit_baseline_rps);
+                ("with_scrub_rps", Float r.Sim.with_scrub_rps);
+                ("overhead_pct", Float r.Sim.audit_overhead_pct);
+                ("findings", Int r.Sim.audit_findings);
+              ])
+          rows))
+
 let print_scaling ~quick ~env:_ =
   hr "SECTION 5 -- \"results naturally scale if multiple SCPUs are available\"";
   let records = if quick then 16 else 48 in
@@ -461,6 +493,7 @@ let sections =
     ("storage", print_storage);
     ("burst", print_burst_sustainability);
     ("adaptive", print_adaptive_day);
+    ("audit", print_audit);
     ("scaling", print_scaling);
     ("local", print_local);
     ("bechamel", run_bechamel);

@@ -15,6 +15,7 @@
      tamper <sn>                            insider: flip a data byte
      hide <sn>                              insider: expunge the record
      rewrite-history <seq>                  insider: falsify a journal entry
+     audit [json]                           full compliance scrub (+ JSON report)
      status                                 store counters
      help                                   this text
      quit
@@ -32,7 +33,7 @@ module Drbg = Worm_crypto.Drbg
 let usage =
   "commands: write <secs> <data> | read <sn> | advance <secs> | expire |\n\
   \          hold <sn> <case> <secs> | release <sn> | extend <sn> <secs> |\n\
-  \          idle | compact | journal | anchor | status |\n\
+  \          idle | compact | journal | anchor | audit [json] | status |\n\
   \          tamper <sn> | hide <sn> | rewrite-history <seq> | help | quit"
 
 let () =
@@ -143,6 +144,17 @@ let () =
                    then "rewritten (try 'journal')"
                    else "no such entry")
             | None -> Printf.printf "-> journal disabled\n"
+          end
+        | [ "audit" ] | [ "audit"; "json" ] -> begin
+            let scrubber = Worm_audit.Scrubber.create ~store ~client () in
+            let report = Worm_audit.Scrubber.run_pass scrubber in
+            match String.split_on_char ' ' (String.trim line) with
+            | [ "audit"; "json" ] -> print_endline (Worm_audit.Report.to_json report)
+            | _ ->
+                Printf.printf "-> %s\n" (Worm_audit.Report.summary report);
+                List.iter
+                  (fun f -> Printf.printf "->   %s\n" (Format.asprintf "%a" Worm_audit.Finding.pp f))
+                  report.Worm_audit.Report.findings
           end
         | [ "idle" ] ->
             Worm.idle_tick store;

@@ -27,6 +27,7 @@ type error =
   | No_hold_present
   | Malformed_vrd
   | Retention_shortening
+  | Not_deleted
 
 let error_to_string = function
   | Not_expired t -> Printf.sprintf "retention has not lapsed (runs until %Ld)" t
@@ -42,6 +43,7 @@ let error_to_string = function
   | No_hold_present -> "record carries no litigation hold"
   | Malformed_vrd -> "VRD failed to decode"
   | Retention_shortening -> "retention periods may be extended, never shortened"
+  | Not_deleted -> "the SCPU has no record of this serial being deleted"
 
 (* Freshness tolerance on litigation credentials. *)
 let credential_tolerance_ns = Worm_simclock.Clock.ns_of_min 10.
@@ -298,6 +300,23 @@ let strengthen t ~vrd_bytes ~data =
   match strengthen_batch t [ (vrd_bytes, data) ] with [ r ] -> r | _ -> assert false
 
 let pending_audit t = Hashtbl.fold (fun sn () acc -> sn :: acc) t.pending_audit [] |> List.sort Serial.compare
+
+(* The host may only ADD audit obligations, never discharge them; marking
+   a live record pending forces a DMA re-hash on the next idle audit. *)
+let reaudit t ~sn =
+  if Serial.(sn <= t.current) && not (is_deleted t sn) then Hashtbl.replace t.pending_audit sn ()
+
+(* Signing S_d(SN) is sound for any SN the SCPU positively knows is
+   deleted: members of the deleted set, or anything the base bound has
+   already absorbed. Live or unallocated serials are refused — this can
+   repair a lost proof but never manufacture one. *)
+let reissue_deletion_proof t ~sn =
+  if Serial.(sn >= Serial.first) && (Serial.(sn < t.base) || Serial.Set.mem sn t.deleted) then begin
+    let proof = Device.sign_deletion t.dev (Wire.deletion_msg ~store_id:t.store_id ~sn) in
+    Log.info (fun m -> m "deletion proof re-issued for %s" (Serial.to_string sn));
+    Ok proof
+  end
+  else Error Not_deleted
 
 let audit t ~vrd_bytes ~blocks =
   let* vrd = decode_vrd vrd_bytes in

@@ -62,6 +62,7 @@ type error =
   | No_hold_present
   | Malformed_vrd
   | Retention_shortening  (** retention may be extended, never shortened *)
+  | Not_deleted  (** deletion-proof re-issue refused: the SN is not known deleted *)
 
 val error_to_string : error -> string
 
@@ -128,6 +129,17 @@ val audit : t -> vrd_bytes:string -> blocks:string list -> (unit, error) result
 (** Idle-time data audit for a [Claimed_hash] write: DMA the data in,
     rehash, and compare against the hash the datasig committed to.
     [Audit_mismatch] means the host lied at write time. *)
+
+val reaudit : t -> sn:Serial.t -> unit
+(** Mark a live record pending so the next idle audit re-hashes its data
+    (used after a repair restored blocks from a mirror). Safe to expose:
+    the host can only {e add} audit obligations, never discharge one. *)
+
+val reissue_deletion_proof : t -> sn:Serial.t -> (string, error) result
+(** Re-sign [S_d(SN)] for a serial the SCPU positively knows is deleted
+    (deleted-set member or below the base bound) — repairs a
+    host-side-lost deletion proof. [Not_deleted] for live or unallocated
+    serials: this entry point can restore evidence, never fabricate it. *)
 
 val lit_hold :
   t ->

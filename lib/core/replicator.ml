@@ -1,9 +1,62 @@
 module Disk = Worm_simdisk.Disk
 module Chained_hash = Worm_crypto.Chained_hash
+module Rsa = Worm_crypto.Rsa
+module Cert = Worm_crypto.Cert
 
-type t = { primary : Worm.t; mirror : Worm.t; pairs : (Serial.t, Serial.t) Hashtbl.t }
+type t = {
+  primary : Worm.t;
+  mirror : Worm.t;
+  pairs : (Serial.t, Serial.t) Hashtbl.t;
+  (* Off-store copies of the primary's signed VRD bytes, keyed by primary
+     SN. These are untrusted host state like everything else here — what
+     makes them usable for repair is that the witnesses inside are
+     self-certifying under the primary SCPU's certificates, so a healed
+     VRDT entry carries exactly the signatures the SCPU once issued. *)
+  vrd_backups : (Serial.t, string) Hashtbl.t;
+}
 
-let create ~primary ~mirror = { primary; mirror; pairs = Hashtbl.create 256 }
+(* Verify a backup witness under the primary SCPU's signing certificate.
+   Mirrors the client-side check: strong = long-term key s; weak = a
+   short-term cert chained under s and still within its validity at the
+   device's current time. MACs are opaque to the host, so a MAC backup
+   never verifies (it is refreshed once strengthening lands). *)
+let witness_verifies t msg witness =
+  let signing = (Firmware.signing_cert (Worm.firmware t.primary)).Cert.key in
+  let now = Worm_scpu.Device.now (Firmware.device (Worm.firmware t.primary)) in
+  match witness with
+  | Witness.Strong signature -> Rsa.verify signing ~msg ~signature
+  | Witness.Weak { cert; signature } ->
+      Cert.verify ~ca:signing ~now cert
+      && cert.Cert.role = Cert.Scpu_short_term
+      && Rsa.verify cert.Cert.key ~msg ~signature
+  | Witness.Mac _ -> false
+
+let vrd_verifies t (vrd : Vrd.t) =
+  let store_id = Worm.store_id t.primary in
+  let meta_msg = Wire.metasig_msg ~store_id ~sn:vrd.Vrd.sn ~attr_bytes:(Attr.to_bytes vrd.Vrd.attr) in
+  let data_msg = Wire.datasig_msg ~store_id ~sn:vrd.Vrd.sn ~data_hash:vrd.Vrd.data_hash in
+  witness_verifies t meta_msg vrd.Vrd.metasig && witness_verifies t data_msg vrd.Vrd.datasig
+
+let backup_vrd t sn =
+  match Vrdt.find (Worm.vrdt t.primary) sn with
+  | Some (Vrdt.Active vrd) -> Hashtbl.replace t.vrd_backups sn (Vrd.to_bytes vrd)
+  | Some (Vrdt.Deleted _) | None -> ()
+
+(* Refresh backups whose live VRD now carries verifiably better
+   witnesses (e.g. strengthening upgraded a weak/MAC pair). Only
+   verified bytes may displace a backup — a corrupted live entry must
+   never overwrite the good copy it would later be healed from. *)
+let refresh_backups t =
+  Hashtbl.iter
+    (fun sn bytes ->
+      match Vrdt.find (Worm.vrdt t.primary) sn with
+      | Some (Vrdt.Active vrd) when Vrd.to_bytes vrd <> bytes && vrd_verifies t vrd ->
+          Hashtbl.replace t.vrd_backups sn (Vrd.to_bytes vrd)
+      | Some (Vrdt.Deleted _) | None -> Hashtbl.remove t.vrd_backups sn
+      | Some (Vrdt.Active _) -> ())
+    (Hashtbl.copy t.vrd_backups)
+
+let create ~primary ~mirror = { primary; mirror; pairs = Hashtbl.create 256; vrd_backups = Hashtbl.create 256 }
 let primary t = t.primary
 let mirror t = t.mirror
 
@@ -11,6 +64,7 @@ let write ?witness t ~policy ~blocks =
   let p = Worm.write ?witness t.primary ~policy ~blocks in
   let m = Worm.write ?witness t.mirror ~policy ~blocks in
   Hashtbl.replace t.pairs p m;
+  backup_vrd t p;
   (p, m)
 
 let mirror_sn t sn = Hashtbl.find_opt t.pairs sn
@@ -21,7 +75,8 @@ let expire_due t = (count_deletions (Worm.expire_due t.primary), count_deletions
 
 let idle_tick t =
   Worm.idle_tick t.primary;
-  Worm.idle_tick t.mirror
+  Worm.idle_tick t.mirror;
+  refresh_backups t
 
 type divergence = {
   primary_sn : Serial.t;
@@ -84,6 +139,27 @@ let heal_data t ~sn =
         vrd.Vrd.rdl blocks
     in
     if rdl' <> vrd.Vrd.rdl then Vrdt.set_active (Worm.vrdt t.primary) { vrd with Vrd.rdl = rdl' };
+    Ok ()
+  end
+
+let heal_witness t ~sn =
+  let* bytes =
+    match Hashtbl.find_opt t.vrd_backups sn with
+    | Some b -> Ok b
+    | None -> Error "no VRD backup for this serial"
+  in
+  let* backup = Vrd.of_bytes bytes in
+  let* live =
+    match Vrdt.find (Worm.vrdt t.primary) sn with
+    | Some (Vrdt.Active vrd) -> Ok vrd
+    | Some (Vrdt.Deleted _) -> Error "record is deleted on the primary"
+    | None -> Error "primary VRDT entry missing (use heal_missing)"
+  in
+  if not (vrd_verifies t backup) then Error "backup witnesses do not verify (backup also damaged?)"
+  else begin
+    (* Keep the live rdl: physical placement is unsigned host plumbing
+       and may legitimately have moved since the backup was taken. *)
+    Vrdt.set_active (Worm.vrdt t.primary) { backup with Vrd.rdl = live.Vrd.rdl };
     Ok ()
   end
 

@@ -55,6 +55,15 @@ val heal_data : t -> sn:Serial.t -> (unit, string) result
     the pair is unknown, the mirror copy does not verify, or the
     mirror's bytes do not match the primary datasig's hash. *)
 
+val heal_witness : t -> sn:Serial.t -> (unit, string) result
+(** Restore a primary record's VRDT entry (attributes, hashes, the two
+    witnesses) from the off-store VRD backup captured at {!write} time
+    and refreshed during {!idle_tick}. The backup must verify under the
+    primary SCPU's certificates — backups are untrusted bytes; the
+    signatures inside arbitrate. The live RDL is preserved (physical
+    placement is unsigned host plumbing). Repairs a flipped
+    datasig/metasig byte; for damaged {e data} use {!heal_data}. *)
+
 val heal_missing : t -> sn:Serial.t -> (Serial.t, string) result
 (** Re-ingest a record the primary lost (VRDT entry gone) from the
     mirror via the import path; returns the record's new primary SN and

@@ -15,6 +15,7 @@ type config = {
   dedup : bool;
   journal : bool;
   encrypt_at_rest : bool;
+  idle_audit_budget : int;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     dedup = false;
     journal = false;
     encrypt_at_rest = false;
+    idle_audit_budget = 256;
   }
 
 type t = {
@@ -44,6 +46,9 @@ type t = {
   mutable current_cache : Firmware.current_bound;
   mutable base_cache : Firmware.base_bound;
   mutable host_busy_ns : int64;
+  (* Adversarial failures surfaced by idle maintenance (audit mismatches,
+     refused strengthenings): findings to report, not host crashes. *)
+  mutable audit_findings : (Serial.t * Firmware.error) list;
 }
 
 let create ?(config = default_config) ?disk ~device ~ca () =
@@ -70,6 +75,7 @@ let create ?(config = default_config) ?disk ~device ~ca () =
     current_cache = Firmware.current_bound fw;
     base_cache = Firmware.base_bound fw;
     host_busy_ns = 0L;
+    audit_findings = [];
   }
 
 let config t = t.config
@@ -404,32 +410,62 @@ let strengthen_pending t ?deadline ?(max = max_int) () =
               Hashtbl.remove t.audit_queue sn;
               record_op t (Journal.Op_strengthen sn);
               incr strengthened
-          | Error e -> failwith ("Worm.strengthen_pending: " ^ Firmware.error_to_string e))
+          | Error e ->
+              (* An adversarial mismatch (or lapsed weak witness) is a
+                 finding, not a host crash: record it and keep draining.
+                 The record stays as-is; clients flag it on read. *)
+              t.audit_findings <- (sn, e) :: t.audit_findings)
         entries results
     end
   done;
   !strengthened
 
+type audit_outcome = { audited : int; mismatches : (Serial.t * Firmware.error) list }
+
+let read_blocks_opt t (vrd : Vrd.t) =
+  let blocks = List.map (Disk.read t.disk) vrd.Vrd.rdl in
+  if List.exists Option.is_none blocks then None
+  else Some (unseal_blocks t ~sn:vrd.Vrd.sn (List.filter_map Fun.id blocks))
+
 let run_audits t ?(max = max_int) () =
   let pending = Hashtbl.fold (fun sn () acc -> sn :: acc) t.audit_queue [] |> List.sort Serial.compare in
-  let rec go count = function
-    | [] -> count
-    | _ when count >= max -> count
+  let rec go count bad = function
+    | [] -> (count, bad)
+    | _ when count >= max -> (count, bad)
     | sn :: rest -> begin
         match Vrdt.find t.vrdt sn with
         | Some (Vrdt.Active vrd) -> begin
-            match Firmware.audit t.fw ~vrd_bytes:(Vrd.to_bytes vrd) ~blocks:(read_blocks_exn t vrd) with
-            | Ok () ->
+            (* Both failure modes below are findings, never crashes: the
+               queue keeps draining and the caller gets the classified
+               outcome (unreadable data reports as [Data_required]). *)
+            match read_blocks_opt t vrd with
+            | None ->
                 Hashtbl.remove t.audit_queue sn;
-                go (count + 1) rest
-            | Error e -> failwith ("Worm.run_audits: " ^ Firmware.error_to_string e)
+                go (count + 1) ((sn, Firmware.Data_required) :: bad) rest
+            | Some blocks -> begin
+                match Firmware.audit t.fw ~vrd_bytes:(Vrd.to_bytes vrd) ~blocks with
+                | Ok () ->
+                    Hashtbl.remove t.audit_queue sn;
+                    go (count + 1) bad rest
+                | Error e ->
+                    Hashtbl.remove t.audit_queue sn;
+                    go (count + 1) ((sn, e) :: bad) rest
+              end
           end
         | Some (Vrdt.Deleted _) | None ->
             Hashtbl.remove t.audit_queue sn;
-            go count rest
+            go count bad rest
       end
   in
-  go 0 pending
+  let count, bad = go 0 [] pending in
+  let mismatches = List.rev bad in
+  t.audit_findings <- List.rev_append mismatches t.audit_findings;
+  { audited = count; mismatches }
+
+let drain_audit_findings t =
+  let findings = List.rev t.audit_findings in
+  t.audit_findings <- [];
+  findings
 
 let compact_windows t =
   (* Prune entries already covered by the base bound... *)
@@ -488,7 +524,9 @@ let refeed_vexp t =
 let idle_tick t =
   heartbeat t;
   ignore (strengthen_pending t ());
-  ignore (run_audits t ());
+  (* Budgeted: a huge Host_hash backlog must not starve the rest of the
+     tick (deferred strengthening ran first, vexp/window work follows). *)
+  ignore (run_audits t ~max:t.config.idle_audit_budget ());
   ignore (refeed_vexp t);
   ignore (compact_windows t)
 
@@ -599,6 +637,7 @@ let restore ?(config = default_config) ~firmware:fw ~disk ~host_state () =
           current_cache = Firmware.current_bound fw;
           base_cache = Firmware.base_bound fw;
           host_busy_ns = 0L;
+          audit_findings = [];
         }
 
 let dedup_stats t = Option.map Dedup_store.stats t.dedup
@@ -658,3 +697,19 @@ let deletion_windows t = t.windows
 let vrdt_bytes t = Vrdt.approx_bytes t.vrdt
 let host_busy_ns t = t.host_busy_ns
 let reset_host_busy t = t.host_busy_ns <- 0L
+
+(* ---------- scrubber hooks ---------- *)
+
+let peek_current_bound t = t.current_cache
+
+let request_audit t sn =
+  match Vrdt.find t.vrdt sn with
+  | Some (Vrdt.Active _) ->
+      Firmware.reaudit t.fw ~sn;
+      Hashtbl.replace t.audit_queue sn ();
+      true
+  | Some (Vrdt.Deleted _) | None -> false
+
+module Raw = struct
+  let set_windows t ws = t.windows <- ws
+end

@@ -32,6 +32,9 @@ type config = {
   encrypt_at_rest : bool;
       (** seal data blocks with the {!Vault} before they reach the disk
           (media-theft confidentiality); incompatible with [dedup] *)
+  idle_audit_budget : int;
+      (** max [Host_hash] audits drained per {!idle_tick}, so a huge
+          audit backlog cannot starve deferred strengthening *)
 }
 
 val default_config : config
@@ -134,10 +137,23 @@ val strengthen_pending : t -> ?deadline:int64 -> ?max:int -> unit -> int
     window can pay down only what is urgent); [max] bounds how many
     queue entries are dequeued. Returns the number strengthened. *)
 
-val run_audits : t -> ?max:int -> unit -> int
+type audit_outcome = {
+  audited : int;  (** records examined this round (budget consumed) *)
+  mismatches : (Serial.t * Firmware.error) list;
+      (** classified failures, oldest first: [Audit_mismatch] (the host
+          lied about a hash) or [Data_required] (blocks unreadable) *)
+}
+
+val run_audits : t -> ?max:int -> unit -> audit_outcome
 (** Rehash [Host_hash]-mode records inside the SCPU (idle-time audit).
-    @raise Failure on an audit mismatch — the host lied about a hash;
-    in production this is an alarm, and the test-suite asserts it. *)
+    A mismatch is a {e finding}, not a host crash: the offending SN is
+    dequeued, reported in [mismatches], and also retained in the
+    findings sink (see {!drain_audit_findings}) for the scrubber. *)
+
+val drain_audit_findings : t -> (Serial.t * Firmware.error) list
+(** Collect (and clear) failures surfaced by idle maintenance — audit
+    mismatches, unreadable audit data, refused strengthenings — oldest
+    first. The compliance scrubber feeds these into its report. *)
 
 val compact_windows : t -> int
 (** Collapse contiguous runs of >= 3 deletion proofs into signed
@@ -214,3 +230,25 @@ val host_busy_ns : t -> int64
 val reset_host_busy : t -> unit
 val cached_current_bound : t -> Firmware.current_bound
 val cached_base_bound : t -> Firmware.base_bound
+
+(** {2 Scrubber hooks} *)
+
+val peek_current_bound : t -> Firmware.current_bound
+(** The cached current bound {e without} the auto-refresh of
+    {!cached_current_bound} — auditors must see staleness, not heal it. *)
+
+val request_audit : t -> Serial.t -> bool
+(** Re-queue a live record for an SCPU data audit (e.g. after a repair
+    restored its blocks from a mirror). [false] if the SN is not live.
+    Sound to expose: this only {e adds} an audit obligation. *)
+
+val charge_host : t -> int64 -> unit
+(** Charge host CPU time to this store's busy ledger (the scrubber bills
+    its verification work here so simulations see audit overhead). *)
+
+(** Insider-attack interface for tests and the audit subsystem's fault
+    injection: replace the (untrusted, host-side) deletion-window list.
+    Mirrors {!Vrdt.Raw} / {!Worm_simdisk.Disk.Raw}. *)
+module Raw : sig
+  val set_windows : t -> Firmware.deletion_window list -> unit
+end

@@ -3,13 +3,23 @@ open Worm_core
 module Codec = Worm_util.Codec
 module Cert = Worm_crypto.Cert
 
-type request = Hello | Read of Serial.t | Read_many of Serial.t list
+type request =
+  | Hello
+  | Read of Serial.t
+  | Read_many of Serial.t list
+  | Audit_slice of { cursor : Serial.t; max : int }
 
 type response =
   | Hello_ack of { store_id : string; signing_cert : Cert.t; deletion_cert : Cert.t }
   | Read_reply of { sn : Serial.t; response : Proof.read_response }
   | Read_many_reply of (Serial.t * Proof.read_response) list
   | Protocol_error of string
+  | Audit_slice_reply of {
+      replies : (Serial.t * Proof.read_response) list;
+      next : Serial.t option;  (** where the auditor should continue; [None] = space covered *)
+      base : Firmware.base_bound;
+      current : Firmware.current_bound;
+    }
 
 (* ---------- proof payloads ---------- *)
 
@@ -71,7 +81,11 @@ let encode_request r =
           Serial.encode enc sn
       | Read_many sns ->
           Codec.u8 enc 2;
-          Codec.list (fun enc sn -> Serial.encode enc sn) enc sns)
+          Codec.list (fun enc sn -> Serial.encode enc sn) enc sns
+      | Audit_slice { cursor; max } ->
+          Codec.u8 enc 3;
+          Serial.encode enc cursor;
+          Codec.int_as_u64 enc max)
     ()
 
 let decode_request s =
@@ -81,6 +95,10 @@ let decode_request s =
       | 0 -> Hello
       | 1 -> Read (Serial.decode dec)
       | 2 -> Read_many (Codec.read_list Serial.decode dec)
+      | 3 ->
+          let cursor = Serial.decode dec in
+          let max = Codec.read_int_as_u64 dec in
+          Audit_slice { cursor; max }
       | n -> raise (Codec.Malformed (Printf.sprintf "bad request tag %d" n)))
     s
 
@@ -108,7 +126,17 @@ let encode_response r =
             enc replies
       | Protocol_error msg ->
           Codec.u8 enc 3;
-          Codec.bytes enc msg)
+          Codec.bytes enc msg
+      | Audit_slice_reply { replies; next; base; current } ->
+          Codec.u8 enc 4;
+          Codec.list
+            (fun enc (sn, response) ->
+              Serial.encode enc sn;
+              encode_read_response enc response)
+            enc replies;
+          Codec.option Serial.encode enc next;
+          encode_base_bound enc base;
+          encode_current_bound enc current)
     ()
 
 let decode_response s =
@@ -133,5 +161,18 @@ let decode_response s =
                  (sn, response))
                dec)
       | 3 -> Protocol_error (Codec.read_bytes dec)
+      | 4 ->
+          let replies =
+            Codec.read_list
+              (fun dec ->
+                let sn = Serial.decode dec in
+                let response = decode_read_response dec in
+                (sn, response))
+              dec
+          in
+          let next = Codec.read_option Serial.decode dec in
+          let base = decode_base_bound dec in
+          let current = decode_current_bound dec in
+          Audit_slice_reply { replies; next; base; current }
       | n -> raise (Codec.Malformed (Printf.sprintf "bad response tag %d" n)))
     s

@@ -15,6 +15,9 @@ type request =
   | Hello  (** fetch store identity and certificates *)
   | Read of Serial.t
   | Read_many of Serial.t list  (** batched audit sweep *)
+  | Audit_slice of { cursor : Serial.t; max : int }
+      (** one increment of a remote full-store audit: proofs for up to
+          [max] serials starting at [cursor] *)
 
 type response =
   | Hello_ack of {
@@ -25,6 +28,17 @@ type response =
   | Read_reply of { sn : Serial.t; response : Proof.read_response }
   | Read_many_reply of (Serial.t * Proof.read_response) list
   | Protocol_error of string
+  | Audit_slice_reply of {
+      replies : (Serial.t * Proof.read_response) list;
+      next : Serial.t option;
+          (** resume cursor; [None] once the slice reached the current
+              bound. A below-base cursor skips forward with empty
+              [replies] — the signed base bound covers the region
+              wholesale, which is what makes remote audits batched
+              instead of per-record. *)
+      base : Firmware.base_bound;
+      current : Firmware.current_bound;
+    }
 
 val encode_request : request -> string
 val decode_request : string -> (request, string) result

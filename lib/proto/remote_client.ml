@@ -35,7 +35,8 @@ let connect ~ca ~clock ?max_bound_age_ns transport =
       | Error e -> Error e
     end
   | Ok (Message.Protocol_error e) -> Error ("server error: " ^ e)
-  | Ok (Message.Read_reply _ | Message.Read_many_reply _) -> Error "handshake failed: unexpected response"
+  | Ok (Message.Read_reply _ | Message.Read_many_reply _ | Message.Audit_slice_reply _) ->
+      Error "handshake failed: unexpected response"
 
 let store_id t = t.store_id
 
@@ -61,6 +62,64 @@ let audit_sweep t ~lo ~hi =
           | None -> (sn, transport_violation))
         sns
   | Ok _ | Error _ -> List.map (fun sn -> (sn, transport_violation)) sns
+
+type remote_audit = {
+  scanned : int;
+  skipped_below_base : int64;
+  round_trips : int;
+  violations : (Serial.t * Client.verdict) list;
+}
+
+let run_remote_audit ?(batch = 64) t =
+  let batch = Stdlib.max 1 batch in
+  let rec go cursor scanned skipped trips violations =
+    match roundtrip t (Message.Audit_slice { cursor; max = batch }) with
+    | Ok (Message.Audit_slice_reply { replies; next; base = _; current }) -> begin
+        let violations =
+          List.fold_left
+            (fun acc (sn, response) ->
+              match Client.verify_read t.client ~sn response with
+              | Client.Violation _ as v -> (sn, v) :: acc
+              | _ -> acc)
+            violations replies
+        in
+        let scanned = scanned + List.length replies in
+        match next with
+        | None ->
+            (* The walk stopped at the served current bound; one probe
+               above it verifies the open upper region wholesale. *)
+            let above = Serial.next current.Firmware.sn in
+            let violations =
+              match Client.verify_read t.client ~sn:above (Proof.Proof_unallocated current) with
+              | Client.Violation _ as v -> (above, v) :: violations
+              | _ -> violations
+            in
+            { scanned; skipped_below_base = skipped; round_trips = trips; violations = List.rev violations }
+        | Some resume when Serial.( <= ) resume cursor ->
+            (* A server steering the cursor backwards (or in place) is
+               stalling the audit; that is a refusal in disguise. *)
+            { scanned; skipped_below_base = skipped; round_trips = trips;
+              violations = List.rev ((resume, transport_violation) :: violations) }
+        | Some resume ->
+            let violations, skipped, probe_trips =
+              if replies = [] then begin
+                (* Fast-forward over the below-base region: legitimate
+                   only when a valid base bound covers every skipped
+                   serial, which one representative probe checks. *)
+                match read t cursor with
+                | Client.Properly_deleted -> (violations, Int64.add skipped (Serial.distance cursor resume), 1)
+                | Client.Violation _ as v -> ((cursor, v) :: violations, skipped, 1)
+                | _ -> ((cursor, transport_violation) :: violations, skipped, 1)
+              end
+              else (violations, skipped, 0)
+            in
+            go resume scanned skipped (trips + 1 + probe_trips) violations
+      end
+    | Ok _ | Error _ ->
+        { scanned; skipped_below_base = skipped; round_trips = trips;
+          violations = List.rev ((cursor, transport_violation) :: violations) }
+  in
+  go Serial.first 0 0L 1 []
 
 let bytes_sent t = t.bytes_sent
 let bytes_received t = t.bytes_received

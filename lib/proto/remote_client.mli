@@ -33,5 +33,25 @@ val audit_sweep : t -> lo:Serial.t -> hi:Serial.t -> (Serial.t * Worm_core.Clien
 (** Batched verified reads over an inclusive serial range (the
     federal-investigator workload). *)
 
+type remote_audit = {
+  scanned : int;  (** serials verified by an individual proof *)
+  skipped_below_base : int64;
+      (** serials covered wholesale by the signed base bound (one
+          representative probe verifies the whole region) *)
+  round_trips : int;
+  violations : (Serial.t * Client.verdict) list;
+      (** every non-clean verdict, including transport failures and a
+          server steering the audit cursor backwards *)
+}
+
+val run_remote_audit : ?batch:int -> t -> remote_audit
+(** Full-store remote audit over {!Message.Audit_slice} batches
+    ([batch] proofs per round trip, default 64): walk the SN space from
+    the bottom, verify every served proof, fast-forward across the
+    below-base region under the base bound, and finish with one probe
+    above the served current bound. A dishonest server — refusing
+    proofs, serving forgeries, or stalling the cursor — lands in
+    [violations]; an empty list is a verified-clean store. *)
+
 val bytes_sent : t -> int
 val bytes_received : t -> int

@@ -17,6 +17,35 @@ let handle t = function
   | Message.Read sn -> Message.Read_reply { sn; response = Worm.read t.worm sn }
   | Message.Read_many sns ->
       Message.Read_many_reply (List.map (fun sn -> (sn, Worm.read t.worm sn)) sns)
+  | Message.Audit_slice { cursor; max } ->
+      let base = Worm.cached_base_bound t.worm in
+      (* An audit must cover every allocated serial: a cached bound that
+         predates recent writes would truncate the walk while the final
+         above-bound probe still verified. Refresh when the SCPU counter
+         has moved past the cache. *)
+      let current = Worm.cached_current_bound t.worm in
+      let current =
+        if Serial.(current.Firmware.sn < Firmware.sn_current (Worm.firmware t.worm)) then begin
+          Worm.heartbeat t.worm;
+          Worm.cached_current_bound t.worm
+        end
+        else current
+      in
+      let max = Stdlib.max 1 max in
+      if Serial.(cursor < base.Firmware.sn) then
+        (* The whole below-base region is covered by one signed bound;
+           skip the auditor straight to the base instead of streaming
+           per-SN proofs of ancient deletions. *)
+        Message.Audit_slice_reply { replies = []; next = Some base.Firmware.sn; base; current }
+      else begin
+        let rec serve acc sn served =
+          if served >= max || Serial.(sn > current.Firmware.sn) then (List.rev acc, sn)
+          else serve ((sn, Worm.read t.worm sn) :: acc) (Serial.next sn) (served + 1)
+        in
+        let replies, stopped = serve [] cursor 0 in
+        let next = if Serial.(stopped > current.Firmware.sn) then None else Some stopped in
+        Message.Audit_slice_reply { replies; next; base; current }
+      end
 
 let handle_bytes t bytes =
   match Message.decode_request bytes with

@@ -361,6 +361,73 @@ let table2 ?(profile = Cost_model.ibm_4764) ?(host = Cost_model.host_p4) () =
     };
   ]
 
+type audit_row = {
+  slice_budget_ms : float;
+  audit_records : int;
+  audit_slices : int;
+  scanned_per_slice : float;
+  scrub_host_s : float;
+  audit_baseline_rps : float;
+  with_scrub_rps : float;
+  audit_overhead_pct : float;
+  audit_findings : int;
+}
+
+(* Steady-state cost of continuous compliance scrubbing: write a corpus,
+   then complete one full audit pass in budgeted slices and compare the
+   sustainable ingest rate with and without amortizing one verification
+   pass per record lifetime. *)
+let audit_overhead env ?(records = 150) ?(record_bytes = 1024) ?(budgets_ms = [ 0.5; 2.0; 10.0 ]) () =
+  List.map
+    (fun budget_ms ->
+      let disk = Disk.create ~latency:Disk.fast_latency () in
+      let store = Worm.create ~disk ~device:env.dev ~ca:(Rsa.public_of env.ca) () in
+      let policy = Policy.of_regulation Policy.Sec17a4 in
+      let payloads = List.init records (fun _ -> Worm_workload.Workload.record env.rng ~bytes:record_bytes) in
+      Device.reset_busy env.dev;
+      Worm.reset_host_busy store;
+      Disk.reset_busy disk;
+      List.iter (fun blocks -> ignore (Worm.write store ~policy ~blocks)) payloads;
+      let write_scpu_s = sec (Device.busy_ns env.dev) in
+      let write_host_s = sec (Worm.host_busy_ns store) in
+      let write_disk_s = sec (Disk.busy_ns disk) in
+      let write_slowest = Float.max write_scpu_s (Float.max write_host_s write_disk_s) in
+      let client = Client.for_store ~ca:(Rsa.public_of env.ca) ~clock:env.clk store in
+      let config =
+        {
+          Worm_audit.Scrubber.default_config with
+          slice_budget_ns = Clock.ns_of_ms budget_ms;
+        }
+      in
+      let scrubber = Worm_audit.Scrubber.create ~config ~store ~client () in
+      Worm.reset_host_busy store;
+      let report = Worm_audit.Scrubber.run_pass scrubber in
+      let scrub_host_s = sec (Worm.host_busy_ns store) in
+      let baseline_rps = if write_slowest <= 0. then infinity else float_of_int records /. write_slowest in
+      (* Steady state: every record written is also scrubbed once per
+         pass, so the ingest pipeline carries both costs. *)
+      let with_scrub_slowest = Float.max (write_host_s +. scrub_host_s) (Float.max write_scpu_s write_disk_s) in
+      let with_scrub_rps =
+        if with_scrub_slowest <= 0. then infinity else float_of_int records /. with_scrub_slowest
+      in
+      {
+        slice_budget_ms = budget_ms;
+        audit_records = report.Worm_audit.Report.records_scanned;
+        audit_slices = report.Worm_audit.Report.slices;
+        scanned_per_slice =
+          float_of_int report.Worm_audit.Report.records_scanned
+          /. float_of_int (max 1 report.Worm_audit.Report.slices);
+        scrub_host_s;
+        audit_baseline_rps = baseline_rps;
+        with_scrub_rps;
+        audit_overhead_pct =
+          (if baseline_rps > 0. && baseline_rps <> infinity then
+             100. *. (baseline_rps -. with_scrub_rps) /. baseline_rps
+           else 0.);
+        audit_findings = List.length report.Worm_audit.Report.findings;
+      })
+    budgets_ms
+
 let pp_measurement fmt (m : measurement) =
   Format.fprintf fmt "%-24s %7d B  %8.1f rec/s  (scpu %.4fs, host %.4fs, disk %.4fs; bottleneck %s; idle %.4fs)"
     m.label m.record_bytes m.throughput_rps m.scpu_s m.host_s m.disk_s m.bottleneck m.idle_scpu_s

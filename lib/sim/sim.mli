@@ -189,6 +189,27 @@ val adaptive_day : env -> ?phases:day_phase list -> unit -> day_row list
     invariant checked per row: no deferred witness ever outlives its
     security lifetime. *)
 
+type audit_row = {
+  slice_budget_ms : float;  (** host budget per scrubber slice *)
+  audit_records : int;  (** per-SN outcomes verified in the pass *)
+  audit_slices : int;
+  scanned_per_slice : float;
+  scrub_host_s : float;  (** host CPU for the complete pass *)
+  audit_baseline_rps : float;  (** ingest throughput, no scrubbing *)
+  with_scrub_rps : float;  (** ingest throughput amortizing one scrub pass *)
+  audit_overhead_pct : float;
+  audit_findings : int;  (** must be 0 on an honest store *)
+}
+
+val audit_overhead : env -> ?records:int -> ?record_bytes:int -> ?budgets_ms:float list -> unit -> audit_row list
+(** Steady-state cost of the continuous compliance scrubber
+    ({!Worm_audit.Scrubber}): populate a store, complete one full audit
+    pass in budgeted slices, and report how amortizing per-record
+    verification into the ingest pipeline moves write throughput.
+    Tighter budgets take more slices but the same total work — the
+    knob trades audit latency against per-tick jitter, not total
+    overhead. *)
+
 type table2_row = { operation : string; scpu : string; host : string }
 
 val table2 : ?profile:Worm_scpu.Cost_model.profile -> ?host:Worm_scpu.Cost_model.profile -> unit -> table2_row list

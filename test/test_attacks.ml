@@ -246,6 +246,42 @@ let test_denying_server_always_caught () =
       expect_violation_response "denial" env sn response)
     sns
 
+let test_refusal_flagged_end_to_end () =
+  (* A refusal is never a legitimate answer (Theorem 2): clients treat it
+     as a violation, and the continuous scrubber classifies WHICH lie it
+     is — destroyed data behind a live descriptor vs. a flat absence
+     claim with no proof. *)
+  let env = fresh_env () in
+  Worm.heartbeat env.store;
+  let destroyed = write env ~blocks:[ "destroy me" ] () in
+  let hidden = write env ~blocks:[ "hide me" ] () in
+  let bystander = write env ~blocks:[ "bystander" ] () in
+  let mallory = Adversary.create env.store in
+  Alcotest.(check bool) "destroyed" true (Adversary.premature_destroy mallory destroyed);
+  Alcotest.(check bool) "hidden" true (Adversary.hide_record mallory hidden);
+  (* past the staleness tolerance the refreshed bound covers the hidden
+     serial, so the honest read path has nothing left but a refusal *)
+  Clock.advance env.clock (Clock.ns_of_min 6.);
+  (* both reads now come back Refused; no client accepts that *)
+  expect_violation "destroyed data refused" env destroyed;
+  expect_violation "hidden record refused" env hidden;
+  (* the scrubber turns the same refusals into classified findings *)
+  let module Scrubber = Worm_audit.Scrubber in
+  let module Finding = Worm_audit.Finding in
+  let s = Scrubber.create ~store:env.store ~client:env.client () in
+  let report = Scrubber.run_pass s in
+  let cls_of sn =
+    match
+      List.find_opt (fun f -> f.Finding.subject = Finding.Record sn) report.Worm_audit.Report.findings
+    with
+    | Some f -> Finding.cls_name f.Finding.cls
+    | None -> Alcotest.failf "scrubber missed %s" (Serial.to_string sn)
+  in
+  Alcotest.(check string) "live descriptor, gone data" "unreadable" (cls_of destroyed);
+  Alcotest.(check string) "no descriptor, no proof" "missing-proof" (cls_of hidden);
+  Alcotest.(check int) "nothing else flagged" 2 (List.length report.Worm_audit.Report.findings);
+  check_verdict "bystander untouched" "valid-data" env bystander
+
 let test_cross_store_deletion_proof_rejected () =
   (* A deletion proof minted by ANOTHER Strong WORM store (same CA!) must
      not transplant: statements bind the store identity. *)
@@ -318,6 +354,7 @@ let suite =
     ("T2: stale base bound replay detected", `Quick, test_stale_base_bound_replay_detected);
     ("T2: window mix-and-match detected", `Quick, test_window_mix_and_match_detected);
     ("T2: denying server always caught", `Quick, test_denying_server_always_caught);
+    ("T2: refusal flagged end to end", `Quick, test_refusal_flagged_end_to_end);
     ("T2: cross-store proof transplant rejected", `Quick, test_cross_store_deletion_proof_rejected);
     ("physical attack zeroizes", `Quick, test_physical_attack_zeroizes);
     ("secure deletion leaves no hints", `Quick, test_secure_deletion_leaves_no_hints);

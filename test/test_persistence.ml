@@ -106,6 +106,40 @@ let test_stale_blob_is_rollback () =
       | Client.Violation _ -> ()
       | v -> Alcotest.failf "stale restore hid a record: %s" (Client.verdict_name v))
 
+let test_corrupt_audit_checkpoint_restarts () =
+  (* A damaged scrub cursor must never cause a region to be silently
+     skipped: any corruption degrades to a fresh pass from the bottom of
+     the SN space, reported as an error. *)
+  let module Scrubber = Worm_audit.Scrubber in
+  let env = fresh_env () in
+  ignore (write_n env ~retention_s:10_000. 6);
+  let config = { Scrubber.default_config with Scrubber.max_records_per_slice = 2 } in
+  let s = Scrubber.create ~config ~store:env.store ~client:env.client () in
+  ignore (Scrubber.run_slice s);
+  let blob = Scrubber.save_state s in
+  (match Scrubber.load_state s "garbage" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "garbage checkpoint accepted");
+  Alcotest.(check int64) "cursor reset to SN base" (Serial.to_int64 Serial.first)
+    (Serial.to_int64 (Scrubber.cursor s));
+  let s2 = Scrubber.create ~config ~store:env.store ~client:env.client () in
+  (match Scrubber.load_state s2 (String.sub blob 0 (String.length blob / 2)) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "truncated checkpoint accepted");
+  Alcotest.(check int64) "cursor reset to SN base" (Serial.to_int64 Serial.first)
+    (Serial.to_int64 (Scrubber.cursor s2));
+  (* a checkpoint from a different store must not resume either *)
+  let other = fresh_env () in
+  ignore (write_n other 2);
+  let s3 = Scrubber.create ~config ~store:other.store ~client:other.client () in
+  (match Scrubber.load_state s3 blob with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "foreign checkpoint accepted");
+  (* the degraded restart still completes a full clean pass from scratch *)
+  let report = Scrubber.run_pass s2 in
+  Alcotest.(check bool) "clean" true (Worm_audit.Report.clean report);
+  Alcotest.(check int) "full coverage from the bottom" 6 report.Worm_audit.Report.records_scanned
+
 let prop_blob_roundtrip_stable =
   QCheck.Test.make ~name:"blob roundtrip is stable" ~count:10 QCheck.(int_bound 8) (fun n ->
       let env = fresh_env () in
@@ -124,6 +158,7 @@ let suite =
     ("dedup refcounts rebuilt", `Quick, test_dedup_refcounts_rebuilt);
     ("corrupt blob rejected", `Quick, test_corrupt_blob_rejected);
     ("stale blob is the rollback attack", `Quick, test_stale_blob_is_rollback);
+    ("corrupt audit checkpoint restarts the scrub", `Quick, test_corrupt_audit_checkpoint_restarts);
     QCheck_alcotest.to_alcotest prop_blob_roundtrip_stable;
   ]
 

@@ -25,7 +25,12 @@ let connect_exn env transport =
 
 let test_request_codec () =
   let cases =
-    [ Message.Hello; Message.Read (Serial.of_int 42); Message.Read_many [ Serial.of_int 1; Serial.of_int 2 ] ]
+    [
+      Message.Hello;
+      Message.Read (Serial.of_int 42);
+      Message.Read_many [ Serial.of_int 1; Serial.of_int 2 ];
+      Message.Audit_slice { cursor = Serial.of_int 9; max = 64 };
+    ]
   in
   List.iter
     (fun r ->
@@ -82,6 +87,19 @@ let test_verdict_survives_serialization () =
     (Client.verdict_name (Client.verify_read env.client ~sn local))
     (Client.verdict_name (Client.verify_read env.client ~sn remote))
 
+let test_audit_slice_reply_codec () =
+  let env, _server, transport = remote_env () in
+  ignore (write_n env 3);
+  let raw = transport (Message.encode_request (Message.Audit_slice { cursor = Serial.first; max = 8 })) in
+  match Message.decode_response raw with
+  | Ok (Message.Audit_slice_reply { replies; next; _ } as resp) ->
+      Alcotest.(check int) "one reply per record" 3 (List.length replies);
+      Alcotest.(check bool) "terminal slice" true (next = None);
+      (* re-encoding must be stable (canonical) *)
+      Alcotest.(check string) "stable" raw (Message.encode_response resp)
+  | Ok _ -> Alcotest.fail "expected an audit-slice reply"
+  | Error e -> Alcotest.fail e
+
 (* ---------- the protocol ---------- *)
 
 let test_handshake_and_read () =
@@ -115,6 +133,60 @@ let test_audit_sweep () =
   | v -> Alcotest.fail (Client.verdict_name v));
   Alcotest.(check bool) "bytes accounted" true
     (Remote_client.bytes_sent rc > 0 && Remote_client.bytes_received rc > 0)
+
+let test_remote_full_audit_honest () =
+  let env, _server, transport = remote_env () in
+  (* a deleted bottom region advances the SCPU base; the audit must skip
+     it wholesale (one representative probe), not read it per-record *)
+  ignore (write_n env ~retention_s:10. 4);
+  ignore (expire_all env ~after_s:20.);
+  Worm.idle_tick env.store;
+  ignore (write_n env ~retention_s:10_000. 3);
+  let rc = connect_exn env transport in
+  let audit = Remote_client.run_remote_audit rc in
+  Alcotest.(check int) "no violations" 0 (List.length audit.Remote_client.violations);
+  Alcotest.(check int) "live region scanned" 3 audit.Remote_client.scanned;
+  Alcotest.(check int64) "below-base region skipped" 4L audit.Remote_client.skipped_below_base;
+  Alcotest.(check bool) "batched, not per-record" true (audit.Remote_client.round_trips <= 4)
+
+let test_remote_audit_catches_refusing_dispatcher () =
+  let env, _server, transport = remote_env () in
+  let sns = write_n env 5 in
+  (* a dishonest dispatcher serves audit slices but refuses every record *)
+  let evil req =
+    match Message.decode_request req with
+    | Ok (Message.Audit_slice _) -> begin
+        match Message.decode_response (transport req) with
+        | Ok (Message.Audit_slice_reply { replies; next; base; current }) ->
+            let replies = List.map (fun (sn, _) -> (sn, Proof.Refused "none of your business")) replies in
+            Message.encode_response (Message.Audit_slice_reply { replies; next; base; current })
+        | _ -> transport req
+      end
+    | _ -> transport req
+  in
+  let rc = connect_exn env evil in
+  let audit = Remote_client.run_remote_audit rc in
+  Alcotest.(check int) "every refusal flagged" (List.length sns)
+    (List.length audit.Remote_client.violations)
+
+let test_remote_audit_catches_stalling_cursor () =
+  let env, _server, transport = remote_env () in
+  ignore (write_n env 3);
+  (* a server steering the resume cursor backwards is stalling the walk *)
+  let evil req =
+    match Message.decode_request req with
+    | Ok (Message.Audit_slice _) -> begin
+        match Message.decode_response (transport req) with
+        | Ok (Message.Audit_slice_reply { replies; next = _; base; current }) ->
+            Message.encode_response
+              (Message.Audit_slice_reply { replies; next = Some Serial.first; base; current })
+        | _ -> transport req
+      end
+    | _ -> transport req
+  in
+  let rc = connect_exn env evil in
+  let audit = Remote_client.run_remote_audit rc in
+  Alcotest.(check bool) "stall flagged as a violation" true (audit.Remote_client.violations <> [])
 
 let test_handshake_against_wrong_ca () =
   let env, _server, transport = remote_env () in
@@ -226,8 +298,12 @@ let suite =
     ("request codec", `Quick, test_request_codec);
     ("response codec, all proof shapes", `Quick, test_response_codec_all_proof_shapes);
     ("verdict survives serialization", `Quick, test_verdict_survives_serialization);
+    ("audit-slice reply codec", `Quick, test_audit_slice_reply_codec);
     ("handshake and read", `Quick, test_handshake_and_read);
     ("audit sweep", `Quick, test_audit_sweep);
+    ("remote full audit, honest server", `Quick, test_remote_full_audit_honest);
+    ("remote audit catches refusing dispatcher", `Quick, test_remote_audit_catches_refusing_dispatcher);
+    ("remote audit catches stalling cursor", `Quick, test_remote_audit_catches_stalling_cursor);
     ("wrong CA over the wire", `Quick, test_handshake_against_wrong_ca);
     ("MITM bitflip detected", `Quick, test_mitm_bitflip_detected);
     ("MITM substitution detected", `Quick, test_mitm_response_substitution_detected);

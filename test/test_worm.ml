@@ -94,8 +94,9 @@ let test_host_hash_mode_audit_flow () =
   Alcotest.(check (list int64)) "audit queued" [ Serial.to_int64 sn ]
     (List.map Serial.to_int64 (Worm.audit_backlog env.store));
   Alcotest.(check bool) "host did hashing work" true (Worm.host_busy_ns env.store > 0L);
-  let n = Worm.run_audits env.store () in
-  Alcotest.(check int) "audited" 1 n;
+  let outcome = Worm.run_audits env.store () in
+  Alcotest.(check int) "audited" 1 outcome.Worm.audited;
+  Alcotest.(check int) "no mismatches" 0 (List.length outcome.Worm.mismatches);
   Alcotest.(check int) "queue empty" 0 (List.length (Worm.audit_backlog env.store));
   check_verdict "verifies end to end" "valid-data" env sn
 
