@@ -14,6 +14,7 @@
      adaptive   adaptive witness strength across a day of load (§4.3)
      scaling    multi-SCPU scaling (§5)
      local      Figure 1 re-projected onto THIS host's measured rates
+     readthroughput  verified reads/s: domain pool x verify cache, + projection
      bechamel   real wall-clock rates of the pure-OCaml primitives
 
    Flags:
@@ -481,6 +482,182 @@ let print_local ~quick ~env:_ =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Verified-read throughput: the §4.2.2 host-side-only read path,
+   end-to-end through Client.verify_read_many over a store exercising
+   every proof shape. The baseline is the sequential verifier with the
+   verified-signature memo disabled; the curve adds the memo and fans
+   verification across a domain pool at 1/2/4/N domains. Absence-proof
+   signatures (bounds, windows, deletion proofs) are epoch-stable, so
+   the memo pays each public-key verification once per epoch — that,
+   not core count, is the main lever on a small host. *)
+
+module Core = Worm_core
+module SimClock = Worm_simclock.Clock
+module Device = Worm_scpu.Device
+module Pool = Worm_util.Pool
+
+let read_workload ~quick () =
+  let rng = Drbg.create ~seed:"bench-read" in
+  let ca = Rsa.generate rng ~bits:1024 in
+  let clock = SimClock.create () in
+  let device = Device.provision ~seed:"bench-read-scpu" ~clock ~ca ~name:"scpu-bench-read" () in
+  let store = Core.Worm.create ~device ~ca:(Rsa.public_of ca) () in
+  let short = Core.Policy.custom ~name:"short" ~retention_ns:(SimClock.ns_of_sec 10.) ~shred_passes:1 in
+  let long = Core.Policy.custom ~name:"long" ~retention_ns:(SimClock.ns_of_sec 3600.) ~shred_passes:1 in
+  (* Short-lived records at the very bottom expire and the advancing
+     base bound absorbs them: the below-base region. *)
+  let n_base = if quick then 8 else 24 in
+  let below = List.init n_base (fun i -> Core.Worm.write store ~policy:short ~blocks:[ Printf.sprintf "b%d" i ]) in
+  (* A live anchor keeps the next run of deletions out of the base
+     bound, so they surface as deletion proofs / a deletion window. *)
+  let anchor = Core.Worm.write store ~policy:long ~blocks:[ "anchor" ] in
+  let n_win = if quick then 8 else 24 in
+  let windowed = List.init n_win (fun i -> Core.Worm.write store ~policy:short ~blocks:[ Printf.sprintf "w%d" i ]) in
+  let n_keep = if quick then 4 else 8 in
+  let keepers =
+    List.init n_keep (fun i -> Core.Worm.write store ~policy:long ~blocks:[ Drbg.generate rng 1024; Printf.sprintf "k%d" i ])
+  in
+  SimClock.advance clock (SimClock.ns_of_sec 11.);
+  ignore (Core.Worm.expire_due store);
+  Core.Worm.idle_tick store;
+  ignore (Core.Worm.compact_windows store);
+  Core.Worm.heartbeat store;
+  let top = List.fold_left (fun _ sn -> sn) anchor keepers in
+  let n_above = if quick then 6 else 16 in
+  let above =
+    let rec go sn k acc = if k = 0 then List.rev acc else go (Core.Serial.next sn) (k - 1) (sn :: acc) in
+    go (Core.Serial.next top) n_above []
+  in
+  let found = anchor :: keepers in
+  let absences = below @ windowed @ above in
+  let items = List.map (fun sn -> (sn, Core.Worm.read store sn)) (found @ absences) in
+  (clock, Rsa.public_of ca, store, items, List.length found, List.length absences)
+
+let measure_read_rps ~budget ~client ?pool items =
+  let t =
+    time_per_op ~min_time_s:budget ~min_iters:2 (fun () -> Core.Client.verify_read_many ?pool client items)
+  in
+  float_of_int (List.length items) /. t
+
+let print_readthroughput ~quick ~env:_ =
+  hr "READ THROUGHPUT -- verified reads/s on this host (domain pool + verify cache)";
+  let budget = if quick then 0.05 else 0.3 in
+  let clock, ca, store, items, n_found, n_absence = read_workload ~quick () in
+  Printf.printf "workload: %d reads (%d found, %d absence proofs)\n\n" (List.length items) n_found n_absence;
+  let baseline_client = Core.Client.for_store ~ca ~clock ~verify_cache:0 store in
+  let baseline_verdicts = Core.Client.verify_read_many baseline_client items in
+  let violations =
+    List.length (List.filter (fun (_, v) -> match v with Core.Client.Violation _ -> true | _ -> false) baseline_verdicts)
+  in
+  let baseline_rps = measure_read_rps ~budget ~client:baseline_client items in
+  let domains_list =
+    let n = Pool.recommended_domains () in
+    let base = [ 1; 2; 4 ] in
+    if List.mem n base then base else base @ [ n ]
+  in
+  let curve =
+    List.map
+      (fun domains ->
+        let client = Core.Client.for_store ~ca ~clock store in
+        let pool = if domains > 1 then Some (Pool.create ~domains ()) else None in
+        let verdicts = Core.Client.verify_read_many ?pool client items in
+        let identical = verdicts = baseline_verdicts in
+        let rps = measure_read_rps ~budget ~client ?pool items in
+        let stats = Core.Client.verify_cache_stats client in
+        Option.iter Pool.shutdown pool;
+        (domains, rps, identical, stats))
+      domains_list
+  in
+  Printf.printf "%-28s %14s %10s %12s %12s\n" "configuration" "reads/s" "speedup" "cache h/m" "identical";
+  Printf.printf "%-28s %14.0f %9.2fx %12s %12s\n" "sequential, no cache" baseline_rps 1.0 "-"
+    (if violations = 0 then "yes" else "VIOLATIONS");
+  List.iter
+    (fun (domains, rps, identical, stats) ->
+      let hm =
+        match stats with
+        | Some s -> Printf.sprintf "%d/%d" s.Core.Client.cache_hits s.Core.Client.cache_misses
+        | None -> "-"
+      in
+      Printf.printf "%-28s %14.0f %9.2fx %12s %12s\n"
+        (Printf.sprintf "cached, %d domain%s" domains (if domains = 1 then "" else "s"))
+        rps (rps /. baseline_rps) hm
+        (if identical then "yes" else "DIFFERS"))
+    curve;
+  let speedup_at d =
+    match List.find_opt (fun (domains, _, _, _) -> domains = d) curve with
+    | Some (_, rps, _, _) -> rps /. baseline_rps
+    | None -> nan
+  in
+  Printf.printf "\n(speedup at 4 domains vs the uncached sequential baseline: %.2fx;\n\
+                \ epoch-stable signatures verify once per epoch, per-record witnesses never cache)\n"
+    (speedup_at 4);
+  (* Project the read path onto this host's measured primitive rates,
+     local_figure1-style. *)
+  ignore (Lazy.force sig1024);
+  let vps =
+    1.
+    /. time_per_op ~min_time_s:budget ~min_iters:8 (fun () ->
+           Rsa.verify (Rsa.public_of (Lazy.force key1024)) ~msg:"msg" ~signature:(Lazy.force sig1024))
+  in
+  let h1k =
+    1024. /. time_per_op ~min_time_s:budget ~min_iters:16 (fun () -> Sha256.digest (Lazy.force block_1k))
+  in
+  let proj = Sim.read_projection ~verify_per_sec:vps ~hash_bytes_per_sec:h1k ~sizes:[ 1024; 16384; 65536 ] () in
+  Printf.printf "\nprojection from measured rates (rsa-1024 verify %.0f/s, sha256 %.1f MB/s):\n" vps (h1k /. 1e6);
+  Printf.printf "%-20s %12s %16s %16s\n" "read kind" "verifies" "uncached r/s" "cached r/s";
+  List.iter
+    (fun (r : Sim.read_row) ->
+      Printf.printf "%-20s %12.0f %16.0f %16.0f\n" r.Sim.read_kind r.Sim.sig_verifies r.Sim.uncached_rps
+        r.Sim.cached_rps)
+    proj;
+  add_json "readthroughput"
+    (Obj
+       [
+         ("items", Int (List.length items));
+         ("found", Int n_found);
+         ("absences", Int n_absence);
+         ("baseline_violations", Int violations);
+         ("baseline_nocache_rps", Float baseline_rps);
+         ( "rows",
+           Arr
+             (List.map
+                (fun (domains, rps, identical, stats) ->
+                  Obj
+                    ([
+                       ("domains", Int domains);
+                       ("rps", Float rps);
+                       ("speedup_vs_baseline", Float (rps /. baseline_rps));
+                       ("identical_to_sequential", Bool identical);
+                     ]
+                    @
+                    match stats with
+                    | Some s ->
+                        [
+                          ("cache_hits", Int s.Core.Client.cache_hits);
+                          ("cache_misses", Int s.Core.Client.cache_misses);
+                          ("cache_entries", Int s.Core.Client.cache_entries);
+                        ]
+                    | None -> []))
+                curve) );
+         ("speedup_at_4_domains", Float (speedup_at 4));
+         ( "measured",
+           Obj [ ("rsa_1024_verify_per_sec", Float vps); ("sha256_1k_bytes_per_sec", Float h1k) ] );
+         ( "projection",
+           Arr
+             (List.map
+                (fun (r : Sim.read_row) ->
+                  Obj
+                    [
+                      ("kind", Str r.Sim.read_kind);
+                      ("record_bytes", Int r.Sim.read_record_bytes);
+                      ("sig_verifies", Float r.Sim.sig_verifies);
+                      ("uncached_rps", Float r.Sim.uncached_rps);
+                      ("cached_rps", Float r.Sim.cached_rps);
+                    ])
+                proj) );
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -496,6 +673,7 @@ let sections =
     ("audit", print_audit);
     ("scaling", print_scaling);
     ("local", print_local);
+    ("readthroughput", print_readthroughput);
     ("bechamel", run_bechamel);
   ]
 

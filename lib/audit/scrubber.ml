@@ -23,6 +23,7 @@ type t = {
   store : Worm.t;
   client : Client.t;
   cfg : config;
+  pool : Worm_util.Pool.t option;
   mutable mirror : Replicator.t option;
   mutable cursor : Serial.t;
   mutable pass : pass option;
@@ -30,8 +31,9 @@ type t = {
   mutable last : Report.t option;
 }
 
-let create ?(config = default_config) ~store ~client () =
-  { store; client; cfg = config; mirror = None; cursor = Serial.first; pass = None; pass_findings = []; last = None }
+let create ?(config = default_config) ?pool ~store ~client () =
+  { store; client; cfg = config; pool; mirror = None; cursor = Serial.first; pass = None;
+    pass_findings = []; last = None }
 
 let attach_mirror t r = t.mirror <- Some r
 let config t = t.cfg
@@ -57,14 +59,16 @@ let record_cost t blocks =
   let bytes = List.fold_left (fun acc b -> acc + String.length b) 0 blocks in
   Int64.add (Int64.mul 2L (Cost_model.rsa_verify_ns p ~bits:1024)) (Cost_model.hash_ns p ~bytes:(bytes + 40))
 
-let check_sn t sn =
-  let response = Worm.read t.store sn in
-  let blocks =
-    match response with
-    | Proof.Found { blocks; _ } -> blocks
-    | _ -> []
-  in
-  (match (response, Client.verify_read t.client ~sn response) with
+let blocks_of = function
+  | Proof.Found { blocks; _ } -> blocks
+  | _ -> []
+
+(* Turn one (response, verdict) pair into findings and return the host
+   cost of having verified it. Shared verbatim by the sequential walk
+   and the pooled batches, so the two produce identical findings by
+   construction. *)
+let classify t sn response verdict =
+  (match (response, verdict) with
   | Proof.Refused excuse, _ -> begin
       (* A refusal is never legitimate (Theorem 2); distinguish the
          repairable case — live VRDT entry whose data blocks are gone —
@@ -83,7 +87,11 @@ let check_sn t sn =
          client accept it (the §4.2.1 staleness window). *)
       flag t (Finding.Record sn) Finding.Missing_proof "never-written claimed for an allocated serial"
   | _, (Client.Valid_data _ | Client.Committed_unverifiable | Client.Properly_deleted) -> ());
-  record_cost t blocks
+  record_cost t (blocks_of response)
+
+let check_sn t sn =
+  let response = Worm.read t.store sn in
+  classify t sn response (Client.verify_read t.client ~sn response)
 
 (* ---------- cross-cutting invariants ---------- *)
 
@@ -228,12 +236,42 @@ let run_slice t =
   let budget_left () =
     Int64.compare !spent t.cfg.slice_budget_ns < 0 && !examined < t.cfg.max_records_per_slice
   in
-  while Serial.(t.cursor <= pass.target) && budget_left () do
-    spent := Int64.add !spent (check_sn t t.cursor);
+  let consume cost =
+    spent := Int64.add !spent cost;
     incr examined;
     pass.scanned <- pass.scanned + 1;
     t.cursor <- Serial.next t.cursor
-  done;
+  in
+  let pool =
+    match t.pool with
+    | Some p when Worm_util.Pool.size p > 1 -> Some p
+    | _ -> None
+  in
+  (match pool with
+  | None ->
+      while Serial.(t.cursor <= pass.target) && budget_left () do
+        consume (check_sn t t.cursor)
+      done
+  | Some pool ->
+      (* Reads stay on this domain (the store's Hashtbls are
+         single-writer); verification fans out per batch. The budget is
+         applied to verdicts in SN order exactly as the sequential walk
+         would, so a batch that overruns the slice budget discards the
+         surplus verdicts — the cursor stays put and the next slice
+         re-verifies them. Batches are a small multiple of the pool so
+         that surplus stays bounded. *)
+      let batch_cap = Worm_util.Pool.size pool * 4 in
+      while Serial.(t.cursor <= pass.target) && budget_left () do
+        let room = min batch_cap (t.cfg.max_records_per_slice - !examined) in
+        let n = min (Int64.to_int (Int64.add (Serial.distance t.cursor pass.target) 1L)) room in
+        let sns = List.init n (fun i -> Serial.of_int64 (Int64.add (Serial.to_int64 t.cursor) (Int64.of_int i))) in
+        let responses = List.map (fun sn -> (sn, Worm.read t.store sn)) sns in
+        let verdicts = Client.verify_read_many ~pool t.client responses in
+        List.iter2
+          (fun (sn, response) (_, verdict) ->
+            if budget_left () then consume (classify t sn response verdict))
+          responses verdicts
+      done);
   pass.spent_ns <- Int64.add pass.spent_ns !spent;
   let completed =
     if Serial.(t.cursor > pass.target) && budget_left () then begin
@@ -376,17 +414,27 @@ let repair_record t r sn cls =
   | _ -> Error "no automated repair for this class"
 
 let repair_one t (f : Finding.t) =
+  (* Repairs that make the SCPU re-sign — a heartbeat refreshing the
+     current bound, a window re-certification, a re-issued deletion
+     proof — end the epoch the client's verified-signature memo was
+     built in. Drop it so post-repair reads verify live state. *)
+  let invalidate () = Client.invalidate_verify_cache t.client in
   match (f.Finding.subject, f.Finding.cls) with
   | _, Finding.Stale_bound ->
       Worm.heartbeat t.store;
+      invalidate ();
       ("heartbeat", Ok ())
-  | Finding.Window (lo, hi), _ -> ("re-certify window", repair_torn_window t lo hi)
+  | Finding.Window (lo, hi), _ ->
+      let result = repair_torn_window t lo hi in
+      invalidate ();
+      ("re-certify window", result)
   | Finding.Record sn, Finding.Missing_proof -> begin
       (* The SCPU can restore evidence it positively holds: a deletion
          proof for a serial in its deleted set or below its base. *)
       match Firmware.reissue_deletion_proof (fw t) ~sn with
       | Ok proof ->
           Vrdt.set_deleted (Worm.vrdt t.store) sn ~proof;
+          invalidate ();
           ("re-issue deletion proof", Ok ())
       | Error Firmware.Not_deleted ->
           ("re-ingest from mirror", need_mirror t (fun r -> repair_record t r sn Finding.Missing_proof))

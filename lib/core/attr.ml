@@ -50,6 +50,18 @@ let encode enc t =
   Codec.bytes enc t.mac_label;
   Codec.bytes enc t.dac_label
 
+(* Must track [encode] exactly; checked by a property test. *)
+let encoded_size t =
+  let hold_size =
+    match t.litigation with
+    | None -> 1
+    | Some h ->
+        1 + (4 + String.length h.lit_id) + (4 + String.length h.authority)
+        + (4 + String.length h.credential) + 8 + 8
+  in
+  8 + Policy.encoded_size t.policy + hold_size + 1 + (4 + String.length t.mac_label)
+  + (4 + String.length t.dac_label)
+
 let decode dec =
   let created_at = Codec.read_u64 dec in
   let policy = Policy.decode dec in

@@ -41,6 +41,10 @@ val with_hold : t -> hold -> t
 val without_hold : t -> t
 
 val encode : Worm_util.Codec.encoder -> t -> unit
+
+val encoded_size : t -> int
+(** Byte length of [encode]'s output, computed without encoding. *)
+
 val decode : Worm_util.Codec.decoder -> t
 val to_bytes : t -> string
 (** Canonical encoding (the signing input). *)

@@ -1,23 +1,43 @@
 open Worm_crypto
 module Clock = Worm_simclock.Clock
+module Codec = Worm_util.Codec
+module Lru = Worm_util.Lru
 
 type freshness = Timestamped of int64 | Direct_scpu of (unit -> Firmware.current_bound)
+
+(* Memo of verified epoch-stable signatures (current bound, base bound,
+   deletion windows, per-SN deletion proofs). Keyed by the exact
+   (key fingerprint, msg, signature) triple, so a cached verdict can
+   never be wrong — a refreshed bound or a re-signed proof has a
+   different message or signature and simply misses. Mutex-guarded: one
+   client may verify from many pool domains at once. *)
+type vcache = {
+  lru : (string, bool) Lru.t;
+  vmutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
 
 type t = {
   signing : Rsa.public;
   deletion : Rsa.public;
+  signing_fp : string;
+  deletion_fp : string;
   store_id : string;
   freshness : freshness;
   clock : Clock.t;
+  cache : vcache option;
 }
 
 let default_max_bound_age = Clock.ns_of_min 5.
+let default_verify_cache = 256
 
-let connect ~ca ~clock ?(max_bound_age_ns = default_max_bound_age) ?freshness ~signing_cert ~deletion_cert
-    ~store_id () =
+let connect ~ca ~clock ?(max_bound_age_ns = default_max_bound_age) ?freshness
+    ?(verify_cache = default_verify_cache) ~signing_cert ~deletion_cert ~store_id () =
   let now = Clock.now clock in
   let freshness = Option.value ~default:(Timestamped max_bound_age_ns) freshness in
-  if not (Cert.verify ~ca ~now signing_cert) then Error "signing certificate rejected"
+  if verify_cache < 0 then Error "negative verify-cache capacity"
+  else if not (Cert.verify ~ca ~now signing_cert) then Error "signing certificate rejected"
   else if signing_cert.Cert.role <> Cert.Scpu_signing then Error "signing certificate has the wrong role"
   else if not (Cert.verify ~ca ~now deletion_cert) then Error "deletion certificate rejected"
   else if deletion_cert.Cert.role <> Cert.Scpu_deletion then Error "deletion certificate has the wrong role"
@@ -26,19 +46,89 @@ let connect ~ca ~clock ?(max_bound_age_ns = default_max_bound_age) ?freshness ~s
       {
         signing = signing_cert.Cert.key;
         deletion = deletion_cert.Cert.key;
+        signing_fp = Rsa.fingerprint signing_cert.Cert.key;
+        deletion_fp = Rsa.fingerprint deletion_cert.Cert.key;
         store_id;
         freshness;
         clock;
+        cache =
+          (if verify_cache = 0 then None
+           else Some { lru = Lru.create verify_cache; vmutex = Mutex.create (); hits = 0; misses = 0 });
       }
 
-let for_store ~ca ~clock ?max_bound_age_ns ?freshness store =
+let for_store ~ca ~clock ?max_bound_age_ns ?freshness ?verify_cache store =
   let fw = Worm.firmware store in
   match
-    connect ~ca ~clock ?max_bound_age_ns ?freshness ~signing_cert:(Firmware.signing_cert fw)
+    connect ~ca ~clock ?max_bound_age_ns ?freshness ?verify_cache
+      ~signing_cert:(Firmware.signing_cert fw)
       ~deletion_cert:(Firmware.deletion_cert fw) ~store_id:(Worm.store_id store) ()
   with
   | Ok t -> t
   | Error msg -> failwith ("Client.for_store: " ^ msg)
+
+(* ---------- verified-signature memo ---------- *)
+
+type cache_stats = { cache_hits : int; cache_misses : int; cache_entries : int }
+
+let verify_cache_stats t =
+  match t.cache with
+  | None -> None
+  | Some c ->
+      Mutex.lock c.vmutex;
+      let s = { cache_hits = c.hits; cache_misses = c.misses; cache_entries = Lru.length c.lru } in
+      Mutex.unlock c.vmutex;
+      Some s
+
+(* Epoch boundaries the key-exact memo cannot see arrive out of band:
+   a litigation-hold release re-signs proofs, a migration retires the
+   source key pair. Holders of the out-of-band knowledge (the scrubber's
+   repair engine, migration drivers) drop the memo so the next read
+   re-verifies against live state instead of trusting entries whose
+   epoch has ended. *)
+let invalidate_verify_cache t =
+  match t.cache with
+  | None -> ()
+  | Some c ->
+      Mutex.lock c.vmutex;
+      Lru.clear c.lru;
+      Mutex.unlock c.vmutex
+
+(* Canonical memo key: Codec framing keeps (fp, msg, signature)
+   unambiguous regardless of component lengths. *)
+let memo_key ~fp ~msg ~signature =
+  Codec.encode
+    (fun enc () ->
+      Codec.bytes enc fp;
+      Codec.bytes enc msg;
+      Codec.bytes enc signature)
+    ()
+
+(* Verify through the memo. Only used for signatures that are stable
+   for a whole refresh epoch — never for per-record witnesses, whose
+   working set would thrash the small LRU for no gain. *)
+let stable_verify t ~fp key ~msg ~signature =
+  match t.cache with
+  | None -> Rsa.verify key ~msg ~signature
+  | Some c -> begin
+      let k = memo_key ~fp ~msg ~signature in
+      Mutex.lock c.vmutex;
+      match Lru.find c.lru k with
+      | Some v ->
+          c.hits <- c.hits + 1;
+          Mutex.unlock c.vmutex;
+          v
+      | None ->
+          c.misses <- c.misses + 1;
+          Mutex.unlock c.vmutex;
+          let v = Rsa.verify key ~msg ~signature in
+          Mutex.lock c.vmutex;
+          Lru.put c.lru k v;
+          Mutex.unlock c.vmutex;
+          v
+    end
+
+let verify_signing_stable t ~msg ~signature = stable_verify t ~fp:t.signing_fp t.signing ~msg ~signature
+let verify_deletion_stable t ~msg ~signature = stable_verify t ~fp:t.deletion_fp t.deletion ~msg ~signature
 
 type violation =
   | Wrong_serial
@@ -102,7 +192,7 @@ let check_witness t msg = function
 
 let verify_current_bound_sig t (b : Firmware.current_bound) =
   let msg = Wire.current_bound_msg ~store_id:t.store_id ~sn:b.Firmware.sn ~timestamp:b.Firmware.timestamp in
-  Rsa.verify t.signing ~msg ~signature:b.Firmware.signature
+  verify_signing_stable t ~msg ~signature:b.Firmware.signature
 
 (* Validate an absence claim's bound under the configured freshness
    policy; returns the bound whose [sn] the caller should trust. *)
@@ -118,54 +208,77 @@ let check_current_bound t (bound : Firmware.current_bound) =
       let fresh = fetch () in
       if verify_current_bound_sig t fresh then Ok fresh else Error Current_bound_invalid
 
-let verify_found t ~sn (vrd : Vrd.t) blocks =
+(* The three independent costs of verifying a found record — the
+   metasig check, the datasig check, and the chained hash over the data
+   blocks — fan out across a pool when one is supplied, so a single
+   large multi-block read already benefits from idle cores. *)
+let verify_found ?pool t ~sn (vrd : Vrd.t) blocks =
+  let meta_msg = Wire.metasig_msg ~store_id:t.store_id ~sn:vrd.Vrd.sn ~attr_bytes:(Attr.to_bytes vrd.Vrd.attr) in
+  let data_msg = Wire.datasig_msg ~store_id:t.store_id ~sn:vrd.Vrd.sn ~data_hash:vrd.Vrd.data_hash in
+  let check_meta () = check_witness t meta_msg vrd.Vrd.metasig in
+  let check_data () = check_witness t data_msg vrd.Vrd.datasig in
+  let hash_blocks () = Chained_hash.value (Chained_hash.of_blocks blocks) in
+  let meta_res, data_res, actual_hash =
+    match pool with
+    | Some p when Worm_util.Pool.size p > 1 ->
+        let r =
+          Worm_util.Pool.parallel_map p
+            (fun f -> f ())
+            [|
+              (fun () -> `Witness (check_meta ()));
+              (fun () -> `Witness (check_data ()));
+              (fun () -> `Hash (hash_blocks ()));
+            |]
+        in
+        (match (r.(0), r.(1), r.(2)) with
+        | `Witness m, `Witness d, `Hash h -> (m, d, h)
+        | _ -> assert false)
+    | _ -> (check_meta (), check_data (), hash_blocks ())
+  in
   let violations = ref [] in
   let flag v = violations := v :: !violations in
   if not (Serial.equal vrd.Vrd.sn sn) then flag Wrong_serial;
-  let meta_msg = Wire.metasig_msg ~store_id:t.store_id ~sn:vrd.Vrd.sn ~attr_bytes:(Attr.to_bytes vrd.Vrd.attr) in
-  let data_msg = Wire.datasig_msg ~store_id:t.store_id ~sn:vrd.Vrd.sn ~data_hash:vrd.Vrd.data_hash in
   let meta_ok =
-    match check_witness t meta_msg vrd.Vrd.metasig with
+    match meta_res with
     | Ok v -> v
     | Error () ->
         flag Meta_witness_invalid;
         true
   in
   let data_ok =
-    match check_witness t data_msg vrd.Vrd.datasig with
+    match data_res with
     | Ok v -> v
     | Error () ->
         flag Data_witness_invalid;
         true
   in
-  let actual_hash = Chained_hash.value (Chained_hash.of_blocks blocks) in
   if not (Worm_util.Ct.equal actual_hash vrd.Vrd.data_hash) then flag Data_mismatch;
   match !violations with
   | [] -> if meta_ok && data_ok then Valid_data { vrd; blocks } else Committed_unverifiable
   | vs -> Violation (List.rev vs)
 
-let verify_read t ~sn (response : Proof.read_response) =
+let verify_read ?pool t ~sn (response : Proof.read_response) =
   match response with
-  | Proof.Found { vrd; blocks } -> verify_found t ~sn vrd blocks
+  | Proof.Found { vrd; blocks } -> verify_found ?pool t ~sn vrd blocks
   | Proof.Proof_deleted { sn = psn; proof } ->
       let msg = Wire.deletion_msg ~store_id:t.store_id ~sn in
       if not (Serial.equal psn sn) then Violation [ Deletion_proof_invalid ]
-      else if Rsa.verify t.deletion ~msg ~signature:proof then Properly_deleted
+      else if verify_deletion_stable t ~msg ~signature:proof then Properly_deleted
       else Violation [ Deletion_proof_invalid ]
   | Proof.Proof_in_window w ->
       let lo_msg = Wire.deletion_window_lo_msg ~store_id:t.store_id ~window_id:w.Firmware.window_id ~sn:w.Firmware.lo in
       let hi_msg = Wire.deletion_window_hi_msg ~store_id:t.store_id ~window_id:w.Firmware.window_id ~sn:w.Firmware.hi in
       if
         not
-          (Rsa.verify t.signing ~msg:lo_msg ~signature:w.Firmware.sig_lo
-          && Rsa.verify t.signing ~msg:hi_msg ~signature:w.Firmware.sig_hi)
+          (verify_signing_stable t ~msg:lo_msg ~signature:w.Firmware.sig_lo
+          && verify_signing_stable t ~msg:hi_msg ~signature:w.Firmware.sig_hi)
       then Violation [ Window_bound_invalid ]
       else if not (Serial.(w.Firmware.lo <= sn) && Serial.(sn <= w.Firmware.hi)) then
         Violation [ Window_does_not_cover ]
       else Properly_deleted
   | Proof.Proof_below_base b ->
       let msg = Wire.base_bound_msg ~store_id:t.store_id ~sn:b.Firmware.sn ~expires_at:b.Firmware.expires_at in
-      if not (Rsa.verify t.signing ~msg ~signature:b.Firmware.signature) then Violation [ Base_bound_invalid ]
+      if not (verify_signing_stable t ~msg ~signature:b.Firmware.signature) then Violation [ Base_bound_invalid ]
       else if Int64.compare (Clock.now t.clock) b.Firmware.expires_at > 0 then Violation [ Base_bound_expired ]
       else if not Serial.(sn < b.Firmware.sn) then Violation [ Base_does_not_cover ]
       else Properly_deleted
@@ -177,8 +290,45 @@ let verify_read t ~sn (response : Proof.read_response) =
     end
   | Proof.Refused _ -> Violation [ Absence_unproven ]
 
+(* A [Direct_scpu] absence check calls back into the firmware, which is
+   not domain-safe — those responses stay on the submitting domain. *)
+let must_verify_inline t = function
+  | Proof.Proof_unallocated _ -> begin
+      match t.freshness with
+      | Direct_scpu _ -> true
+      | Timestamped _ -> false
+    end
+  | Proof.Found _ | Proof.Proof_deleted _ | Proof.Proof_in_window _ | Proof.Proof_below_base _
+  | Proof.Refused _ ->
+      false
+
+let verify_read_many ?pool t items =
+  match pool with
+  | Some p when Worm_util.Pool.size p > 1 && List.length items > 1 ->
+      let arr = Array.of_list items in
+      let results =
+        Worm_util.Pool.parallel_map p
+          (fun (sn, response) ->
+            if must_verify_inline t response then None else Some (sn, verify_read t ~sn response))
+          arr
+      in
+      (* Firmware-touching verdicts run here, in input order. *)
+      Array.iteri
+        (fun i r ->
+          if r = None then
+            let sn, response = arr.(i) in
+            results.(i) <- Some (sn, verify_read t ~sn response))
+        results;
+      Array.to_list (Array.map Option.get results)
+  | _ -> List.map (fun (sn, response) -> (sn, verify_read t ~sn response)) items
+
 let verify_migration t ~target_store_id ~base ~current ~content_hash ~manifest_sig =
   let msg =
     Wire.migration_manifest_msg ~source_store_id:t.store_id ~target_store_id ~base ~current ~content_hash
   in
-  Rsa.verify t.signing ~msg ~signature:manifest_sig
+  let ok = Rsa.verify t.signing ~msg ~signature:manifest_sig in
+  (* An accepted manifest means this store's records are moving under a
+     new SCPU key pair: every epoch-stable signature this client has
+     memoized is about to be superseded. Drop them all. *)
+  if ok then invalidate_verify_cache t;
+  ok

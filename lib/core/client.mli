@@ -31,6 +31,7 @@ val connect :
   clock:Worm_simclock.Clock.t ->
   ?max_bound_age_ns:int64 ->
   ?freshness:freshness ->
+  ?verify_cache:int ->
   signing_cert:Worm_crypto.Cert.t ->
   deletion_cert:Worm_crypto.Cert.t ->
   store_id:string ->
@@ -39,13 +40,22 @@ val connect :
 (** Validate the served certificates against the CA. The default
     freshness policy is [Timestamped] with [max_bound_age_ns]
     (5 minutes unless given) — "the client will not accept values older
-    than a few minutes" (§4.2.1). Passing [freshness] overrides both. *)
+    than a few minutes" (§4.2.1). Passing [freshness] overrides both.
+
+    [verify_cache] sizes the verified-signature memo (default 256
+    entries; 0 disables it). Epoch-stable signatures — the current
+    bound, the base bound, deletion-window bounds, and per-SN deletion
+    proofs — are verified once and remembered under their exact
+    (key fingerprint, message, signature) triple, so a refresh epoch
+    pays each public-key verification once rather than once per read.
+    Per-record witnesses are never cached. *)
 
 val for_store :
   ca:Worm_crypto.Rsa.public ->
   clock:Worm_simclock.Clock.t ->
   ?max_bound_age_ns:int64 ->
   ?freshness:freshness ->
+  ?verify_cache:int ->
   Worm.t ->
   t
 (** Convenience: connect to a local {!Worm.t}, fetching its certificates
@@ -80,8 +90,34 @@ type verdict =
 
 val verdict_name : verdict -> string
 
-val verify_read : t -> sn:Serial.t -> Proof.read_response -> verdict
-(** Full verification of a read response for serial number [sn]. *)
+val verify_read : ?pool:Worm_util.Pool.t -> t -> sn:Serial.t -> Proof.read_response -> verdict
+(** Full verification of a read response for serial number [sn]. With a
+    [pool], the independent costs of a found record — both witness
+    checks and the chained hash over the data blocks — run on separate
+    domains; verdicts are identical to the sequential path. *)
+
+val verify_read_many :
+  ?pool:Worm_util.Pool.t -> t -> (Serial.t * Proof.read_response) list -> (Serial.t * verdict) list
+(** Verify a batch of read responses, in order. With a [pool] of size
+    > 1 the per-response verifications fan out across its domains (the
+    host-side-only read path of §4.2.2 scaled over cores); the result
+    is element-for-element identical to the sequential
+    [List.map]-of-{!verify_read} it replaces. [Direct_scpu] absence
+    checks call back into the firmware and therefore always run on the
+    submitting domain. *)
+
+type cache_stats = { cache_hits : int; cache_misses : int; cache_entries : int }
+
+val verify_cache_stats : t -> cache_stats option
+(** [None] when the client was connected with [~verify_cache:0]. *)
+
+val invalidate_verify_cache : t -> unit
+(** Drop every memoized verification. The memo's exact-triple keying
+    already makes refreshed bounds miss naturally; explicit
+    invalidation is for out-of-band epoch boundaries — a bound refresh
+    the caller forced, a litigation-hold release that re-signed proofs,
+    a migration retiring the store's key pair (see the scrubber's
+    repair engine, which calls this after every repair action). *)
 
 val verify_migration :
   t ->

@@ -54,6 +54,15 @@ let encode enc t =
   Codec.u64 enc t.retention_ns;
   Codec.u16 enc t.shred_passes
 
+(* Must track [encode] exactly; checked by a property test. *)
+let encoded_size t =
+  let name_size =
+    match t.regulation with
+    | Custom name -> 4 + String.length name
+    | Sec17a4 | Hipaa | Sox | Dod5015_2 | Ferpa | Glba | Fda21cfr11 -> 0
+  in
+  1 + name_size + 8 + 2
+
 let decode dec =
   let regulation =
     match Codec.read_u8 dec with

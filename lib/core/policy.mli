@@ -29,6 +29,10 @@ val custom : name:string -> retention_ns:int64 -> shred_passes:int -> t
 
 val regulation_name : regulation -> string
 val encode : Worm_util.Codec.encoder -> t -> unit
+
+val encoded_size : t -> int
+(** Byte length of [encode]'s output, computed without encoding. *)
+
 val decode : Worm_util.Codec.decoder -> t
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -28,6 +28,7 @@ let range lo hi =
   if Stdlib.( < ) (Int64.compare hi lo) 0 then [] else go [] hi
 
 let encode enc v = Worm_util.Codec.u64 enc v
+let encoded_size = 8
 
 let decode dec =
   let v = Worm_util.Codec.read_u64 dec in

@@ -37,6 +37,10 @@ val range : t -> t -> t list
 (** [range lo hi] is [lo; lo+1; ...; hi], empty if [hi < lo]. *)
 
 val encode : Worm_util.Codec.encoder -> t -> unit
+
+val encoded_size : int
+(** Byte length of [encode]'s output (a fixed-width u64). *)
+
 val decode : Worm_util.Codec.decoder -> t
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

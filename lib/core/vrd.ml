@@ -40,6 +40,16 @@ let decode dec =
 let to_bytes t = Codec.encode encode t
 let of_bytes s = Codec.decode decode s
 
+(* Byte length of [to_bytes t] without materializing the encoding —
+   the VRDT sizes its whole table through this on every metrics
+   snapshot, where serializing each entry just to measure it made
+   [approx_bytes] the table's own hot spot. *)
+let encoded_size t =
+  Serial.encoded_size + Attr.encoded_size t.attr
+  + (4 + (8 * List.length t.rdl))
+  + (4 + String.length t.data_hash)
+  + Witness.encoded_size t.metasig + Witness.encoded_size t.datasig
+
 let pp fmt t =
   Format.fprintf fmt "vrd[%a %a rds=%d meta=%a data=%a]" Serial.pp t.sn Attr.pp t.attr (List.length t.rdl)
     Witness.pp t.metasig Witness.pp t.datasig

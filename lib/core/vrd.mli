@@ -26,5 +26,10 @@ val weakest_strength : t -> Witness.strength
 val encode : Worm_util.Codec.encoder -> t -> unit
 val decode : Worm_util.Codec.decoder -> t
 val to_bytes : t -> string
+
+val encoded_size : t -> int
+(** [String.length (to_bytes t)] computed arithmetically — the VRDT's
+    table sizing goes through this instead of serializing every entry. *)
+
 val of_bytes : string -> (t, string) result
 val pp : Format.formatter -> t -> unit

@@ -32,7 +32,7 @@ let approx_bytes t =
       acc + 8
       +
       match entry with
-      | Active vrd -> String.length (Vrd.to_bytes vrd)
+      | Active vrd -> Vrd.encoded_size vrd
       | Deleted { proof } -> String.length proof)
 
 module Raw = struct

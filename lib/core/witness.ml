@@ -31,6 +31,12 @@ let encode enc = function
       Codec.u8 enc 2;
       Codec.bytes enc tag
 
+(* Must track [encode] exactly; checked by a property test. *)
+let encoded_size = function
+  | Strong s -> 1 + 4 + String.length s
+  | Weak { cert; signature } -> 1 + Cert.encoded_size cert + 4 + String.length signature
+  | Mac tag -> 1 + 4 + String.length tag
+
 let decode dec =
   match Codec.read_u8 dec with
   | 0 -> Strong (Codec.read_bytes dec)

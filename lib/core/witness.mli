@@ -21,5 +21,9 @@ val verifiable_by_client : t -> bool
 (** [Mac] witnesses are not. *)
 
 val encode : Worm_util.Codec.encoder -> t -> unit
+
+val encoded_size : t -> int
+(** Byte length of [encode]'s output, computed without encoding. *)
+
 val decode : Worm_util.Codec.decoder -> t
 val pp : Format.formatter -> t -> unit

@@ -52,6 +52,11 @@ let encode enc t =
   encode_body enc (t.subject, t.role, t.key, t.not_before, t.not_after);
   Codec.bytes enc t.signature
 
+(* Must track [encode] exactly; checked by a property test. *)
+let encoded_size t =
+  4 + String.length t.subject + 1 + Rsa.public_encoded_size t.key + 8 + 8
+  + (4 + String.length t.signature)
+
 let decode dec =
   let subject = Codec.read_bytes dec in
   let role = role_of_tag (Codec.read_u8 dec) in

@@ -30,5 +30,9 @@ val verify : ca:Rsa.public -> now:int64 -> t -> bool
 (** Checks the CA signature and the validity window. *)
 
 val encode : Worm_util.Codec.encoder -> t -> unit
+
+val encoded_size : t -> int
+(** Byte length of [encode]'s output, computed without encoding. *)
+
 val decode : Worm_util.Codec.decoder -> t
 val pp : Format.formatter -> t -> unit

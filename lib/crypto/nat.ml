@@ -264,6 +264,14 @@ type mont = {
 
 let mont_modulus ctx = ctx.m
 
+(* Fresh scratch over the same precomputed constants. The immutable
+   fields (m, n0', r2, one_m) are shared — only tmp/sq are per-clone —
+   so cloning costs two small allocations instead of the division
+   mont_init pays for R^2 mod m. This is what makes a shared context
+   cache domain-safe: one master per modulus, one clone per domain. *)
+let mont_clone ctx =
+  { ctx with tmp = Array.make (ctx.limbs + 2) 0; sq = Array.make ((2 * ctx.limbs) + 1) 0 }
+
 let mont_init (m : t) =
   if is_zero m || is_even m then invalid_arg "Nat.mont_init: modulus must be odd";
   let limbs = Array.length m in

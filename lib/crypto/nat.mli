@@ -72,6 +72,14 @@ type mont
 val mont_init : t -> mont
 (** @raise Invalid_argument if the modulus is zero or even. *)
 
+val mont_clone : mont -> mont
+(** A context over the same modulus sharing the precomputed constants
+    but carrying fresh scratch buffers. Cloning is two small
+    allocations, against the full division {!mont_init} pays — so a
+    cache can hold one master context per modulus and hand each domain
+    its own clone, keeping contexts single-threaded without re-running
+    the setup. *)
+
 val mont_modulus : mont -> t
 
 val mod_pow : base:t -> exp:t -> modulus:t -> t

@@ -65,23 +65,59 @@ let raw_apply_secret sk m =
   Nat.add m2 (Nat.mul h sk.q)
 
 (* [public] is a transparent record, so verification contexts live in a
-   small module-level memo instead of the key itself. Keyed by the
-   modulus; bounded so a stream of one-shot keys cannot grow it without
-   limit. Even/zero moduli (never produced by [generate], but [public]
-   is an open record) fall through to the generic path. *)
-let public_ctx_memo : (Nat.t, Nat.mont) Hashtbl.t = Hashtbl.create 8
+   module-level memo instead of the key itself. Two layers make the
+   memo domain-safe without serializing verifications:
+
+   - a mutex-guarded master table paying mont_init (a full division for
+     R^2 mod m) once per modulus, process-wide;
+   - a domain-local table of clones of the master (fresh scratch over
+     shared constants), because a Nat.mont context's scratch buffers
+     make it single-threaded — two domains must never share one.
+
+   Both tables are bounded so a stream of one-shot keys cannot grow
+   them without limit. Even/zero moduli (never produced by [generate],
+   but [public] is an open record) fall through to the generic path. *)
+let master_ctx_memo : (Nat.t, Nat.mont) Hashtbl.t = Hashtbl.create 8
+let master_ctx_mutex = Mutex.create ()
+
+let master_ctx n =
+  Mutex.lock master_ctx_mutex;
+  match Hashtbl.find_opt master_ctx_memo n with
+  | Some ctx ->
+      Mutex.unlock master_ctx_mutex;
+      ctx
+  | None ->
+      (* Build outside the lock: mont_init is the expensive part, and
+         losing a race just means one redundant init. *)
+      Mutex.unlock master_ctx_mutex;
+      let ctx = Nat.mont_init n in
+      Mutex.lock master_ctx_mutex;
+      let ctx =
+        match Hashtbl.find_opt master_ctx_memo n with
+        | Some existing -> existing
+        | None ->
+            if Hashtbl.length master_ctx_memo > 64 then Hashtbl.reset master_ctx_memo;
+            Hashtbl.add master_ctx_memo n ctx;
+            ctx
+      in
+      Mutex.unlock master_ctx_mutex;
+      ctx
+
+let domain_ctx_memo : (Nat.t, Nat.mont) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let public_ctx n =
-  match Hashtbl.find_opt public_ctx_memo n with
-  | Some ctx -> Some ctx
-  | None ->
-      if Nat.is_zero n || Nat.is_even n then None
-      else begin
-        if Hashtbl.length public_ctx_memo > 64 then Hashtbl.reset public_ctx_memo;
-        let ctx = Nat.mont_init n in
-        Hashtbl.add public_ctx_memo n ctx;
+  if Nat.is_zero n || Nat.is_even n then None
+  else begin
+    let tbl = Domain.DLS.get domain_ctx_memo in
+    match Hashtbl.find_opt tbl n with
+    | Some ctx -> Some ctx
+    | None ->
+        let ctx = Nat.mont_clone (master_ctx n) in
+        if Hashtbl.length tbl > 64 then Hashtbl.reset tbl;
+        Hashtbl.add tbl n ctx;
         Some ctx
-      end
+  end
 
 let raw_apply_public pub s =
   match public_ctx pub.n with
@@ -123,9 +159,23 @@ let verify pub ~msg ~signature =
   | em -> Worm_util.Ct.equal em (emsa_pkcs1_v15 ~k msg)
   | exception Invalid_argument _ -> false
 
+let verify_batch ?pool pub items =
+  match pool with
+  | Some p when Worm_util.Pool.size p > 1 && List.length items > 1 ->
+      (* Warm the master context before fanning out, so the domains
+         clone a ready context instead of racing to build one each. *)
+      if not (Nat.is_zero pub.n || Nat.is_even pub.n) then ignore (master_ctx pub.n);
+      Worm_util.Pool.map_list p (fun (msg, signature) -> verify pub ~msg ~signature) items
+  | _ -> List.map (fun (msg, signature) -> verify pub ~msg ~signature) items
+
 let encode_public enc pub =
   Codec.bytes enc (Nat.to_bytes_be pub.n);
   Codec.bytes enc (Nat.to_bytes_be pub.e)
+
+(* Must track [encode_public] exactly: each component is a length-
+   prefixed minimal big-endian encoding of (bit_length + 7) / 8 bytes. *)
+let public_encoded_size pub =
+  4 + ((Nat.bit_length pub.n + 7) / 8) + 4 + ((Nat.bit_length pub.e + 7) / 8)
 
 let decode_public dec =
   let n = Nat.of_bytes_be (Codec.read_bytes dec) in

@@ -27,6 +27,19 @@ val sign_batch : secret -> string list -> string list
     witnessing and deferred-signature repayment pay it once. *)
 
 val verify : public -> msg:string -> signature:string -> bool
+(** Domain-safe: the per-key verification context cache keeps one
+    master context per modulus behind a mutex and hands each domain its
+    own clone, so concurrent verifies under one key never share
+    Montgomery scratch. *)
+
+val verify_batch :
+  ?pool:Worm_util.Pool.t -> public -> (string * string) list -> bool list
+(** [verify_batch ?pool key [(msg, signature); ...]] verifies each pair,
+    in order. With a [pool] of size > 1 the verifications fan out across
+    its domains — the host-side read path of §4.2.2, where throughput is
+    bounded only by how fast the untrusted host can check signatures.
+    Without one (or on a single-domain pool) it is exactly
+    [List.map (fun (m, s) -> verify key ~msg:m ~signature:s)]. *)
 
 val raw_apply_secret : secret -> Nat.t -> Nat.t
 (** Textbook RSA private operation (CRT), exposed for tests and the
@@ -39,6 +52,10 @@ val fingerprint : public -> string
 
 val encode_public : Worm_util.Codec.encoder -> public -> unit
 val decode_public : Worm_util.Codec.decoder -> public
+
+val public_encoded_size : public -> int
+(** Byte length of {!encode_public}'s output, computed arithmetically —
+    no encoder is materialized. *)
 
 val equal_public : public -> public -> bool
 val pp_public : Format.formatter -> public -> unit

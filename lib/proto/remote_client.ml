@@ -51,15 +51,25 @@ let read t sn =
       Client.verify_read t.client ~sn response
   | Ok _ | Error _ -> transport_violation
 
-let audit_sweep t ~lo ~hi =
+let audit_sweep ?pool t ~lo ~hi =
   let sns = Serial.range lo hi in
   match roundtrip t (Message.Read_many sns) with
   | Ok (Message.Read_many_reply replies) ->
+      let answered, unanswered =
+        List.partition_map
+          (fun sn ->
+            match List.assoc_opt sn replies with
+            | Some response -> Left (sn, response)
+            | None -> Right (sn, transport_violation))
+          sns
+      in
+      let verified = Client.verify_read_many ?pool t.client answered in
+      (* Reassemble in the requested serial order. *)
       List.map
         (fun sn ->
-          match List.assoc_opt sn replies with
-          | Some response -> (sn, Client.verify_read t.client ~sn response)
-          | None -> (sn, transport_violation))
+          match List.assoc_opt sn verified with
+          | Some v -> (sn, v)
+          | None -> (sn, List.assoc sn unanswered))
         sns
   | Ok _ | Error _ -> List.map (fun sn -> (sn, transport_violation)) sns
 
@@ -70,18 +80,21 @@ type remote_audit = {
   violations : (Serial.t * Client.verdict) list;
 }
 
-let run_remote_audit ?(batch = 64) t =
+let run_remote_audit ?(batch = 64) ?pool t =
   let batch = Stdlib.max 1 batch in
   let rec go cursor scanned skipped trips violations =
     match roundtrip t (Message.Audit_slice { cursor; max = batch }) with
     | Ok (Message.Audit_slice_reply { replies; next; base = _; current }) -> begin
+        (* Each served batch verifies across the pool; only violations
+           are kept, in reply order, exactly as the sequential fold. *)
         let violations =
           List.fold_left
-            (fun acc (sn, response) ->
-              match Client.verify_read t.client ~sn response with
-              | Client.Violation _ as v -> (sn, v) :: acc
+            (fun acc (sn, verdict) ->
+              match verdict with
+              | Client.Violation _ -> (sn, verdict) :: acc
               | _ -> acc)
-            violations replies
+            violations
+            (Client.verify_read_many ?pool t.client replies)
         in
         let scanned = scanned + List.length replies in
         match next with

@@ -29,9 +29,12 @@ val read : t -> Serial.t -> Worm_core.Client.verdict
     [Violation [Absence_unproven]] — an unreachable or garbled server
     proves nothing, exactly like a refusing one. *)
 
-val audit_sweep : t -> lo:Serial.t -> hi:Serial.t -> (Serial.t * Worm_core.Client.verdict) list
+val audit_sweep :
+  ?pool:Worm_util.Pool.t -> t -> lo:Serial.t -> hi:Serial.t -> (Serial.t * Worm_core.Client.verdict) list
 (** Batched verified reads over an inclusive serial range (the
-    federal-investigator workload). *)
+    federal-investigator workload). With a [pool], response
+    verification fans out across its domains; results are identical to
+    the sequential sweep. *)
 
 type remote_audit = {
   scanned : int;  (** serials verified by an individual proof *)
@@ -44,7 +47,7 @@ type remote_audit = {
           server steering the audit cursor backwards *)
 }
 
-val run_remote_audit : ?batch:int -> t -> remote_audit
+val run_remote_audit : ?batch:int -> ?pool:Worm_util.Pool.t -> t -> remote_audit
 (** Full-store remote audit over {!Message.Audit_slice} batches
     ([batch] proofs per round trip, default 64): walk the SN space from
     the bottom, verify every served proof, fast-forward across the

@@ -100,6 +100,51 @@ let local_figure1 ~profile ?(records = 24) ?sizes ~seed () =
     (fun mode -> List.map (fun record_bytes -> run_write_burst env ~mode ~record_bytes ~records ()) sizes)
     all_modes
 
+(* The read-path counterpart of local_figure1: project verified-read
+   throughput from this host's measured primitive rates. Reads never
+   involve the SCPU (§4.1), so the whole budget is host-side public-key
+   verification plus data hashing; the cached column amortizes the
+   epoch-stable signatures (bounds, windows, deletion proofs) that the
+   client's verify memo pays once per epoch instead of once per read.
+   Per-record witnesses are never cached, so found-record rows don't
+   move. *)
+type read_row = {
+  read_kind : string;
+  read_record_bytes : int;
+  sig_verifies : float;
+  uncached_rps : float;
+  cached_rps : float;
+}
+
+let read_projection ~verify_per_sec ~hash_bytes_per_sec ?sizes ?(epoch_reads = 1024) () =
+  let sizes = Option.value sizes ~default:Worm_workload.Workload.figure1_sizes in
+  let tv = 1. /. verify_per_sec in
+  let row kind ~bytes ~sigs ~stable =
+    let hash_s = float_of_int bytes /. hash_bytes_per_sec in
+    let uncached_s = hash_s +. (sigs *. tv) in
+    let cached_s =
+      if stable then hash_s +. (sigs *. tv /. float_of_int (max 1 epoch_reads)) else uncached_s
+    in
+    {
+      read_kind = kind;
+      read_record_bytes = bytes;
+      sig_verifies = sigs;
+      uncached_rps = (if uncached_s <= 0. then infinity else 1. /. uncached_s);
+      cached_rps = (if cached_s <= 0. then infinity else 1. /. cached_s);
+    }
+  in
+  List.map
+    (fun bytes ->
+      (* metasig + datasig, both per-record and therefore uncacheable *)
+      row (Printf.sprintf "found-%dKB" (bytes / 1024)) ~bytes ~sigs:2. ~stable:false)
+    sizes
+  @ [
+      row "deleted" ~bytes:0 ~sigs:1. ~stable:true;
+      row "deletion-window" ~bytes:0 ~sigs:2. ~stable:true;
+      row "below-base" ~bytes:0 ~sigs:1. ~stable:true;
+      row "above-current" ~bytes:0 ~sigs:1. ~stable:true;
+    ]
+
 let io_bottleneck env ?(records = 24) ~record_bytes () =
   let seeks_ms = [ 0.0; 0.5; 1.0; 2.0; 3.5; 5.0; 8.0 ] in
   List.map

@@ -85,6 +85,31 @@ val local_figure1 :
     would sustain in each witnessing mode. Provisions its own
     environment so the caller's [env] profile is undisturbed. *)
 
+type read_row = {
+  read_kind : string;  (** ["found-<n>KB"] or an absence-proof shape *)
+  read_record_bytes : int;  (** 0 for absence proofs *)
+  sig_verifies : float;  (** public-key verifications per uncached read *)
+  uncached_rps : float;
+  cached_rps : float;  (** epoch-stable signatures memoized, cost amortized *)
+}
+
+val read_projection :
+  verify_per_sec:float ->
+  hash_bytes_per_sec:float ->
+  ?sizes:int list ->
+  ?epoch_reads:int ->
+  unit ->
+  read_row list
+(** {!local_figure1}'s counterpart for the §4.2.2 read path, from this
+    host's measured verify and hash rates. Reads never involve the SCPU
+    (§4.1): an uncached read costs its public-key verifications plus a
+    hash over the record bytes. The [cached_rps] column amortizes the
+    epoch-stable signatures — current/base bounds, window bounds, per-SN
+    deletion proofs — over [epoch_reads] reads per refresh epoch
+    (default 1024), modeling {!Worm_core.Client}'s verified-signature
+    memo. Per-record witnesses are never cached, so found-record rows
+    are identical in both columns. *)
+
 val io_bottleneck : env -> ?records:int -> record_bytes:int -> unit -> (float * measurement) list
 (** §5's closing observation: sweep disk seek latency 0–8 ms and watch
     the bottleneck shift from the WORM layer to I/O. Returns
