@@ -331,6 +331,43 @@ let print_audit ~quick ~env =
               ])
           rows))
 
+let print_protofault ~quick ~env:_ =
+  hr "PROTO FAULTS -- remote audit under an injected-fault transport (retry/backoff cost)";
+  let records = if quick then 12 else 24 in
+  let rates = if quick then [ 0.15 ] else [ 0.05; 0.15; 0.3 ] in
+  let rows = Sim.remote_fault_tolerance ~records ~rates ~seed:"bench-protofault" () in
+  Printf.printf "%-16s %8s %8s %10s %10s %12s %10s %10s\n" "fault" "rate" "calls" "retries" "reverify"
+    "wire (ms)" "overhead" "verdicts";
+  List.iter
+    (fun r ->
+      Printf.printf "%-16s %8.2f %8d %10d %10d %12.2f %9.2fx %10s\n" r.Sim.fault_label r.Sim.injected_rate
+        r.Sim.fault_attempts r.Sim.fault_retries r.Sim.fault_reverifications r.Sim.wire_ms r.Sim.wire_overhead
+        (if r.Sim.fault_verdicts_match then "identical" else "DIVERGED"))
+    rows;
+  Printf.printf "\n(faults may only cost wire time and retries; a DIVERGED row is a bug.\n\
+                \ retry waits are virtual, charged to the Netsim ledger, never slept)\n";
+  if List.exists (fun r -> not r.Sim.fault_verdicts_match) rows then begin
+    prerr_endline "protofault: verdicts diverged under an injected fault";
+    exit 1
+  end;
+  add_json "protofault"
+    (Arr
+       (List.map
+          (fun r ->
+            Obj
+              [
+                ("fault", Str r.Sim.fault_label);
+                ("rate", Float r.Sim.injected_rate);
+                ("attempts", Int r.Sim.fault_attempts);
+                ("retries", Int r.Sim.fault_retries);
+                ("resumes", Int r.Sim.fault_resumes);
+                ("reverifications", Int r.Sim.fault_reverifications);
+                ("wire_ms", Float r.Sim.wire_ms);
+                ("wire_overhead", Float r.Sim.wire_overhead);
+                ("verdicts_match", Bool r.Sim.fault_verdicts_match);
+              ])
+          rows))
+
 let print_scaling ~quick ~env:_ =
   hr "SECTION 5 -- \"results naturally scale if multiple SCPUs are available\"";
   let records = if quick then 16 else 48 in
@@ -671,6 +708,7 @@ let sections =
     ("burst", print_burst_sustainability);
     ("adaptive", print_adaptive_day);
     ("audit", print_audit);
+    ("protofault", print_protofault);
     ("scaling", print_scaling);
     ("local", print_local);
     ("readthroughput", print_readthroughput);

@@ -1,0 +1,155 @@
+(* CI smoke for the fault-tolerant proto layer: drive remote reads,
+   audit sweeps, and the resumable full audit through every Faulty
+   transport mode and fail loudly unless (a) verdicts stay identical to
+   a clean transport once retries ride the fault out, (b) exhausted
+   retries degrade to an unproven-absence verdict — never an escaped
+   exception — and (c) a crash outage resumes from the last good cursor
+   instead of restarting at Serial.first. `dune build @proto-fault-smoke`. *)
+
+open Worm_core
+module Device = Worm_scpu.Device
+module Clock = Worm_simclock.Clock
+module Rsa = Worm_crypto.Rsa
+module Drbg = Worm_crypto.Drbg
+module Message = Worm_proto.Message
+module Server = Worm_proto.Server
+module Faulty = Worm_proto.Faulty
+module Netsim = Worm_proto.Netsim
+module Remote_client = Worm_proto.Remote_client
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "proto-fault-smoke: %-52s ok\n" name
+  else begin
+    incr failures;
+    Printf.printf "proto-fault-smoke: %-52s FAILED\n" name
+  end
+
+let () =
+  let rng = Drbg.create ~seed:"proto-fault-smoke" in
+  let ca = Rsa.generate rng ~bits:1024 in
+  let clock = Clock.create () in
+  let device = Device.provision ~seed:"proto-fault-smoke-scpu" ~clock ~ca ~name:"scpu-fault-smoke" () in
+  let store = Worm.create ~device ~ca:(Rsa.public_of ca) () in
+  let short = Policy.custom ~name:"short" ~retention_ns:(Clock.ns_of_sec 10.) ~shred_passes:1 in
+  let long = Policy.custom ~name:"long" ~retention_ns:(Clock.ns_of_sec 3600.) ~shred_passes:1 in
+  for i = 1 to 4 do
+    ignore (Worm.write store ~policy:short ~blocks:[ Printf.sprintf "below-%d" i ])
+  done;
+  let anchor = Worm.write store ~policy:long ~blocks:[ "anchor" ] in
+  for i = 1 to 4 do
+    ignore (Worm.write store ~policy:short ~blocks:[ Printf.sprintf "window-%d" i ])
+  done;
+  let live = List.init 4 (fun i -> Worm.write store ~policy:long ~blocks:[ Printf.sprintf "live-%d" i ]) in
+  Clock.advance clock (Clock.ns_of_sec 11.);
+  ignore (Worm.expire_due store);
+  Worm.idle_tick store;
+  ignore (Worm.compact_windows store);
+  Worm.heartbeat store;
+  let server = Server.create store in
+  let honest = Server.handle_bytes server in
+  let ca = Rsa.public_of ca in
+  let connect_exn ?retry transport =
+    match Remote_client.connect ~ca ~clock ?retry transport with
+    | Ok rc -> rc
+    | Error e -> failwith ("proto-fault-smoke: handshake failed: " ^ e)
+  in
+  let hi = List.nth live 3 in
+  let lo = Serial.first in
+  let verdicts rc = List.map (fun (sn, v) -> (sn, Client.verdict_name v)) (Remote_client.audit_sweep rc ~lo ~hi) in
+  let audit_fp rc =
+    let a = Remote_client.run_remote_audit_to_completion ~batch:4 rc in
+    ( a.Remote_client.scanned,
+      a.Remote_client.skipped_below_base,
+      List.map (fun (sn, v) -> (sn, Client.verdict_name v)) a.Remote_client.violations,
+      a.Remote_client.resume )
+  in
+  let clean_rc = connect_exn honest in
+  let clean_read = Client.verdict_name (Remote_client.read clean_rc anchor) in
+  let clean_sweep = verdicts clean_rc in
+  let clean_audit = audit_fp clean_rc in
+  (* (a) the matrix: every fault mode, verdict-identical once retries succeed *)
+  let modes =
+    [
+      ("drop", [ Faulty.Drop 0.25 ]);
+      ("garble", [ Faulty.Garble 0.25 ]);
+      ("truncate", [ Faulty.Truncate 0.25 ]);
+      ("duplicate", [ Faulty.Duplicate 0.25 ]);
+      ("delay", [ Faulty.Delay { p = 0.25; ns = Clock.ns_of_ms 2. } ]);
+      ("raise", [ Faulty.Raise 0.25 ]);
+      ("crash", [ Faulty.Crash { after = 6; down_for = 2 } ]);
+      ("storm", [ Faulty.Drop 0.1; Faulty.Garble 0.1; Faulty.Truncate 0.1; Faulty.Duplicate 0.1 ]);
+    ]
+  in
+  let generous = { Remote_client.default_retry with attempts = 8; verify_retries = 6 } in
+  List.iter
+    (fun (name, faults) ->
+      let faulty = Faulty.create ~seed:("smoke|" ^ name) ~faults honest in
+      match connect_exn ~retry:generous (Faulty.transport faulty) with
+      | rc ->
+          check (name ^ ": read verdict identical") (Client.verdict_name (Remote_client.read rc anchor) = clean_read);
+          check (name ^ ": sweep verdicts identical") (verdicts rc = clean_sweep);
+          check (name ^ ": full audit identical") (audit_fp rc = clean_audit);
+          let s = Faulty.stats faulty in
+          Printf.printf "proto-fault-smoke:   %-10s %s\n" name (Format.asprintf "%a" Faulty.pp_stats s)
+      | exception exn ->
+          incr failures;
+          Printf.printf "proto-fault-smoke: %s ESCAPED EXCEPTION %s\n" name (Printexc.to_string exn))
+    modes;
+  (* (b) retries exhausted: a verdict, never an exception *)
+  let dead = Faulty.create ~seed:"smoke|dead" ~faults:[ Faulty.Drop 1.0 ] honest in
+  let dead_rc = connect_exn honest in
+  ignore dead_rc;
+  (match Remote_client.connect ~ca ~clock (Faulty.transport dead) with
+  | Error _ -> check "dead transport: connect returns Error" true
+  | Ok _ -> check "dead transport: connect returns Error" false
+  | exception _ -> check "dead transport: connect returns Error" false);
+  let half_dead =
+    (* handshake passes, then the wire dies for good *)
+    let calls = ref 0 in
+    fun req ->
+      incr calls;
+      if !calls <= 1 then honest req else raise (Faulty.Injected "wire gone")
+  in
+  (match connect_exn half_dead with
+  | rc -> begin
+      (match Remote_client.read rc anchor with
+      | Client.Violation [ Client.Absence_unproven ] -> check "dead wire: read = Absence_unproven" true
+      | _ -> check "dead wire: read = Absence_unproven" false
+      | exception _ -> check "dead wire: read = Absence_unproven" false);
+      let a = Remote_client.run_remote_audit rc in
+      check "dead wire: audit resumable, nothing flagged"
+        (a.Remote_client.resume = Some Serial.first && a.Remote_client.violations = [])
+    end
+  | exception exn ->
+      incr failures;
+      Printf.printf "proto-fault-smoke: half-dead ESCAPED %s\n" (Printexc.to_string exn));
+  (* (c) a long outage: the first run hands back a mid-sweep cursor, the
+     resumed run completes from there — never from Serial.first *)
+  let outage = Faulty.create ~seed:"smoke|outage" ~faults:[ Faulty.Crash { after = 3; down_for = 12 } ] honest in
+  let rc = connect_exn ~retry:{ Remote_client.default_retry with attempts = 2 } (Faulty.transport outage) in
+  let first_run = Remote_client.run_remote_audit ~batch:4 rc in
+  (match first_run.Remote_client.resume with
+  | Some c when Serial.( > ) c Serial.first ->
+      check "outage: mid-sweep cursor handed back" true;
+      let rec resume cursor acc_scanned =
+        let r = Remote_client.run_remote_audit ~batch:4 ~cursor rc in
+        let acc_scanned = acc_scanned + r.Remote_client.scanned in
+        match r.Remote_client.resume with
+        | Some c' -> resume c' acc_scanned
+        | None -> (acc_scanned, r)
+      in
+      let resumed_scanned, last = resume c first_run.Remote_client.scanned in
+      let clean_scanned, _, clean_viol, _ = clean_audit in
+      check "outage: resumed audit covers the space, no false flags"
+        (resumed_scanned = clean_scanned
+        && last.Remote_client.violations = []
+        && clean_viol = []
+        && first_run.Remote_client.violations = [])
+  | _ -> check "outage: mid-sweep cursor handed back" false);
+  if !failures > 0 then begin
+    Printf.printf "proto-fault-smoke: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "proto-fault-smoke: all clear"

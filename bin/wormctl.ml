@@ -16,6 +16,8 @@
      hide <sn>                              insider: expunge the record
      rewrite-history <seq>                  insider: falsify a journal entry
      audit [json]                           full compliance scrub (+ JSON report)
+     remote-audit [fault-rate]              audit over the wire protocol; optional
+                                            injected drop/garble/truncate rate
      status                                 store counters
      help                                   this text
      quit
@@ -33,7 +35,8 @@ module Drbg = Worm_crypto.Drbg
 let usage =
   "commands: write <secs> <data> | read <sn> | advance <secs> | expire |\n\
   \          hold <sn> <case> <secs> | release <sn> | extend <sn> <secs> |\n\
-  \          idle | compact | journal | anchor | audit [json] | status |\n\
+  \          idle | compact | journal | anchor | audit [json] |\n\
+  \          remote-audit [fault-rate] | status |\n\
   \          tamper <sn> | hide <sn> | rewrite-history <seq> | help | quit"
 
 let () =
@@ -155,6 +158,58 @@ let () =
                 List.iter
                   (fun f -> Printf.printf "->   %s\n" (Format.asprintf "%a" Worm_audit.Finding.pp f))
                   report.Worm_audit.Report.findings
+          end
+        | [ "remote-audit" ] | [ "remote-audit"; _ ] -> begin
+            (* Audit this store the way a remote investigator would:
+               through the wire protocol, optionally behind an
+               injected-fault transport, with retry waits charged to a
+               virtual network ledger. *)
+            let module Proto = Worm_proto in
+            let rate =
+              match String.split_on_char ' ' (String.trim line) with
+              | [ _; r ] -> float_of_string r
+              | _ -> 0.
+            in
+            let server = Proto.Server.create store in
+            let net = Proto.Netsim.create () in
+            let honest = Proto.Server.handle_bytes server in
+            let faulty =
+              if rate <= 0. then None
+              else
+                Some
+                  (Proto.Faulty.create ~seed:"wormctl-faults"
+                     ~charge_delay:(Proto.Netsim.charge_ns net)
+                     ~faults:
+                       [ Proto.Faulty.Drop rate; Proto.Faulty.Garble rate; Proto.Faulty.Truncate rate ]
+                     honest)
+            in
+            let transport =
+              Proto.Netsim.wrap net (match faulty with Some f -> Proto.Faulty.transport f | None -> honest)
+            in
+            match Proto.Remote_client.connect ~ca:(Rsa.public_of ca) ~clock ~netsim:net transport with
+            | Error e -> Printf.printf "-> handshake failed: %s\n" e
+            | Ok rc ->
+                let a = Proto.Remote_client.run_remote_audit_to_completion rc in
+                Printf.printf "-> scanned %d, skipped below base %Ld, %d round trip(s), %d violation(s)%s\n"
+                  a.Proto.Remote_client.scanned a.Proto.Remote_client.skipped_below_base
+                  a.Proto.Remote_client.round_trips
+                  (List.length a.Proto.Remote_client.violations)
+                  (match a.Proto.Remote_client.resume with
+                  | None -> ""
+                  | Some sn -> Printf.sprintf " (INCOMPLETE, resume at %s)" (Serial.to_string sn));
+                List.iter
+                  (fun (sn, v) -> Printf.printf "->   %s: %s\n" (Serial.to_string sn) (Client.verdict_name v))
+                  a.Proto.Remote_client.violations;
+                let s = Proto.Remote_client.transport_stats rc in
+                Printf.printf "-> wire: %d request(s), %d attempt(s), %d retr(ies), %d fault(s), %d reverification(s)\n"
+                  s.Proto.Remote_client.requests s.Proto.Remote_client.attempts s.Proto.Remote_client.retries
+                  s.Proto.Remote_client.faults s.Proto.Remote_client.reverifications;
+                (match faulty with
+                | Some f -> Printf.printf "-> injected: %s\n" (Format.asprintf "%a" Proto.Faulty.pp_stats (Proto.Faulty.stats f))
+                | None -> ());
+                Printf.printf "-> virtual wire time %s (%d bytes)\n"
+                  (Format.asprintf "%a" Clock.pp_duration (Proto.Netsim.elapsed_ns net))
+                  (Proto.Netsim.bytes_transferred net)
           end
         | [ "idle" ] ->
             Worm.idle_tick store;

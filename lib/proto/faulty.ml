@@ -1,0 +1,174 @@
+module Drbg = Worm_crypto.Drbg
+
+type transport = string -> string
+
+exception Injected of string
+
+type fault =
+  | Drop of float
+  | Garble of float
+  | Truncate of float
+  | Duplicate of float
+  | Delay of { p : float; ns : int64 }
+  | Raise of float
+  | Crash of { after : int; down_for : int }
+
+type stats = {
+  calls : int;
+  delivered : int;
+  dropped : int;
+  garbled : int;
+  truncated : int;
+  duplicated : int;
+  delayed : int;
+  raised : int;
+  crashed : int;
+}
+
+type t = {
+  inner : transport;
+  faults : fault list;
+  rng : Drbg.t;
+  charge_delay : int64 -> unit;
+  mutable calls : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable garbled : int;
+  mutable truncated : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable raised : int;
+  mutable injected_delay_ns : int64;
+  mutable crashed : int;
+}
+
+let create ?(seed = "faulty-transport") ?(charge_delay = fun _ -> ()) ~faults inner =
+  List.iter
+    (function
+      | Drop p | Garble p | Truncate p | Duplicate p | Raise p | Delay { p; _ } ->
+          if p < 0. || p > 1. then invalid_arg "Faulty.create: probability outside [0, 1]"
+      | Crash { after; down_for } ->
+          if after < 0 || down_for < 0 then invalid_arg "Faulty.create: negative crash window")
+    faults;
+  {
+    inner;
+    faults;
+    rng = Drbg.create ~seed;
+    charge_delay;
+    calls = 0;
+    delivered = 0;
+    dropped = 0;
+    garbled = 0;
+    truncated = 0;
+    duplicated = 0;
+    delayed = 0;
+    raised = 0;
+    injected_delay_ns = 0L;
+    crashed = 0;
+  }
+
+(* One uniform draw in [0, 1) from 24 fresh DRBG bits. Every
+   probabilistic fault consumes a draw whether or not it fires, so the
+   schedule downstream of a fault does not depend on which earlier
+   faults fired — schedules stay comparable across fault lists sharing
+   a seed prefix. *)
+let draw t =
+  let b = Drbg.generate t.rng 3 in
+  let v = (Char.code b.[0] lsl 16) lor (Char.code b.[1] lsl 8) lor Char.code b.[2] in
+  float_of_int v /. 16777216.
+
+let fires t p = p > 0. && draw t < p
+
+let flip_one_byte t reply =
+  if String.length reply = 0 then reply
+  else begin
+    let i = Drbg.int_below t.rng (String.length reply) in
+    (* A zero mask would be a no-op "garble"; force at least one bit. *)
+    let mask = 1 + Drbg.int_below t.rng 255 in
+    let b = Bytes.of_string reply in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+    Bytes.to_string b
+  end
+
+let truncate_reply t reply =
+  if String.length reply = 0 then reply
+  else String.sub reply 0 (Drbg.int_below t.rng (String.length reply))
+
+(* The action the fault schedule picked for this call: the first fault
+   in list order whose draw fires. *)
+type action = Deliver | Do_drop | Do_garble | Do_truncate | Do_duplicate | Do_delay of int64 | Do_raise | Do_crash
+
+let pick_action t =
+  let n = t.calls in
+  List.fold_left
+    (fun chosen fault ->
+      (* Positional crash windows don't consume randomness. *)
+      let fired =
+        match fault with
+        | Crash { after; down_for } -> n > after && n <= after + down_for
+        | Drop p | Garble p | Truncate p | Duplicate p | Raise p | Delay { p; _ } -> fires t p
+      in
+      match (chosen, fault, fired) with
+      | Deliver, Crash _, true -> Do_crash
+      | Deliver, Drop _, true -> Do_drop
+      | Deliver, Garble _, true -> Do_garble
+      | Deliver, Truncate _, true -> Do_truncate
+      | Deliver, Duplicate _, true -> Do_duplicate
+      | Deliver, Delay { ns; _ }, true -> Do_delay ns
+      | Deliver, Raise _, true -> Do_raise
+      | chosen, _, _ -> chosen)
+    Deliver t.faults
+
+let transport t request =
+  t.calls <- t.calls + 1;
+  match pick_action t with
+  | Do_crash ->
+      t.crashed <- t.crashed + 1;
+      raise (Injected "server crashed")
+  | Do_drop ->
+      t.dropped <- t.dropped + 1;
+      raise (Injected "request dropped")
+  | Do_raise ->
+      t.raised <- t.raised + 1;
+      failwith "faulty transport stack"
+  | Do_garble ->
+      t.garbled <- t.garbled + 1;
+      flip_one_byte t (t.inner request)
+  | Do_truncate ->
+      t.truncated <- t.truncated + 1;
+      truncate_reply t (t.inner request)
+  | Do_duplicate ->
+      t.duplicated <- t.duplicated + 1;
+      ignore (t.inner request);
+      t.inner request
+  | Do_delay ns ->
+      t.delayed <- t.delayed + 1;
+      t.injected_delay_ns <- Int64.add t.injected_delay_ns ns;
+      t.charge_delay ns;
+      t.delivered <- t.delivered + 1;
+      t.inner request
+  | Deliver ->
+      t.delivered <- t.delivered + 1;
+      t.inner request
+
+let transport t = transport t
+
+let stats t =
+  {
+    calls = t.calls;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    garbled = t.garbled;
+    truncated = t.truncated;
+    duplicated = t.duplicated;
+    delayed = t.delayed;
+    raised = t.raised;
+    crashed = t.crashed;
+  }
+
+let injected_delay_ns t = t.injected_delay_ns
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "calls=%d delivered=%d dropped=%d garbled=%d truncated=%d duplicated=%d delayed=%d raised=%d crashed=%d"
+    s.calls s.delivered s.dropped s.garbled s.truncated s.duplicated s.delayed s.raised s.crashed

@@ -1,0 +1,69 @@
+(** Fault-injecting transport wrapper.
+
+    The trust argument (§3, §4.2.2) requires that a transport which
+    garbles, drops, or misroutes proves nothing — every misbehavior of
+    the wire must degrade to a verdict, never to a crash or a wrong
+    acceptance. This module makes that claim testable: wrap any
+    [string -> string] transport in a composable schedule of injected
+    faults, driven by a seeded DRBG so every run (test, bench, demo)
+    reproduces the same fault pattern byte for byte.
+
+    Faults are applied in list order on each call; the first one whose
+    draw fires wins (a dropped call is not also garbled). A [Crash]
+    window is positional rather than probabilistic and models a server
+    outage: calls inside the window raise, calls after it succeed
+    again — exactly the shape {!Remote_client.run_remote_audit} must
+    resume across. *)
+
+type transport = string -> string
+
+exception Injected of string
+(** The exception raised by [Drop] and [Crash] faults (a lost reply is
+    indistinguishable from a timeout). [Raise] faults throw [Failure]
+    instead, modelling an arbitrary buggy transport stack. *)
+
+type fault =
+  | Drop of float  (** probability: request swallowed; raises {!Injected} *)
+  | Garble of float  (** probability: one reply byte flipped at a random offset *)
+  | Truncate of float  (** probability: reply cut to a random proper prefix *)
+  | Duplicate of float
+      (** probability: request delivered to the inner transport twice
+          (replay); the second reply is returned — an idempotent server
+          makes this invisible *)
+  | Delay of { p : float; ns : int64 }
+      (** probability: reply delivered intact but [ns] of virtual
+          latency charged via [charge_delay] *)
+  | Raise of float  (** probability: raises [Failure], not {!Injected} *)
+  | Crash of { after : int; down_for : int }
+      (** calls [after < n <= after + down_for] (1-based) raise
+          {!Injected}; later calls go through — a bounded outage *)
+
+type stats = {
+  calls : int;  (** calls that reached the wrapper *)
+  delivered : int;  (** replies returned intact *)
+  dropped : int;
+  garbled : int;
+  truncated : int;
+  duplicated : int;
+  delayed : int;
+  raised : int;
+  crashed : int;
+}
+
+type t
+
+val create : ?seed:string -> ?charge_delay:(int64 -> unit) -> faults:fault list -> transport -> t
+(** [create ~faults inner] wraps [inner]. The DRBG is seeded from
+    [seed] (default ["faulty-transport"]), so equal seeds give equal
+    fault schedules. [charge_delay] receives the virtual nanoseconds of
+    every [Delay] fault (e.g. {!Netsim.charge_ns}); default ignores. *)
+
+val transport : t -> transport
+(** The faulty transport. All injected behaviours, including raises,
+    happen inside this closure. *)
+
+val stats : t -> stats
+val injected_delay_ns : t -> int64
+(** Total virtual latency injected by [Delay] faults so far. *)
+
+val pp_stats : Format.formatter -> stats -> unit

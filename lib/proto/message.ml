@@ -21,6 +21,23 @@ type response =
       current : Firmware.current_bound;
     }
 
+(* One-line renderings for fault traces and console output. *)
+
+let describe_request = function
+  | Hello -> "hello"
+  | Read sn -> Printf.sprintf "read %s" (Serial.to_string sn)
+  | Read_many sns -> Printf.sprintf "read-many [%d sns]" (List.length sns)
+  | Audit_slice { cursor; max } -> Printf.sprintf "audit-slice %s max=%d" (Serial.to_string cursor) max
+
+let describe_response = function
+  | Hello_ack { store_id; _ } -> Printf.sprintf "hello-ack %s" (Worm_util.Hex.encode store_id)
+  | Read_reply { sn; _ } -> Printf.sprintf "read-reply %s" (Serial.to_string sn)
+  | Read_many_reply replies -> Printf.sprintf "read-many-reply [%d sns]" (List.length replies)
+  | Protocol_error e -> Printf.sprintf "protocol-error %S" e
+  | Audit_slice_reply { replies; next; _ } ->
+      Printf.sprintf "audit-slice-reply [%d sns] next=%s" (List.length replies)
+        (match next with None -> "done" | Some sn -> Serial.to_string sn)
+
 (* ---------- proof payloads ---------- *)
 
 let encode_current_bound = Firmware.encode_current_bound

@@ -40,6 +40,11 @@ type response =
       current : Firmware.current_bound;
     }
 
+val describe_request : request -> string
+val describe_response : response -> string
+(** One-line renderings for fault traces and console output; payloads
+    are summarized, never dumped. *)
+
 val encode_request : request -> string
 val decode_request : string -> (request, string) result
 val encode_response : response -> string

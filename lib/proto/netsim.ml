@@ -9,14 +9,29 @@ type t = {
 let create ?(rtt_ns = 1_000_000L) ?(bandwidth_bytes_per_sec = 125e6) () =
   { rtt_ns; bandwidth = bandwidth_bytes_per_sec; requests = 0; bytes = 0; elapsed_ns = 0L }
 
+let charge_exchange t n =
+  t.bytes <- t.bytes + n;
+  let transfer = Int64.of_float (float_of_int n /. t.bandwidth *. 1e9) in
+  t.elapsed_ns <- Int64.add t.elapsed_ns (Int64.add t.rtt_ns transfer)
+
 let wrap t transport request =
-  let response = transport request in
-  let exchanged = String.length request + String.length response in
   t.requests <- t.requests + 1;
-  t.bytes <- t.bytes + exchanged;
-  let transfer = Int64.of_float (float_of_int exchanged /. t.bandwidth *. 1e9) in
-  t.elapsed_ns <- Int64.add t.elapsed_ns (Int64.add t.rtt_ns transfer);
-  response
+  match transport request with
+  | response ->
+      charge_exchange t (String.length request + String.length response);
+      response
+  | exception e ->
+      (* The request still crossed the wire and the caller still waited
+         a round trip for the reply that never came: bill both before
+         letting the fault surface, so the virtual ledger matches wire
+         reality under faults. *)
+      let bt = Printexc.get_raw_backtrace () in
+      charge_exchange t (String.length request);
+      Printexc.raise_with_backtrace e bt
+
+let charge_ns t ns =
+  if Int64.compare ns 0L < 0 then invalid_arg "Netsim.charge_ns: negative";
+  t.elapsed_ns <- Int64.add t.elapsed_ns ns
 
 let requests t = t.requests
 let bytes_transferred t = t.bytes

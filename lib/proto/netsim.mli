@@ -14,7 +14,15 @@ val create : ?rtt_ns:int64 -> ?bandwidth_bytes_per_sec:float -> unit -> t
 
 val wrap : t -> (string -> string) -> string -> string
 (** [wrap t transport] behaves as [transport] while accounting each
-    exchange. *)
+    exchange. If the wrapped transport raises, the request bytes and
+    one RTT are still charged (the request crossed the wire and the
+    caller waited for a reply that never came) before the exception is
+    re-raised. *)
+
+val charge_ns : t -> int64 -> unit
+(** Bill extra virtual wait — retry backoff, injected latency — into
+    the ledger without counting a request or bytes.
+    @raise Invalid_argument on a negative amount. *)
 
 val requests : t -> int
 val bytes_transferred : t -> int

@@ -47,7 +47,18 @@ let handle t = function
         Message.Audit_slice_reply { replies; next; base; current }
       end
 
+(* The server must stay total and idempotent on adversarial input:
+   [handle] is a pure function of the request and the store state
+   (a replayed request re-serves the identical bytes), and nothing a
+   client sends may crash the dispatcher — a fault-injecting transport
+   (see {!Faulty}) replays and mangles requests freely. *)
 let handle_bytes t bytes =
   match Message.decode_request bytes with
-  | Ok request -> Message.encode_response (handle t request)
   | Error e -> Message.encode_response (Message.Protocol_error e)
+  | Ok request -> begin
+      match Message.encode_response (handle t request) with
+      | reply -> reply
+      | exception exn ->
+          Message.encode_response
+            (Message.Protocol_error ("dispatch failed: " ^ Printexc.to_string exn))
+    end

@@ -12,4 +12,7 @@ val handle : t -> Message.request -> Message.response
 
 val handle_bytes : t -> string -> string
 (** Decode, dispatch, encode; malformed requests produce an encoded
-    [Protocol_error]. *)
+    [Protocol_error], and so does a dispatch that raises — adversarial
+    bytes never crash the server. Replaying a request byte-for-byte
+    re-serves the identical reply (dispatch is a pure function of the
+    request and store state), so a duplicating transport is harmless. *)

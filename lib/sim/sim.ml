@@ -473,6 +473,136 @@ let audit_overhead env ?(records = 150) ?(record_bytes = 1024) ?(budgets_ms = [ 
       })
     budgets_ms
 
+(* ------------------------------------------------------------------ *)
+(* Remote audits over a misbehaving wire: how much retry traffic and
+   virtual wire time each fault regime costs, and whether the verdicts
+   stay identical to a clean run (they must — §3's argument needs every
+   transport misbehavior to degrade to a verdict, never to a crash or a
+   false accusation). *)
+
+module Netsim = Worm_proto.Netsim
+module Faulty = Worm_proto.Faulty
+module Server = Worm_proto.Server
+module Remote_client = Worm_proto.Remote_client
+
+type fault_row = {
+  fault_label : string;  (** fault kind, ["clean"] for the baseline *)
+  injected_rate : float;
+  fault_attempts : int;  (** physical transport calls for the full audit *)
+  fault_retries : int;
+  fault_resumes : int;  (** extra runs needed to cover the SN space *)
+  fault_reverifications : int;
+  wire_ms : float;  (** virtual wire + wait time, Netsim ledger *)
+  wire_overhead : float;  (** wire_ms relative to the clean run *)
+  fault_verdicts_match : bool;  (** violations/coverage identical to clean *)
+}
+
+let fault_fixture ~seed ~records =
+  let rng = Drbg.create ~seed:("fault-sim|" ^ seed) in
+  let ca = Rsa.generate rng ~bits:1024 in
+  let clk = Clock.create () in
+  let dev = Device.provision ~seed:("fault-scpu|" ^ seed) ~clock:clk ~ca ~name:"sim-fault-scpu" () in
+  let store = Worm.create ~device:dev ~ca:(Rsa.public_of ca) () in
+  let short = Policy.custom ~name:"short" ~retention_ns:(Clock.ns_of_sec 10.) ~shred_passes:1 in
+  let long = Policy.custom ~name:"long" ~retention_ns:(Clock.ns_of_sec 3600.) ~shred_passes:1 in
+  (* Mixed proof shapes: a deleted bottom region the base bound absorbs,
+     a collapsed window behind a live anchor, live records on top. *)
+  let quarter = Stdlib.max 1 (records / 4) in
+  for i = 1 to quarter do
+    ignore (Worm.write store ~policy:short ~blocks:[ Printf.sprintf "below-%d" i ])
+  done;
+  ignore (Worm.write store ~policy:long ~blocks:[ "anchor" ]);
+  for i = 1 to quarter do
+    ignore (Worm.write store ~policy:short ~blocks:[ Printf.sprintf "window-%d" i ])
+  done;
+  for i = 1 to Stdlib.max 1 (records - (2 * quarter) - 1) do
+    ignore (Worm.write store ~policy:long ~blocks:[ Printf.sprintf "live-%d" i ])
+  done;
+  Clock.advance clk (Clock.ns_of_sec 11.);
+  ignore (Worm.expire_due store);
+  Worm.idle_tick store;
+  ignore (Worm.compact_windows store);
+  Worm.heartbeat store;
+  (Rsa.public_of ca, clk, store)
+
+let remote_fault_tolerance ?(records = 24) ?(batch = 8) ?(rates = [ 0.05; 0.15; 0.3 ]) ~seed () =
+  let ca, clk, store = fault_fixture ~seed ~records in
+  let server = Server.create store in
+  let honest = Server.handle_bytes server in
+  let audit_under ~label faults =
+    let net = Netsim.create () in
+    let transport =
+      match faults with
+      | [] -> Netsim.wrap net honest
+      | faults ->
+          let faulty =
+            Faulty.create ~seed:("fault-sim|" ^ seed ^ "|" ^ label) ~charge_delay:(Netsim.charge_ns net)
+              ~faults honest
+          in
+          Netsim.wrap net (Faulty.transport faulty)
+    in
+    match Remote_client.connect ~ca ~clock:clk ~netsim:net transport with
+    | Error e -> failwith ("remote_fault_tolerance: handshake failed under " ^ label ^ ": " ^ e)
+    | Ok rc ->
+        let audit = Remote_client.run_remote_audit_to_completion ~batch rc in
+        (audit, Remote_client.transport_stats rc, Netsim.elapsed_ns net)
+  in
+  let fingerprint (a : Remote_client.remote_audit) =
+    ( a.Remote_client.scanned,
+      a.Remote_client.skipped_below_base,
+      List.map (fun (sn, v) -> (sn, Client.verdict_name v)) a.Remote_client.violations,
+      a.Remote_client.resume = None )
+  in
+  let clean_audit, clean_stats, clean_elapsed = audit_under ~label:"clean" [] in
+  let clean_fp = fingerprint clean_audit in
+  let ms ns = Int64.to_float ns /. 1e6 in
+  let row ~label ~rate faults =
+    let audit, stats, elapsed = audit_under ~label faults in
+    {
+      fault_label = label;
+      injected_rate = rate;
+      fault_attempts = stats.Remote_client.attempts;
+      fault_retries = stats.Remote_client.retries;
+      fault_resumes = Stdlib.max 0 (audit.Remote_client.round_trips - clean_audit.Remote_client.round_trips);
+      fault_reverifications = stats.Remote_client.reverifications;
+      wire_ms = ms elapsed;
+      wire_overhead = (if Int64.compare clean_elapsed 0L > 0 then Int64.to_float elapsed /. Int64.to_float clean_elapsed else 1.);
+      fault_verdicts_match = fingerprint audit = clean_fp;
+    }
+  in
+  let clean_row =
+    {
+      fault_label = "clean";
+      injected_rate = 0.;
+      fault_attempts = clean_stats.Remote_client.attempts;
+      fault_retries = clean_stats.Remote_client.retries;
+      fault_resumes = 0;
+      fault_reverifications = clean_stats.Remote_client.reverifications;
+      wire_ms = ms clean_elapsed;
+      wire_overhead = 1.;
+      fault_verdicts_match = true;
+    }
+  in
+  let per_rate rate =
+    [
+      row ~label:(Printf.sprintf "drop@%.2f" rate) ~rate [ Faulty.Drop rate ];
+      row ~label:(Printf.sprintf "garble@%.2f" rate) ~rate [ Faulty.Garble rate ];
+      row ~label:(Printf.sprintf "truncate@%.2f" rate) ~rate [ Faulty.Truncate rate ];
+      row ~label:(Printf.sprintf "duplicate@%.2f" rate) ~rate [ Faulty.Duplicate rate ];
+      row
+        ~label:(Printf.sprintf "delay@%.2f" rate)
+        ~rate
+        [ Faulty.Delay { p = rate; ns = Clock.ns_of_ms 2. } ];
+    ]
+  in
+  (clean_row :: List.concat_map per_rate rates)
+  @ [ row ~label:"crash@4+2" ~rate:0. [ Faulty.Crash { after = 4; down_for = 2 } ] ]
+
+let pp_fault_row fmt r =
+  Format.fprintf fmt "%-16s %5d calls  %4d retries  %3d reverify  %8.2f ms wire (x%.2f)  verdicts %s"
+    r.fault_label r.fault_attempts r.fault_retries r.fault_reverifications r.wire_ms r.wire_overhead
+    (if r.fault_verdicts_match then "identical" else "DIVERGED")
+
 let pp_measurement fmt (m : measurement) =
   Format.fprintf fmt "%-24s %7d B  %8.1f rec/s  (scpu %.4fs, host %.4fs, disk %.4fs; bottleneck %s; idle %.4fs)"
     m.label m.record_bytes m.throughput_rps m.scpu_s m.host_s m.disk_s m.bottleneck m.idle_scpu_s

@@ -235,6 +235,31 @@ val audit_overhead : env -> ?records:int -> ?record_bytes:int -> ?budgets_ms:flo
     knob trades audit latency against per-tick jitter, not total
     overhead. *)
 
+type fault_row = {
+  fault_label : string;  (** fault kind, ["clean"] for the baseline *)
+  injected_rate : float;
+  fault_attempts : int;  (** physical transport calls for the full audit *)
+  fault_retries : int;
+  fault_resumes : int;  (** extra audit round trips vs. the clean run *)
+  fault_reverifications : int;  (** confirming re-reads of violating verdicts *)
+  wire_ms : float;  (** virtual wire + retry-wait time (Netsim ledger) *)
+  wire_overhead : float;  (** [wire_ms] relative to the clean run *)
+  fault_verdicts_match : bool;  (** violations/coverage identical to clean *)
+}
+
+val remote_fault_tolerance :
+  ?records:int -> ?batch:int -> ?rates:float list -> seed:string -> unit -> fault_row list
+(** Cost of graceful degradation on the wire: run
+    {!Worm_proto.Remote_client.run_remote_audit_to_completion} against
+    an honest store behind a {!Worm_proto.Faulty} transport (drop,
+    garble, truncate, duplicate, delay at each rate in [rates], plus a
+    bounded crash outage), with retry backoff charged to the
+    {!Worm_proto.Netsim} ledger. Every row must report
+    [fault_verdicts_match = true]: injected faults may only cost wire
+    time and retries, never change what the audit concludes. *)
+
+val pp_fault_row : Format.formatter -> fault_row -> unit
+
 type table2_row = { operation : string; scpu : string; host : string }
 
 val table2 : ?profile:Worm_scpu.Cost_model.profile -> ?host:Worm_scpu.Cost_model.profile -> unit -> table2_row list

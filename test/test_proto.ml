@@ -16,8 +16,8 @@ let remote_env () =
   let transport = Server.handle_bytes server in
   (env, server, transport)
 
-let connect_exn env transport =
-  match Remote_client.connect ~ca:(ca_pub ()) ~clock:env.clock transport with
+let connect_exn ?retry ?netsim env transport =
+  match Remote_client.connect ~ca:(ca_pub ()) ~clock:env.clock ?retry ?netsim transport with
   | Ok rc -> rc
   | Error e -> Alcotest.fail e
 
@@ -149,25 +149,50 @@ let test_remote_full_audit_honest () =
   Alcotest.(check int64) "below-base region skipped" 4L audit.Remote_client.skipped_below_base;
   Alcotest.(check bool) "batched, not per-record" true (audit.Remote_client.round_trips <= 4)
 
+let refuse_slices transport req =
+  (* a dishonest dispatcher serves audit slices but refuses every record *)
+  match Message.decode_request req with
+  | Ok (Message.Audit_slice _) -> begin
+      match Message.decode_response (transport req) with
+      | Ok (Message.Audit_slice_reply { replies; next; base; current }) ->
+          let replies = List.map (fun (sn, _) -> (sn, Proof.Refused "none of your business")) replies in
+          Message.encode_response (Message.Audit_slice_reply { replies; next; base; current })
+      | _ -> transport req
+    end
+  | _ -> transport req
+
 let test_remote_audit_catches_refusing_dispatcher () =
   let env, _server, transport = remote_env () in
   let sns = write_n env 5 in
-  (* a dishonest dispatcher serves audit slices but refuses every record *)
-  let evil req =
-    match Message.decode_request req with
-    | Ok (Message.Audit_slice _) -> begin
-        match Message.decode_response (transport req) with
-        | Ok (Message.Audit_slice_reply { replies; next; base; current }) ->
-            let replies = List.map (fun (sn, _) -> (sn, Proof.Refused "none of your business")) replies in
-            Message.encode_response (Message.Audit_slice_reply { replies; next; base; current })
-        | _ -> transport req
-      end
-    | _ -> transport req
-  in
-  let rc = connect_exn env evil in
+  (* without confirming re-reads, every refused slice row is flagged *)
+  let rc = connect_exn ~retry:Remote_client.no_retry env (refuse_slices transport) in
   let audit = Remote_client.run_remote_audit rc in
   Alcotest.(check int) "every refusal flagged" (List.length sns)
     (List.length audit.Remote_client.violations)
+
+let test_refused_slices_heal_by_record_fallback () =
+  (* With confirming re-reads enabled, a server lying only in its audit
+     slices merely degrades the audit to per-record reads — the honest
+     individual replies carry the proofs, so nothing is flagged and the
+     lie costs the server extra traffic, not the auditor a false alarm. *)
+  let env, _server, transport = remote_env () in
+  ignore (write_n env 5);
+  let rc = connect_exn env (refuse_slices transport) in
+  let audit = Remote_client.run_remote_audit rc in
+  Alcotest.(check int) "slice refusals healed by re-reads" 0 (List.length audit.Remote_client.violations);
+  Alcotest.(check bool) "re-reads actually happened" true
+    ((Remote_client.transport_stats rc).Remote_client.reverifications > 0);
+  (* a dispatcher that refuses individual reads too has nowhere to hide *)
+  let refuse_everything req =
+    match Message.decode_request req with
+    | Ok (Message.Read sn) ->
+        Message.encode_response (Message.Read_reply { sn; response = Proof.Refused "go away" })
+    | _ -> refuse_slices transport req
+  in
+  let rc2 = connect_exn env refuse_everything in
+  let audit2 = Remote_client.run_remote_audit rc2 in
+  Alcotest.(check int) "refusing everything is flagged per record" 5
+    (List.length audit2.Remote_client.violations)
 
 let test_remote_audit_catches_stalling_cursor () =
   let env, _server, transport = remote_env () in
@@ -261,6 +286,123 @@ let test_mitm_garbage_and_drop () =
   | Client.Violation [ Client.Absence_unproven ] -> ()
   | v -> Alcotest.fail ("error reply accepted: " ^ Client.verdict_name v)
 
+(* ---------- exception safety & retries ---------- *)
+
+exception Boom
+
+(* A transport that works until the [n]-th call (1-based), then raises
+   on every call from there on. *)
+let raising_after n transport =
+  let calls = ref 0 in
+  fun req ->
+    incr calls;
+    if !calls >= n then raise Boom else transport req
+
+let test_raising_transport_never_escapes () =
+  let env, _server, transport = remote_env () in
+  let sn = write env ~blocks:[ "survives" ] () in
+  (* the handshake survives; every later call raises; no retry budget *)
+  let rc = connect_exn ~retry:Remote_client.no_retry env (raising_after 2 transport) in
+  (match Remote_client.read rc sn with
+  | Client.Violation [ Client.Absence_unproven ] -> ()
+  | v -> Alcotest.fail ("raising transport leaked a verdict: " ^ Client.verdict_name v)
+  | exception e -> Alcotest.fail ("exception escaped roundtrip: " ^ Printexc.to_string e));
+  (match Remote_client.audit_sweep rc ~lo:sn ~hi:sn with
+  | [ (_, Client.Violation [ Client.Absence_unproven ]) ] -> ()
+  | _ -> Alcotest.fail "sweep over a raising transport"
+  | exception e -> Alcotest.fail ("exception escaped audit_sweep: " ^ Printexc.to_string e));
+  let stats = Remote_client.transport_stats rc in
+  Alcotest.(check bool) "faults counted" true (stats.Remote_client.faults >= 2);
+  (* a transport that raises during the handshake yields Error, not an
+     exception *)
+  match Remote_client.connect ~ca:(ca_pub ()) ~clock:env.clock (raising_after 1 transport) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "connect over a dead transport succeeded"
+  | exception e -> Alcotest.fail ("exception escaped connect: " ^ Printexc.to_string e)
+
+let test_transient_fault_retried () =
+  let env, _server, transport = remote_env () in
+  let sn = write env ~blocks:[ "flaky" ] () in
+  (* raise on exactly one mid-stream call: the default retry rides it out *)
+  let calls = ref 0 in
+  let flaky req =
+    incr calls;
+    if !calls = 3 then raise Boom else transport req
+  in
+  let rc = connect_exn env flaky in
+  (match Remote_client.read rc sn with
+  | Client.Valid_data _ -> ()
+  | v -> Alcotest.fail ("one fault defeated the retry policy: " ^ Client.verdict_name v));
+  (match Remote_client.read rc sn with
+  | Client.Valid_data _ -> ()
+  | v -> Alcotest.fail (Client.verdict_name v));
+  let stats = Remote_client.transport_stats rc in
+  Alcotest.(check int) "one retry" 1 stats.Remote_client.retries;
+  Alcotest.(check int) "one fault" 1 stats.Remote_client.faults;
+  Alcotest.(check bool) "virtual wait charged, not slept" true
+    (Int64.compare stats.Remote_client.waited_ns 0L > 0)
+
+let test_handshake_bytes_accounted () =
+  let env, _server, transport = remote_env () in
+  ignore (write env ());
+  let net = Worm_proto.Netsim.create () in
+  let rc = connect_exn ~netsim:net env (Worm_proto.Netsim.wrap net transport) in
+  (* regression: the Hello reply used to be dropped from bytes_received *)
+  Alcotest.(check bool) "handshake reply counted" true (Remote_client.bytes_received rc > 0);
+  Alcotest.(check int) "client ledger matches the wire after the handshake"
+    (Worm_proto.Netsim.bytes_transferred net)
+    (Remote_client.bytes_sent rc + Remote_client.bytes_received rc);
+  ignore (Remote_client.read rc (Serial.of_int 1));
+  ignore (Remote_client.audit_sweep rc ~lo:Serial.first ~hi:(Serial.of_int 1));
+  Alcotest.(check int) "ledgers still agree after traffic"
+    (Worm_proto.Netsim.bytes_transferred net)
+    (Remote_client.bytes_sent rc + Remote_client.bytes_received rc)
+
+let test_netsim_charges_on_raise () =
+  let net = Worm_proto.Netsim.create ~rtt_ns:1_000_000L () in
+  let wrapped = Worm_proto.Netsim.wrap net (fun _ -> raise Boom) in
+  (match wrapped "a request crossing the wire" with
+  | _ -> Alcotest.fail "raising transport returned"
+  | exception Boom -> ());
+  (* regression: a raising transport used to charge nothing *)
+  Alcotest.(check int) "request counted" 1 (Worm_proto.Netsim.requests net);
+  Alcotest.(check int) "request bytes billed" (String.length "a request crossing the wire")
+    (Worm_proto.Netsim.bytes_transferred net);
+  Alcotest.(check bool) "RTT billed" true
+    (Int64.compare (Worm_proto.Netsim.elapsed_ns net) 1_000_000L >= 0)
+
+let test_duplicate_sns_in_reply_detected () =
+  let env, _server, transport = remote_env () in
+  let sn_a = write env ~blocks:[ "A" ] () in
+  let sn_b = write env ~blocks:[ "B" ] () in
+  (* a malicious reply answers sn_b twice: once honestly, then with a
+     conflicting refusal appended — List.assoc reassembly would have
+     trusted whichever came first *)
+  let evil req =
+    match Message.decode_request req with
+    | Ok (Message.Read_many _) -> begin
+        match Message.decode_response (transport req) with
+        | Ok (Message.Read_many_reply replies) ->
+            let dup = (sn_b, Proof.Refused "second opinion") in
+            Message.encode_response (Message.Read_many_reply (replies @ [ dup ]))
+        | _ -> transport req
+      end
+    | _ -> transport req
+  in
+  let rc = connect_exn ~retry:Remote_client.no_retry env evil in
+  let results = Remote_client.audit_sweep rc ~lo:sn_a ~hi:sn_b in
+  (match List.assoc sn_a results with
+  | Client.Valid_data _ -> ()
+  | v -> Alcotest.fail ("clean row damaged: " ^ Client.verdict_name v));
+  (match List.assoc sn_b results with
+  | Client.Violation [ Client.Absence_unproven ] -> ()
+  | v -> Alcotest.fail ("duplicated SN trusted: " ^ Client.verdict_name v));
+  (* with confirming re-reads, the honest per-record path heals the row *)
+  let rc2 = connect_exn env evil in
+  match List.assoc sn_b (Remote_client.audit_sweep rc2 ~lo:sn_a ~hi:sn_b) with
+  | Client.Valid_data _ -> ()
+  | v -> Alcotest.fail ("re-read did not heal the duplicate: " ^ Client.verdict_name v)
+
 (* ---------- network accounting ---------- *)
 
 let test_batching_amortizes_round_trips () =
@@ -303,6 +445,12 @@ let suite =
     ("audit sweep", `Quick, test_audit_sweep);
     ("remote full audit, honest server", `Quick, test_remote_full_audit_honest);
     ("remote audit catches refusing dispatcher", `Quick, test_remote_audit_catches_refusing_dispatcher);
+    ("refused slices heal by per-record fallback", `Quick, test_refused_slices_heal_by_record_fallback);
+    ("raising transport never escapes", `Quick, test_raising_transport_never_escapes);
+    ("transient fault retried", `Quick, test_transient_fault_retried);
+    ("handshake bytes accounted", `Quick, test_handshake_bytes_accounted);
+    ("netsim charges on raise", `Quick, test_netsim_charges_on_raise);
+    ("duplicate SNs in reply detected", `Quick, test_duplicate_sns_in_reply_detected);
     ("remote audit catches stalling cursor", `Quick, test_remote_audit_catches_stalling_cursor);
     ("wrong CA over the wire", `Quick, test_handshake_against_wrong_ca);
     ("MITM bitflip detected", `Quick, test_mitm_bitflip_detected);
