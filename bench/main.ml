@@ -477,6 +477,87 @@ let time_per_op ~min_time_s ~min_iters f =
   done;
   !elapsed /. float_of_int !n
 
+(* ------------------------------------------------------------------ *)
+(* Host hash hot path: MB/s per size class for every digest the WORM
+   layer leans on. The committed pre/post baselines under bench/results/
+   gate the hot-path overhaul: sha256/oneshot/64KB is the headline row. *)
+
+let hash_size_classes = [ 1024; 4096; 16384; 65536; 262144 ]
+
+let print_hash ~quick ~env:_ =
+  hr "HASH -- host hash hot path (MB/s per size class)";
+  let budget = if quick then 0.04 else 0.25 in
+  let blocks =
+    List.map (fun size -> (size, Drbg.generate (Drbg.create ~seed:"bench-hash") size)) hash_size_classes
+  in
+  (* Best-of-k: each row is the fastest of k short trials, which makes
+     the committed baselines robust to transient load on a shared host. *)
+  let trials = if quick then 1 else 3 in
+  let mb_per_sec bytes f =
+    let best = ref 0. in
+    for _ = 1 to trials do
+      let rate = float_of_int bytes /. time_per_op ~min_time_s:budget ~min_iters:8 f /. 1e6 in
+      if rate > !best then best := rate
+    done;
+    !best
+  in
+  let rows = ref [] in
+  let row ~algo ~mode ~bytes rate = rows := (algo, mode, bytes, rate) :: !rows in
+  List.iter
+    (fun (size, block) ->
+      row ~algo:"sha256" ~mode:"oneshot" ~bytes:size (mb_per_sec size (fun () -> Sha256.digest block));
+      row ~algo:"sha1" ~mode:"oneshot" ~bytes:size (mb_per_sec size (fun () -> Sha1.digest block));
+      row ~algo:"hmac-sha256" ~mode:"oneshot" ~bytes:size
+        (mb_per_sec size (fun () -> Hmac.sha256 ~key:"0123456789abcdef" block));
+      row ~algo:"chained-sha256" ~mode:"oneshot" ~bytes:size
+        (mb_per_sec size (fun () -> Chained_hash.add Chained_hash.empty block)))
+    blocks;
+  (* Zero-copy streaming: the same bytes fed through feed_sub in odd
+     4091-byte slices, as the blockdev/fs framing paths do. *)
+  List.iter
+    (fun (size, block) ->
+      row ~algo:"sha256" ~mode:"stream-sub" ~bytes:size
+        (mb_per_sec size (fun () ->
+             let ctx = Sha256.init () in
+             let pos = ref 0 in
+             while !pos < size do
+               let len = min 4091 (size - !pos) in
+               Sha256.feed_sub ctx block ~pos:!pos ~len;
+               pos := !pos + len
+             done;
+             Sha256.get ctx)))
+    blocks;
+  (* Multi-buffer hashing over the domain pool: 16 independent blocks
+     per call, sequential vs. pooled. *)
+  let domains = Worm_util.Pool.recommended_domains () in
+  let pool = Worm_util.Pool.create ~domains () in
+  List.iter
+    (fun size ->
+      let block = List.assoc size blocks in
+      let inputs = Array.make 16 block in
+      let total = 16 * size in
+      row ~algo:"sha256" ~mode:"multibuf-seq" ~bytes:size
+        (mb_per_sec total (fun () -> Sha256.digest_many inputs));
+      row ~algo:"sha256"
+        ~mode:(Printf.sprintf "multibuf-pool%d" domains)
+        ~bytes:size
+        (mb_per_sec total (fun () -> Sha256.digest_many ~pool inputs)))
+    [ 16384; 65536 ];
+  Worm_util.Pool.shutdown pool;
+  let rows = List.rev !rows in
+  Printf.printf "%-18s %-12s %12s %12s\n" "algorithm" "mode" "block" "MB/s";
+  List.iter
+    (fun (algo, mode, bytes, rate) ->
+      Printf.printf "%-18s %-12s %9d KB %12.1f\n" algo mode (bytes / 1024) rate)
+    rows;
+  add_json "hash"
+    (Arr
+       (List.map
+          (fun (algo, mode, bytes, rate) ->
+            Obj
+              [ ("algo", Str algo); ("mode", Str mode); ("block_bytes", Int bytes); ("mb_per_sec", Float rate) ])
+          rows))
+
 let print_local ~quick ~env:_ =
   hr "LOCAL -- Figure 1 projected onto this host's measured primitive rates";
   let budget = if quick then 0.05 else 0.25 in
@@ -710,6 +791,7 @@ let sections =
     ("audit", print_audit);
     ("protofault", print_protofault);
     ("scaling", print_scaling);
+    ("hash", print_hash);
     ("local", print_local);
     ("readthroughput", print_readthroughput);
     ("bechamel", run_bechamel);

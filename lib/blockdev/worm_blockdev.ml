@@ -19,22 +19,26 @@ let block_size t = t.block_size
 let frame t payload =
   let n = String.length payload in
   if n > t.block_size - 4 then invalid_arg "Worm_blockdev.append: payload exceeds block size";
-  let framed =
-    Codec.encode
-      (fun enc () ->
-        Codec.u32 enc n;
-        ())
-      ()
-    ^ payload
-  in
-  framed ^ String.make (t.block_size - String.length framed) '\000'
+  let b = Bytes.make t.block_size '\000' in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
 
 let unframe t block =
   if String.length block <> t.block_size then None
   else begin
-    match Codec.decode Codec.read_u32 (String.sub block 0 4) with
-    | Ok n when n <= t.block_size - 4 -> Some (String.sub block 4 n)
-    | Ok _ | Error _ -> None
+    (* Big-endian u32 length, parsed in place (same wire format as
+       [Codec.u32]) — no header substring. *)
+    let n =
+      (Char.code block.[0] lsl 24)
+      lor (Char.code block.[1] lsl 16)
+      lor (Char.code block.[2] lsl 8)
+      lor Char.code block.[3]
+    in
+    if n <= t.block_size - 4 then Some (String.sub block 4 n) else None
   end
 
 (* LBA <-> serial: serials start at 1, LBAs at 0. *)

@@ -23,6 +23,22 @@ let store_block t block =
       Hashtbl.replace t.by_addr addr h;
       addr
 
+(* Zero-copy variant: the candidate range is hashed in place, so on a
+   dedup hit (the case dedup exists for) the substring is never
+   materialised; only a miss pays for the copy it must store anyway. *)
+let store_sub t s ~pos ~len =
+  let h = Sha256.digest_sub s ~pos ~len in
+  match Hashtbl.find_opt t.by_hash h with
+  | Some entry ->
+      entry.refs <- entry.refs + 1;
+      entry.addr
+  | None ->
+      let block = String.sub s pos len in
+      let addr = Disk.write t.disk block in
+      Hashtbl.replace t.by_hash h { addr; refs = 1; bytes = len };
+      Hashtbl.replace t.by_addr addr h;
+      addr
+
 let read t addr = Disk.read t.disk addr
 
 type release_result = Freed | Still_referenced of int | Absent

@@ -21,6 +21,10 @@ val store_block : t -> string -> Worm_simdisk.Disk.addr
 (** Store (or re-reference) one block; identical contents return the
     same address with an incremented refcount. *)
 
+val store_sub : t -> string -> pos:int -> len:int -> Worm_simdisk.Disk.addr
+(** [store_block] on [s[pos .. pos+len-1]], hashing the range in place:
+    a dedup hit never materialises the substring. *)
+
 val read : t -> Worm_simdisk.Disk.addr -> string option
 
 type release_result =

@@ -85,10 +85,18 @@ type divergence = {
   mirror_verdict : string;
 }
 
+(* Digest-identical to hashing [String.concat "\x00" blocks], but fed
+   part-by-part. *)
+let rec sep_parts = function
+  | [] -> []
+  | [ b ] -> [ b ]
+  | b :: rest -> b :: "\x00" :: sep_parts rest
+
 let verdict_fingerprint client store sn =
   match Client.verify_read client ~sn (Worm.read store sn) with
   | Client.Valid_data { blocks; _ } ->
-      ("valid:" ^ Worm_crypto.Sha256.hex_digest (String.concat "\x00" blocks), "valid-data")
+      ( "valid:" ^ Worm_util.Hex.encode (Worm_crypto.Sha256.digest_parts (sep_parts blocks)),
+        "valid-data" )
   | v ->
       let name = Client.verdict_name v in
       (name, name)

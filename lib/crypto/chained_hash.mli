@@ -15,6 +15,11 @@ val add : t -> string -> t
     blocks are length-delimited inside the chain, so ["ab"+"c"] and
     ["a"+"bc"] chain to different values. *)
 
+val add_sub : t -> string -> pos:int -> len:int -> t
+(** [add_sub t s ~pos ~len] absorbs [s[pos .. pos+len-1]] as one block,
+    feeding it zero-copy from the caller's buffer.
+    @raise Invalid_argument on an out-of-bounds range. *)
+
 val of_blocks : string list -> t
 val value : t -> string
 (** 32-byte chain value. *)

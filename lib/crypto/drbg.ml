@@ -3,10 +3,10 @@ type t = { mutable k : string; mutable v : string }
 let hmac = Hmac.sha256
 
 let update t data =
-  t.k <- hmac ~key:t.k (t.v ^ "\x00" ^ data);
+  t.k <- Hmac.sha256_parts ~key:t.k [ t.v; "\x00"; data ];
   t.v <- hmac ~key:t.k t.v;
   if String.length data > 0 then begin
-    t.k <- hmac ~key:t.k (t.v ^ "\x01" ^ data);
+    t.k <- Hmac.sha256_parts ~key:t.k [ t.v; "\x01"; data ];
     t.v <- hmac ~key:t.k t.v
   end
 

@@ -129,10 +129,19 @@ let sha256_prefix =
   Worm_util.Hex.decode "3031300d060960864801650304020105000420"
 
 let emsa_pkcs1_v15 ~k msg =
-  let t = sha256_prefix ^ Sha256.digest msg in
-  let tlen = String.length t in
+  let tlen = String.length sha256_prefix + Sha256.digest_size in
   if k < tlen + 11 then invalid_arg "Rsa: modulus too small for PKCS#1 encoding";
-  "\x00\x01" ^ String.make (k - tlen - 3) '\xff' ^ "\x00" ^ t
+  (* 0x00 0x01 PS(0xff..) 0x00 DigestInfo-prefix digest, built in one
+     buffer with the digest finalized directly into place. *)
+  let em = Bytes.make k '\xff' in
+  Bytes.set em 0 '\x00';
+  Bytes.set em 1 '\x01';
+  Bytes.set em (k - tlen - 1) '\x00';
+  Bytes.blit_string sha256_prefix 0 em (k - tlen) (String.length sha256_prefix);
+  let ctx = Sha256.init () in
+  Sha256.feed ctx msg;
+  Sha256.digest_into ctx em ~pos:(k - Sha256.digest_size);
+  Bytes.unsafe_to_string em
 
 let sign_one sk ~k msg =
   let em = emsa_pkcs1_v15 ~k msg in

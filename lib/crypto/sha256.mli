@@ -1,7 +1,13 @@
-(** SHA-256 (FIPS 180-4). Pure OCaml.
+(** SHA-256 (FIPS 180-4). Pure OCaml, unsafe fully-unrolled core.
 
     The default digest for all WORM signatures, deletion proofs, window
-    bounds and chained record hashes. *)
+    bounds and chained record hashes. The reference (safe, loop-based)
+    implementation this core is checked byte-for-byte against lives in
+    [test/support/ref_hash.ml].
+
+    A context is single-use: finalizing it ({!get} / {!digest_into})
+    marks it finalized, and any further {!feed}/{!get} on it raises
+    [Invalid_argument] — it never silently yields garbage. *)
 
 type ctx
 
@@ -12,10 +18,39 @@ val block_size : int
 (** 64 bytes. *)
 
 val init : unit -> ctx
+
 val feed : ctx -> string -> unit
+(** @raise Invalid_argument if the context was already finalized. *)
+
+val feed_sub : ctx -> string -> pos:int -> len:int -> unit
+(** [feed_sub ctx s ~pos ~len] feeds [s[pos .. pos+len-1]] without
+    materialising a substring: whole 64-byte blocks are compressed
+    directly out of [s].
+    @raise Invalid_argument on a finalized context or out-of-bounds
+    range. *)
+
 val get : ctx -> string
-(** Finalize and return the 32-byte digest. The context must not be
-    reused afterwards. *)
+(** Finalize and return the 32-byte digest. The context is dead
+    afterwards: any further use raises [Invalid_argument]. *)
+
+val digest_into : ctx -> Bytes.t -> pos:int -> unit
+(** Finalize, writing the 32 digest bytes into [out] at [pos] — no
+    intermediate string. Same single-use semantics as {!get}. *)
 
 val digest : string -> string
+val digest_sub : string -> pos:int -> len:int -> string
+
+val digest_parts : string list -> string
+(** Digest the concatenation of the parts without concatenating them. *)
+
+val digest_many : ?pool:Worm_util.Pool.t -> string array -> string array
+(** Multi-buffer hashing: [digest_many ~pool inputs] is
+    [Array.map digest inputs] with the independent digests fanned out
+    across the domain pool. With no pool, a 1-domain pool, or fewer than
+    two inputs it runs sequentially — byte-identical results either
+    way. *)
+
+val digest_parts_many : ?pool:Worm_util.Pool.t -> string list array -> string array
+(** {!digest_parts} over each element, pooled like {!digest_many}. *)
+
 val hex_digest : string -> string

@@ -1,0 +1,279 @@
+(* Retained reference implementations of SHA-256 and SHA-1: the seed's
+   safe, loop-based cores, kept verbatim so tests can check the unsafe
+   unrolled production cores in [lib/crypto] byte-for-byte against an
+   independent implementation. Do not optimise this file. *)
+
+module Sha256 = struct
+  (* 32-bit words carried in native ints, masked after every operation. *)
+
+  let mask = 0xFFFFFFFF
+  let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+  let shr x n = x lsr n
+
+  let k =
+    [|
+      0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1; 0x923f82a4; 0xab1c5ed5;
+      0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3; 0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174;
+      0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+      0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147; 0x06ca6351; 0x14292967;
+      0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13; 0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85;
+      0xa2bfe8a1; 0xa81a664b; 0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+      0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f; 0x682e6ff3;
+      0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208; 0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+    |]
+
+  type ctx = {
+    h : int array; (* 8 words *)
+    buf : Bytes.t;
+    mutable buf_len : int;
+    mutable total : int;
+    w : int array;
+    mutable finalized : bool;
+  }
+
+  let digest_size = 32
+  let block_size = 64
+
+  let init () =
+    {
+      h = [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+      buf = Bytes.create block_size;
+      buf_len = 0;
+      total = 0;
+      w = Array.make 64 0;
+      finalized = false;
+    }
+
+  let compress ctx block off =
+    let w = ctx.w in
+    for i = 0 to 15 do
+      let p = off + (4 * i) in
+      w.(i) <-
+        (Char.code (Bytes.get block p) lsl 24)
+        lor (Char.code (Bytes.get block (p + 1)) lsl 16)
+        lor (Char.code (Bytes.get block (p + 2)) lsl 8)
+        lor Char.code (Bytes.get block (p + 3))
+    done;
+    for i = 16 to 63 do
+      let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor shr w.(i - 15) 3 in
+      let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor shr w.(i - 2) 10 in
+      w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+    done;
+    let h = ctx.h in
+    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+    for i = 0 to 63 do
+      let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+      let ch = (!e land !f) lxor (lnot !e land !g) land mask in
+      let t1 = (!hh + s1 + (ch land mask) + k.(i) + w.(i)) land mask in
+      let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+      let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+      let t2 = (s0 + maj) land mask in
+      hh := !g;
+      g := !f;
+      f := !e;
+      e := (!d + t1) land mask;
+      d := !c;
+      c := !b;
+      b := !a;
+      a := (t1 + t2) land mask
+    done;
+    h.(0) <- (h.(0) + !a) land mask;
+    h.(1) <- (h.(1) + !b) land mask;
+    h.(2) <- (h.(2) + !c) land mask;
+    h.(3) <- (h.(3) + !d) land mask;
+    h.(4) <- (h.(4) + !e) land mask;
+    h.(5) <- (h.(5) + !f) land mask;
+    h.(6) <- (h.(6) + !g) land mask;
+    h.(7) <- (h.(7) + !hh) land mask
+
+  let feed ctx s =
+    if ctx.finalized then invalid_arg "Sha256.feed: context already finalized";
+    let len = String.length s in
+    ctx.total <- ctx.total + len;
+    let pos = ref 0 in
+    if ctx.buf_len > 0 then begin
+      let need = block_size - ctx.buf_len in
+      let take = min need len in
+      Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+      ctx.buf_len <- ctx.buf_len + take;
+      pos := take;
+      if ctx.buf_len = block_size then begin
+        compress ctx ctx.buf 0;
+        ctx.buf_len <- 0
+      end
+    end;
+    let tmp = Bytes.unsafe_of_string s in
+    while len - !pos >= block_size do
+      compress ctx tmp !pos;
+      pos := !pos + block_size
+    done;
+    if !pos < len then begin
+      Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
+      ctx.buf_len <- len - !pos
+    end
+
+  let word_be out off v =
+    Bytes.set out off (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set out (off + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out (off + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out (off + 3) (Char.chr (v land 0xff))
+
+  let get ctx =
+    if ctx.finalized then invalid_arg "Sha256.get: context already finalized";
+    let total_bits = ctx.total * 8 in
+    let pad_len =
+      let rem = (ctx.total + 1) mod block_size in
+      if rem <= 56 then 56 - rem + 1 else block_size - rem + 56 + 1
+    in
+    let tail = Bytes.make (pad_len + 8) '\000' in
+    Bytes.set tail 0 '\x80';
+    for i = 0 to 7 do
+      Bytes.set tail (pad_len + i) (Char.chr ((total_bits lsr (8 * (7 - i))) land 0xff))
+    done;
+    feed ctx (Bytes.unsafe_to_string tail);
+    assert (ctx.buf_len = 0);
+    ctx.finalized <- true;
+    let out = Bytes.create digest_size in
+    for i = 0 to 7 do
+      word_be out (4 * i) ctx.h.(i)
+    done;
+    Bytes.unsafe_to_string out
+
+  let digest s =
+    let ctx = init () in
+    feed ctx s;
+    get ctx
+end
+
+module Sha1 = struct
+  (* 32-bit words carried in native ints, masked after every operation. *)
+
+  let mask = 0xFFFFFFFF
+  let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+  type ctx = {
+    mutable h0 : int;
+    mutable h1 : int;
+    mutable h2 : int;
+    mutable h3 : int;
+    mutable h4 : int;
+    buf : Bytes.t; (* partial block *)
+    mutable buf_len : int;
+    mutable total : int; (* bytes fed *)
+    w : int array; (* message schedule scratch *)
+    mutable finalized : bool;
+  }
+
+  let digest_size = 20
+  let block_size = 64
+
+  let init () =
+    {
+      h0 = 0x67452301;
+      h1 = 0xEFCDAB89;
+      h2 = 0x98BADCFE;
+      h3 = 0x10325476;
+      h4 = 0xC3D2E1F0;
+      buf = Bytes.create block_size;
+      buf_len = 0;
+      total = 0;
+      w = Array.make 80 0;
+      finalized = false;
+    }
+
+  let compress ctx block off =
+    let w = ctx.w in
+    for i = 0 to 15 do
+      let p = off + (4 * i) in
+      w.(i) <-
+        (Char.code (Bytes.get block p) lsl 24)
+        lor (Char.code (Bytes.get block (p + 1)) lsl 16)
+        lor (Char.code (Bytes.get block (p + 2)) lsl 8)
+        lor Char.code (Bytes.get block (p + 3))
+    done;
+    for i = 16 to 79 do
+      w.(i) <- rotl (w.(i - 3) lxor w.(i - 8) lxor w.(i - 14) lxor w.(i - 16)) 1
+    done;
+    let a = ref ctx.h0 and b = ref ctx.h1 and c = ref ctx.h2 and d = ref ctx.h3 and e = ref ctx.h4 in
+    for i = 0 to 79 do
+      let f, k =
+        if i < 20 then ((!b land !c) lor (lnot !b land !d) land mask, 0x5A827999)
+        else if i < 40 then (!b lxor !c lxor !d, 0x6ED9EBA1)
+        else if i < 60 then ((!b land !c) lor (!b land !d) lor (!c land !d), 0x8F1BBCDC)
+        else (!b lxor !c lxor !d, 0xCA62C1D6)
+      in
+      let t = (rotl !a 5 + (f land mask) + !e + k + w.(i)) land mask in
+      e := !d;
+      d := !c;
+      c := rotl !b 30;
+      b := !a;
+      a := t
+    done;
+    ctx.h0 <- (ctx.h0 + !a) land mask;
+    ctx.h1 <- (ctx.h1 + !b) land mask;
+    ctx.h2 <- (ctx.h2 + !c) land mask;
+    ctx.h3 <- (ctx.h3 + !d) land mask;
+    ctx.h4 <- (ctx.h4 + !e) land mask
+
+  let feed ctx s =
+    if ctx.finalized then invalid_arg "Sha1.feed: context already finalized";
+    let len = String.length s in
+    ctx.total <- ctx.total + len;
+    let pos = ref 0 in
+    (* top up a partial block first *)
+    if ctx.buf_len > 0 then begin
+      let need = block_size - ctx.buf_len in
+      let take = min need len in
+      Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+      ctx.buf_len <- ctx.buf_len + take;
+      pos := take;
+      if ctx.buf_len = block_size then begin
+        compress ctx ctx.buf 0;
+        ctx.buf_len <- 0
+      end
+    end;
+    let tmp = Bytes.unsafe_of_string s in
+    while len - !pos >= block_size do
+      compress ctx tmp !pos;
+      pos := !pos + block_size
+    done;
+    if !pos < len then begin
+      Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
+      ctx.buf_len <- len - !pos
+    end
+
+  let word_be out off v =
+    Bytes.set out off (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set out (off + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out (off + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out (off + 3) (Char.chr (v land 0xff))
+
+  let get ctx =
+    if ctx.finalized then invalid_arg "Sha1.get: context already finalized";
+    let total_bits = ctx.total * 8 in
+    let pad_len =
+      let rem = (ctx.total + 1) mod block_size in
+      if rem <= 56 then 56 - rem + 1 else block_size - rem + 56 + 1
+    in
+    let tail = Bytes.make (pad_len + 8) '\000' in
+    Bytes.set tail 0 '\x80';
+    for i = 0 to 7 do
+      Bytes.set tail (pad_len + i) (Char.chr ((total_bits lsr (8 * (7 - i))) land 0xff))
+    done;
+    feed ctx (Bytes.unsafe_to_string tail);
+    assert (ctx.buf_len = 0);
+    ctx.finalized <- true;
+    let out = Bytes.create digest_size in
+    word_be out 0 ctx.h0;
+    word_be out 4 ctx.h1;
+    word_be out 8 ctx.h2;
+    word_be out 12 ctx.h3;
+    word_be out 16 ctx.h4;
+    Bytes.unsafe_to_string out
+
+  let digest s =
+    let ctx = init () in
+    feed ctx s;
+    get ctx
+end

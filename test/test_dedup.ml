@@ -25,6 +25,19 @@ let test_dedup_store_basics () =
   Alcotest.(check int) "unique" 2 s.Dedup_store.unique_blocks;
   Alcotest.(check int) "logical" 3 s.Dedup_store.logical_blocks
 
+let test_store_sub_shares_with_store_block () =
+  (* store_sub hashes the slice in place; it must land on the same
+     physical block as store_block of the materialised substring. *)
+  let disk = Disk.create ~latency:Disk.zero_latency () in
+  let d = Dedup_store.create disk in
+  let a = Dedup_store.store_block d "attachment" in
+  let framed = "HDR|attachment|TRL" in
+  let b = Dedup_store.store_sub d framed ~pos:4 ~len:10 in
+  Alcotest.(check int) "slice dedups against whole" a b;
+  Alcotest.(check int) "refcount 2" 2 (Dedup_store.refcount d a);
+  Alcotest.(check int) "one physical copy" 1 (Disk.record_count disk);
+  Alcotest.(check (option string)) "reads back the slice" (Some "attachment") (Dedup_store.read d b)
+
 let test_dedup_release_semantics () =
   let disk = Disk.create ~latency:Disk.zero_latency () in
   let d = Dedup_store.create disk in
@@ -198,6 +211,7 @@ let prop_dedup_transparent =
 let suite =
   [
     ("dedup store basics", `Quick, test_dedup_store_basics);
+    ("store_sub shares with store_block", `Quick, test_store_sub_shares_with_store_block);
     ("release semantics", `Quick, test_dedup_release_semantics);
     ("dedup ratio", `Quick, test_dedup_ratio);
     ("store dedups across records", `Quick, test_store_dedups_across_records);

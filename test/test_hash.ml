@@ -96,7 +96,86 @@ let test_ctx_reuse_rejected () =
   Sha256.feed ctx "x";
   ignore (Sha256.get ctx);
   Alcotest.check_raises "feed after get" (Invalid_argument "Sha256.feed: context already finalized") (fun () ->
-      Sha256.feed ctx "y")
+      Sha256.feed ctx "y");
+  Alcotest.check_raises "second get" (Invalid_argument "Sha256.get: context already finalized") (fun () ->
+      ignore (Sha256.get ctx));
+  Alcotest.check_raises "feed_sub after get" (Invalid_argument "Sha256.feed_sub: context already finalized")
+    (fun () -> Sha256.feed_sub ctx "abc" ~pos:0 ~len:1);
+  Alcotest.check_raises "digest_into after get" (Invalid_argument "Sha256.get: context already finalized")
+    (fun () -> Sha256.digest_into ctx (Bytes.create 32) ~pos:0);
+  let ctx1 = Sha1.init () in
+  Sha1.feed ctx1 "x";
+  ignore (Sha1.get ctx1);
+  Alcotest.check_raises "sha1 feed after get" (Invalid_argument "Sha1.feed: context already finalized")
+    (fun () -> Sha1.feed ctx1 "y");
+  Alcotest.check_raises "sha1 second get" (Invalid_argument "Sha1.get: context already finalized") (fun () ->
+      ignore (Sha1.get ctx1))
+
+(* ---------- Zero-copy entry points ---------- *)
+
+let test_feed_sub_odd_splits () =
+  (* Feed the 896-bit vector as substrings of a larger buffer, cut at
+     prime strides so block boundaries never align with the slices. *)
+  let padded = "PREFIX-" ^ nist_896 ^ "-SUFFIX" in
+  let base = String.length "PREFIX-" in
+  let n = String.length nist_896 in
+  List.iter
+    (fun stride ->
+      let ctx = Sha256.init () in
+      let ctx1 = Sha1.init () in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min stride (n - !pos) in
+        Sha256.feed_sub ctx padded ~pos:(base + !pos) ~len;
+        Sha1.feed_sub ctx1 padded ~pos:(base + !pos) ~len;
+        pos := !pos + len
+      done;
+      check_hex
+        (Printf.sprintf "sha256 feed_sub stride %d" stride)
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" (Sha256.get ctx);
+      check_hex
+        (Printf.sprintf "sha1 feed_sub stride %d" stride)
+        "a49b2446a02c645bf419f995b67091253a04a259" (Sha1.get ctx1))
+    [ 1; 3; 7; 61; 64; 67; 113 ]
+
+let test_feed_sub_bounds () =
+  let ctx = Sha256.init () in
+  Alcotest.check_raises "negative pos" (Invalid_argument "Sha256.feed_sub: out of bounds") (fun () ->
+      Sha256.feed_sub ctx "abc" ~pos:(-1) ~len:1);
+  Alcotest.check_raises "negative len" (Invalid_argument "Sha256.feed_sub: out of bounds") (fun () ->
+      Sha256.feed_sub ctx "abc" ~pos:0 ~len:(-1));
+  Alcotest.check_raises "past end" (Invalid_argument "Sha256.feed_sub: out of bounds") (fun () ->
+      Sha256.feed_sub ctx "abc" ~pos:2 ~len:2)
+
+let test_digest_sub_and_into () =
+  let s = "xyzabc012" in
+  Alcotest.(check string) "digest_sub" (Sha256.digest "abc") (Sha256.digest_sub s ~pos:3 ~len:3);
+  let out = Bytes.make 40 '\xff' in
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "abc";
+  Sha256.digest_into ctx out ~pos:4;
+  Alcotest.(check string) "digest_into payload" (Sha256.digest "abc") (Bytes.sub_string out 4 32);
+  Alcotest.(check string) "digest_into leaves margins" (String.make 4 '\xff') (Bytes.sub_string out 0 4);
+  Alcotest.(check string) "digest_parts" (Sha256.digest "abcdef") (Sha256.digest_parts [ "ab"; ""; "cdef" ])
+
+(* The production cores must agree with the retained reference
+   implementation on arbitrary inputs, not just the FIPS vectors. *)
+let prop_matches_reference =
+  QCheck.Test.make ~name:"unsafe cores = reference implementation" ~count:300 QCheck.string (fun s ->
+      String.equal (Sha256.digest s) (Worm_testkit.Ref_hash.Sha256.digest s)
+      && String.equal (Sha1.digest s) (Worm_testkit.Ref_hash.Sha1.digest s))
+
+let prop_digest_many_is_map =
+  QCheck.Test.make ~name:"digest_many = map digest" ~count:50
+    QCheck.(small_list string)
+    (fun xs ->
+      let inputs = Array.of_list xs in
+      let expected = Array.map Sha256.digest inputs in
+      let pool = Worm_util.Pool.create ~domains:2 () in
+      let pooled = Sha256.digest_many ~pool inputs in
+      let parts_pooled = Sha256.digest_parts_many ~pool (Array.map (fun x -> [ x; "" ]) inputs) in
+      Worm_util.Pool.shutdown pool;
+      Sha256.digest_many inputs = expected && pooled = expected && parts_pooled = expected)
 
 (* ---------- HMAC (RFC 4231 / RFC 2202) ---------- *)
 
@@ -107,9 +186,31 @@ let test_hmac_sha256_vectors () =
     (Hmac.sha256 ~key:"Jefe" "what do ya want for nothing?");
   check_hex "rfc4231 case 3" "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
     (Hmac.sha256 ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'));
+  check_hex "rfc4231 case 4" "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+    (Hmac.sha256
+       ~key:(String.init 25 (fun i -> Char.chr (i + 1)))
+       (String.make 50 '\xcd'));
   (* long key (hashed down) *)
   check_hex "rfc4231 case 6" "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
-    (Hmac.sha256 ~key:(String.make 131 '\xaa') "Test Using Larger Than Block-Size Key - Hash Key First")
+    (Hmac.sha256 ~key:(String.make 131 '\xaa') "Test Using Larger Than Block-Size Key - Hash Key First");
+  (* long key AND long data *)
+  check_hex "rfc4231 case 7" "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+    (Hmac.sha256 ~key:(String.make 131 '\xaa')
+       ("This is a test using a larger than block-size key and a larger than block-size data. "
+      ^ "The key needs to be hashed before being used by the HMAC algorithm."))
+
+let test_hmac_zero_copy_agrees () =
+  (* mac_parts over a split and mac_sub over a slice must match the
+     one-shot mac of the equivalent contiguous string. *)
+  let key = "zero-copy-key" in
+  let msg = "The WORM device signs what it stores, not what it is shown." in
+  Alcotest.(check string) "sha256_parts = sha256"
+    (Hmac.sha256 ~key msg)
+    (Hmac.sha256_parts ~key [ "The WORM device signs "; "what it stores, "; ""; "not what it is shown." ]);
+  let padded = "<<<" ^ msg ^ ">>>" in
+  Alcotest.(check string) "sha256_sub = sha256"
+    (Hmac.sha256 ~key msg)
+    (Hmac.sha256_sub ~key padded ~pos:3 ~len:(String.length msg))
 
 let test_hmac_sha1_vectors () =
   check_hex "rfc2202 case 1" "b617318655057264e28bc0b6fb378c8ef146be00"
@@ -141,6 +242,16 @@ let test_chained_boundary_sensitive () =
   Alcotest.(check bool) "ab+c <> abc" false (Chained_hash.equal a c);
   Alcotest.(check bool) "empty block matters" false
     (Chained_hash.equal (Chained_hash.of_blocks [ "x"; "" ]) (Chained_hash.of_blocks [ "x" ]))
+
+let test_chained_add_sub () =
+  (* add_sub on a slice must equal add of the materialised substring. *)
+  let buf = "padding|block-payload|more" in
+  let a = Chained_hash.add_sub Chained_hash.empty buf ~pos:8 ~len:13 in
+  let b = Chained_hash.add Chained_hash.empty "block-payload" in
+  Alcotest.(check bool) "add_sub = add of sub" true (Chained_hash.equal a b);
+  Alcotest.check_raises "bad bounds"
+    (Invalid_argument "Chained_hash.add_sub: out of bounds")
+    (fun () -> ignore (Chained_hash.add_sub Chained_hash.empty buf ~pos:20 ~len:10))
 
 let prop_chained_injective_on_order =
   QCheck.Test.make ~name:"chained hash order-sensitive" ~count:200
@@ -190,16 +301,23 @@ let suite =
     ("sha1 FIPS vectors", `Quick, test_sha1_vectors);
     ("streaming at odd offsets", `Quick, test_streaming_odd_offsets);
     ("context reuse rejected", `Quick, test_ctx_reuse_rejected);
+    ("feed_sub odd splits", `Quick, test_feed_sub_odd_splits);
+    ("feed_sub bounds", `Quick, test_feed_sub_bounds);
+    ("digest_sub / digest_into", `Quick, test_digest_sub_and_into);
     ("hmac-sha256 RFC vectors", `Quick, test_hmac_sha256_vectors);
     ("hmac-sha1 RFC vectors", `Quick, test_hmac_sha1_vectors);
     ("hmac verify", `Quick, test_hmac_verify);
+    ("hmac zero-copy entry points", `Quick, test_hmac_zero_copy_agrees);
     ("chained hash basics", `Quick, test_chained_basic);
     ("chained hash boundaries", `Quick, test_chained_boundary_sensitive);
+    ("chained hash add_sub", `Quick, test_chained_add_sub);
     ("drbg determinism", `Quick, test_drbg_deterministic);
     ("drbg split independence", `Quick, test_drbg_split_independent);
     ("drbg nat_bits width", `Quick, test_drbg_nat_bits_width);
     QCheck_alcotest.to_alcotest prop_sha256_incremental;
     QCheck_alcotest.to_alcotest prop_sha1_incremental;
+    QCheck_alcotest.to_alcotest prop_matches_reference;
+    QCheck_alcotest.to_alcotest prop_digest_many_is_map;
     QCheck_alcotest.to_alcotest prop_chained_injective_on_order;
     QCheck_alcotest.to_alcotest prop_drbg_int_below_in_range;
     QCheck_alcotest.to_alcotest prop_drbg_nat_below_in_range;
