@@ -368,6 +368,64 @@ let print_protofault ~quick ~env:_ =
               ])
           rows))
 
+(* Async event server: thousands of concurrent writers multiplexed over
+   one store, writes coalesced across connections into single signing
+   batches. The sequential per-request run over the same workload is
+   both the sign_calls baseline and the convergence oracle. *)
+let print_serve ~quick ~env:_ =
+  hr "SERVE -- async multi-client event server with cross-client batch witnessing";
+  let phases =
+    if quick then
+      [
+        { Sim.label = "burst"; rate_per_sec = 2000.; duration_s = 0.04 };
+        { Sim.label = "steady"; rate_per_sec = 400.; duration_s = 0.1 };
+      ]
+    else
+      [
+        { Sim.label = "burst"; rate_per_sec = 2400.; duration_s = 0.25 };
+        { Sim.label = "steady"; rate_per_sec = 200.; duration_s = 1.0 };
+        { Sim.label = "lull"; rate_per_sec = 40.; duration_s = 1.0 };
+        { Sim.label = "spike"; rate_per_sec = 4000.; duration_s = 0.1 };
+      ]
+  in
+  let r = Sim.multi_client ~phases ~seed:"bench-serve" () in
+  Format.printf "%a@." Sim.pp_multi_client r;
+  if not r.Sim.mc_fingerprint_match then begin
+    prerr_endline "serve: batched faulty run diverged from the sequential oracle";
+    exit 1
+  end;
+  let json_latency (l : Sim.latency_summary) =
+    Obj
+      [
+        ("p50_ms", Float l.Sim.p50_ms);
+        ("p95_ms", Float l.Sim.p95_ms);
+        ("p99_ms", Float l.Sim.p99_ms);
+        ("mean_ms", Float l.Sim.mean_ms);
+        ("max_ms", Float l.Sim.max_ms);
+      ]
+  in
+  add_json "serve"
+    (Obj
+       [
+         ("clients", Int r.Sim.mc_clients);
+         ("virtual_s", Float r.Sim.mc_virtual_s);
+         ("writes_acked", Int r.Sim.mc_writes_acked);
+         ("reads_ok", Int r.Sim.mc_reads_ok);
+         ("throughput_rps", Float (float_of_int r.Sim.mc_writes_acked /. r.Sim.mc_virtual_s));
+         ("gave_up", Int r.Sim.mc_gave_up);
+         ("shed", Int r.Sim.mc_shed);
+         ("flushes", Int r.Sim.mc_flushes);
+         ("strengthened_in_run", Int r.Sim.mc_strengthened_in_run);
+         ("deferred_after", Int r.Sim.mc_deferred_after);
+         ("sign_calls", Int r.Sim.mc_sign_calls);
+         ("baseline_sign_calls", Int r.Sim.mc_baseline_sign_calls);
+         ( "sign_call_reduction",
+           Float (float_of_int r.Sim.mc_baseline_sign_calls /. float_of_int (max 1 r.Sim.mc_sign_calls)) );
+         ("write_latency", json_latency r.Sim.mc_write_latency);
+         ("read_latency", json_latency r.Sim.mc_read_latency);
+         ("fingerprint_match", Bool r.Sim.mc_fingerprint_match);
+       ])
+
 let print_scaling ~quick ~env:_ =
   hr "SECTION 5 -- \"results naturally scale if multiple SCPUs are available\"";
   let records = if quick then 16 else 48 in
@@ -790,6 +848,7 @@ let sections =
     ("adaptive", print_adaptive_day);
     ("audit", print_audit);
     ("protofault", print_protofault);
+    ("serve", print_serve);
     ("scaling", print_scaling);
     ("hash", print_hash);
     ("local", print_local);

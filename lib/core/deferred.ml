@@ -60,10 +60,16 @@ let take_until t ~deadline ~max =
   in
   go [] max
 
+(* Keys are ordered by (deadline, sn), so the overdue entries are a
+   prefix of the set: stop at the first deadline >= now instead of
+   folding the whole queue — admission control polls this every tick. *)
 let overdue t ~now =
-  Key_set.fold
-    (fun (deadline, sn) acc -> if Int64.compare deadline now < 0 then { sn; deadline } :: acc else acc)
-    t.entries []
-  |> List.rev
+  let rec go seq acc =
+    match seq () with
+    | Seq.Cons ((deadline, sn), rest) when Int64.compare deadline now < 0 ->
+        go rest ({ sn; deadline } :: acc)
+    | Seq.Cons _ | Seq.Nil -> List.rev acc
+  in
+  go (Key_set.to_seq t.entries) []
 
 let to_list t = List.map (fun (deadline, sn) -> { sn; deadline }) (Key_set.elements t.entries)

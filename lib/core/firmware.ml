@@ -117,55 +117,68 @@ let chained_hash_charged t blocks =
       Chained_hash.add acc block)
     Chained_hash.empty blocks
 
-let write t ~attr ~rdl ~data ~mode =
-  let sn = Serial.next t.current in
-  let attr = { attr with Attr.created_at = Device.now t.dev } in
-  let attr_bytes = Attr.to_bytes attr in
-  let data_hash =
-    match data with
-    | Blocks blocks ->
-        let total = List.fold_left (fun acc b -> acc + String.length b) 0 blocks in
-        Device.charge_dma t.dev ~bytes:(String.length attr_bytes + (8 * List.length rdl) + total);
-        Chained_hash.value (chained_hash_charged t blocks)
-    | Claimed_hash (hash, _total) ->
-        Device.charge_dma t.dev ~bytes:(String.length attr_bytes + (8 * List.length rdl) + String.length hash);
-        Hashtbl.replace t.pending_audit sn ();
-        hash
+let mode_name = function
+  | Strong_now -> "strong"
+  | Weak_deferred -> "weak"
+  | Mac_deferred -> "mac"
+
+(* Batched ingest: issue serials and hash/DMA each record first, then
+   produce every witness of the burst (2 per record) in one signing
+   batch — the device pays per-key setup once per flush, not once per
+   record, which is what makes cross-client write coalescing in the
+   event server cheaper than serving each connection alone. *)
+let write_batch t ~mode entries =
+  let prepared =
+    List.map
+      (fun (attr, rdl, data) ->
+        let sn = Serial.next t.current in
+        t.current <- sn;
+        let attr = { attr with Attr.created_at = Device.now t.dev } in
+        let attr_bytes = Attr.to_bytes attr in
+        let data_hash =
+          match data with
+          | Blocks blocks ->
+              let total = List.fold_left (fun acc b -> acc + String.length b) 0 blocks in
+              Device.charge_dma t.dev ~bytes:(String.length attr_bytes + (8 * List.length rdl) + total);
+              Chained_hash.value (chained_hash_charged t blocks)
+          | Claimed_hash (hash, _total) ->
+              Device.charge_dma t.dev ~bytes:(String.length attr_bytes + (8 * List.length rdl) + String.length hash);
+              Hashtbl.replace t.pending_audit sn ();
+              hash
+        in
+        let meta_msg = Wire.metasig_msg ~store_id:t.store_id ~sn ~attr_bytes in
+        let data_msg = Wire.datasig_msg ~store_id:t.store_id ~sn ~data_hash in
+        (sn, attr, rdl, data_hash, meta_msg, data_msg))
+      entries
   in
-  let meta_msg = Wire.metasig_msg ~store_id:t.store_id ~sn ~attr_bytes in
-  let data_msg = Wire.datasig_msg ~store_id:t.store_id ~sn ~data_hash in
-  (* Both witnesses of a write go through the batch entry points so the
-     device pays per-key setup once per record, not once per signature. *)
-  let metasig, datasig =
+  let msgs = List.concat_map (fun (_, _, _, _, meta_msg, data_msg) -> [ meta_msg; data_msg ]) prepared in
+  let witnesses =
     match mode with
-    | Strong_now -> (
-        match Device.sign_strong_batch t.dev [ meta_msg; data_msg ] with
-        | [ s_meta; s_data ] -> (Witness.Strong s_meta, Witness.Strong s_data)
-        | _ -> assert false)
-    | Weak_deferred -> (
-        let cert, sigs = Device.sign_weak_batch t.dev [ meta_msg; data_msg ] in
-        match sigs with
-        | [ s_meta; s_data ] ->
-            (Witness.Weak { cert; signature = s_meta }, Witness.Weak { cert; signature = s_data })
-        | _ -> assert false)
-    | Mac_deferred ->
-        (Witness.Mac (Device.hmac_tag t.dev meta_msg), Witness.Mac (Device.hmac_tag t.dev data_msg))
+    | Strong_now -> List.map (fun s -> Witness.Strong s) (Device.sign_strong_batch t.dev msgs)
+    | Weak_deferred ->
+        let cert, sigs = Device.sign_weak_batch t.dev msgs in
+        List.map (fun signature -> Witness.Weak { cert; signature }) sigs
+    | Mac_deferred -> List.map (fun msg -> Witness.Mac (Device.hmac_tag t.dev msg)) msgs
   in
-  t.current <- sn;
-  Log.debug (fun m ->
-      m "write %s mode=%s expiry=%Ld" (Serial.to_string sn)
-        (match mode with
-        | Strong_now -> "strong"
-        | Weak_deferred -> "weak"
-        | Mac_deferred -> "mac")
-        (Attr.expiry attr));
-  let vexp_shed =
-    match Vexp.insert t.vexp ~expiry:(Attr.expiry attr) sn with
-    | Vexp.Inserted -> []
-    | Vexp.Inserted_evicting (e, s) -> [ (e, s) ]
-    | Vexp.Rejected_full -> [ (Attr.expiry attr, sn) ]
+  let rec reassemble prepared witnesses =
+    match (prepared, witnesses) with
+    | [], [] -> []
+    | (sn, attr, rdl, data_hash, _, _) :: rest, metasig :: datasig :: ws ->
+        Log.debug (fun m ->
+            m "write %s mode=%s expiry=%Ld" (Serial.to_string sn) (mode_name mode) (Attr.expiry attr));
+        let vexp_shed =
+          match Vexp.insert t.vexp ~expiry:(Attr.expiry attr) sn with
+          | Vexp.Inserted -> []
+          | Vexp.Inserted_evicting (e, s) -> [ (e, s) ]
+          | Vexp.Rejected_full -> [ (Attr.expiry attr, sn) ]
+        in
+        { vrd = { Vrd.sn; attr; rdl; data_hash; metasig; datasig }; vexp_shed } :: reassemble rest ws
+    | _ -> assert false
   in
-  { vrd = { Vrd.sn; attr; rdl; data_hash; metasig; datasig }; vexp_shed }
+  reassemble prepared witnesses
+
+let write t ~attr ~rdl ~data ~mode =
+  match write_batch t ~mode [ (attr, rdl, data) ] with [ r ] -> r | _ -> assert false
 
 let current_bound t =
   let timestamp = Device.now t.dev in

@@ -84,7 +84,17 @@ val sn_base : t -> Serial.t
 val write : t -> attr:Attr.t -> rdl:Vrd.rd list -> data:data_source -> mode:witness_mode -> write_result
 (** Allocate the next SN and witness a new record. The firmware stamps
     [attr.created_at] from its own clock — retention cannot be
-    backdated. *)
+    backdated. Equivalent to a one-entry {!write_batch}. *)
+
+val write_batch : t -> mode:witness_mode -> (Attr.t * Vrd.rd list * data_source) list -> write_result list
+(** Ingest a burst of records in {e one} signing batch: every record's
+    serial is allocated and its data hashed first, then all [2 * n]
+    witness statements go through a single
+    {!Worm_scpu.Device.sign_strong_batch} /
+    [sign_weak_batch] call — the per-key setup is paid once per flush
+    instead of once per record, which is what makes the event server's
+    cross-client batching cheaper than serving each connection alone.
+    Results are positional. *)
 
 val current_bound : t -> current_bound
 (** Freshly signed, timestamped [S_s(SN_current)]. Called on the

@@ -134,26 +134,10 @@ let deferred_deadline t (vrd : Vrd.t) =
       let cfg = Device.config (Firmware.device t.fw) in
       Some (Int64.add (now t) cfg.Device.weak_lifetime_ns)
 
-let write ?witness ?attr t ~policy ~blocks =
-  let witness =
-    match witness with
-    | Some w -> w
-    | None -> t.config.default_witness
-  in
-  let attr =
-    match attr with
-    | Some a -> a
-    | None -> Attr.make ~created_at:0L (* stamped by the firmware *) ~policy ()
-  in
-  let data =
-    match t.config.datasig_mode with
-    | Scpu_hashes -> Firmware.Blocks blocks
-    | Host_hash ->
-        let total = List.fold_left (fun acc b -> acc + String.length b) 0 blocks in
-        Firmware.Claimed_hash (Chained_hash.value (host_chained_hash t blocks), total)
-  in
-  (* the SCPU issues the serial first; block sealing needs it for nonces *)
-  let { Firmware.vrd; vexp_shed } = Firmware.write t.fw ~attr ~rdl:[] ~data ~mode:witness in
+(* Host-side bookkeeping after the firmware witnessed a record: seal and
+   store the blocks (sealing needs the SCPU-issued serial), activate the
+   VRDT entry, and register the deferred/audit obligations. *)
+let finish_write t ~blocks { Firmware.vrd; vexp_shed } =
   let rdl = store_blocks t (seal_blocks t ~sn:vrd.Vrd.sn blocks) in
   let vrd = { vrd with Vrd.rdl } in
   Vrdt.set_active t.vrdt vrd;
@@ -166,6 +150,45 @@ let write ?witness ?attr t ~policy ~blocks =
   | Scpu_hashes -> ());
   record_op t (Journal.Op_write vrd.Vrd.sn);
   vrd.Vrd.sn
+
+let data_source_of_blocks t blocks =
+  match t.config.datasig_mode with
+  | Scpu_hashes -> Firmware.Blocks blocks
+  | Host_hash ->
+      let total = List.fold_left (fun acc b -> acc + String.length b) 0 blocks in
+      Firmware.Claimed_hash (Chained_hash.value (host_chained_hash t blocks), total)
+
+let write_batch ?witness t entries =
+  let witness =
+    match witness with
+    | Some w -> w
+    | None -> t.config.default_witness
+  in
+  let prepared =
+    List.map
+      (fun (policy, blocks) ->
+        let attr = Attr.make ~created_at:0L (* stamped by the firmware *) ~policy () in
+        (attr, [], data_source_of_blocks t blocks))
+      entries
+  in
+  let results = Firmware.write_batch t.fw ~mode:witness prepared in
+  List.map2 (fun (_, blocks) result -> finish_write t ~blocks result) entries results
+
+let write ?witness ?attr t ~policy ~blocks =
+  let witness =
+    match witness with
+    | Some w -> w
+    | None -> t.config.default_witness
+  in
+  let attr =
+    match attr with
+    | Some a -> a
+    | None -> Attr.make ~created_at:0L (* stamped by the firmware *) ~policy ()
+  in
+  let data = data_source_of_blocks t blocks in
+  (* the SCPU issues the serial first; block sealing needs it for nonces *)
+  let result = Firmware.write t.fw ~attr ~rdl:[] ~data ~mode:witness in
+  finish_write t ~blocks result
 
 type part = Fresh of string | Borrow of Serial.t * int
 
@@ -691,6 +714,7 @@ let pp_metrics fmt m =
     Serial.pp m.m_sn_base Serial.pp m.m_sn_current m.m_disk_records m.m_disk_bytes m.m_journal_entries
     m.m_dedup_ratio
 let deferred_backlog t = Deferred.to_list t.deferred
+let deferred_length t = Deferred.length t.deferred
 let deferred_overdue t ~now = Deferred.overdue t.deferred ~now
 let audit_backlog t = Hashtbl.fold (fun sn () acc -> sn :: acc) t.audit_queue [] |> List.sort Serial.compare
 let deletion_windows t = t.windows
@@ -701,6 +725,7 @@ let reset_host_busy t = t.host_busy_ns <- 0L
 (* ---------- scrubber hooks ---------- *)
 
 let peek_current_bound t = t.current_cache
+let peek_base_bound t = t.base_cache
 
 let request_audit t sn =
   match Vrdt.find t.vrdt sn with

@@ -70,6 +70,14 @@ val write : ?witness:Firmware.witness_mode -> ?attr:Attr.t -> t -> policy:Policy
     is written to disk, witnessed by the SCPU, and indexed in the VRDT.
     Returns the SCPU-issued serial number. *)
 
+val write_batch : ?witness:Firmware.witness_mode -> t -> (Policy.t * string list) list -> Serial.t list
+(** Store a burst of records through {e one} firmware signing batch
+    ({!Firmware.write_batch}): the SCPU pays its per-key setup once per
+    flush instead of once per record. Semantically identical to calling
+    {!write} per entry — same serials, same witnesses byte-for-byte under
+    one weak certificate — this is the entry point the event server's
+    cross-client coalescing drives. Returns serials positionally. *)
+
 type part =
   | Fresh of string  (** a new data block *)
   | Borrow of Serial.t * int  (** block [index] of an existing record *)
@@ -222,6 +230,12 @@ val metrics : t -> metrics
 val pp_metrics : Format.formatter -> metrics -> unit
 
 val deferred_backlog : t -> Deferred.entry list
+
+val deferred_length : t -> int
+(** Size of the deferred-strengthening debt ledger, O(1): the event
+    server's admission control polls this (plus {!deferred_overdue})
+    every flush, so it must not materialize the backlog. *)
+
 val deferred_overdue : t -> now:int64 -> Deferred.entry list
 val audit_backlog : t -> Serial.t list
 val deletion_windows : t -> Firmware.deletion_window list
@@ -236,6 +250,11 @@ val cached_base_bound : t -> Firmware.base_bound
 val peek_current_bound : t -> Firmware.current_bound
 (** The cached current bound {e without} the auto-refresh of
     {!cached_current_bound} — auditors must see staleness, not heal it. *)
+
+val peek_base_bound : t -> Firmware.base_bound
+(** The cached base bound without {!cached_base_bound}'s re-signing.
+    {!Worm_proto.Server.handle} reads bounds only through the peeks so
+    dispatch stays pure; {!Worm_proto.Server.refresh} heals staleness. *)
 
 val request_audit : t -> Serial.t -> bool
 (** Re-queue a live record for an SCPU data audit (e.g. after a repair

@@ -8,6 +8,7 @@ type request =
   | Read of Serial.t
   | Read_many of Serial.t list
   | Audit_slice of { cursor : Serial.t; max : int }
+  | Write of { policy : Policy.t; blocks : string list }
 
 type response =
   | Hello_ack of { store_id : string; signing_cert : Cert.t; deletion_cert : Cert.t }
@@ -20,6 +21,8 @@ type response =
       base : Firmware.base_bound;
       current : Firmware.current_bound;
     }
+  | Write_ack of { sn : Serial.t }
+  | Busy of { retry_after_ns : int64 }
 
 (* One-line renderings for fault traces and console output. *)
 
@@ -28,6 +31,8 @@ let describe_request = function
   | Read sn -> Printf.sprintf "read %s" (Serial.to_string sn)
   | Read_many sns -> Printf.sprintf "read-many [%d sns]" (List.length sns)
   | Audit_slice { cursor; max } -> Printf.sprintf "audit-slice %s max=%d" (Serial.to_string cursor) max
+  | Write { policy; blocks } ->
+      Printf.sprintf "write %s [%d blocks]" (Policy.regulation_name policy.Policy.regulation) (List.length blocks)
 
 let describe_response = function
   | Hello_ack { store_id; _ } -> Printf.sprintf "hello-ack %s" (Worm_util.Hex.encode store_id)
@@ -37,6 +42,8 @@ let describe_response = function
   | Audit_slice_reply { replies; next; _ } ->
       Printf.sprintf "audit-slice-reply [%d sns] next=%s" (List.length replies)
         (match next with None -> "done" | Some sn -> Serial.to_string sn)
+  | Write_ack { sn } -> Printf.sprintf "write-ack %s" (Serial.to_string sn)
+  | Busy { retry_after_ns } -> Printf.sprintf "busy retry-after=%Ldns" retry_after_ns
 
 (* ---------- proof payloads ---------- *)
 
@@ -102,7 +109,11 @@ let encode_request r =
       | Audit_slice { cursor; max } ->
           Codec.u8 enc 3;
           Serial.encode enc cursor;
-          Codec.int_as_u64 enc max)
+          Codec.int_as_u64 enc max
+      | Write { policy; blocks } ->
+          Codec.u8 enc 4;
+          Policy.encode enc policy;
+          Codec.list (fun enc b -> Codec.bytes enc b) enc blocks)
     ()
 
 let decode_request s =
@@ -116,6 +127,10 @@ let decode_request s =
           let cursor = Serial.decode dec in
           let max = Codec.read_int_as_u64 dec in
           Audit_slice { cursor; max }
+      | 4 ->
+          let policy = Policy.decode dec in
+          let blocks = Codec.read_list Codec.read_bytes dec in
+          Write { policy; blocks }
       | n -> raise (Codec.Malformed (Printf.sprintf "bad request tag %d" n)))
     s
 
@@ -153,7 +168,13 @@ let encode_response r =
             enc replies;
           Codec.option Serial.encode enc next;
           encode_base_bound enc base;
-          encode_current_bound enc current)
+          encode_current_bound enc current
+      | Write_ack { sn } ->
+          Codec.u8 enc 5;
+          Serial.encode enc sn
+      | Busy { retry_after_ns } ->
+          Codec.u8 enc 6;
+          Codec.u64 enc retry_after_ns)
     ()
 
 let decode_response s =
@@ -191,5 +212,7 @@ let decode_response s =
           let base = decode_base_bound dec in
           let current = decode_current_bound dec in
           Audit_slice_reply { replies; next; base; current }
+      | 5 -> Write_ack { sn = Serial.decode dec }
+      | 6 -> Busy { retry_after_ns = Codec.read_u64 dec }
       | n -> raise (Codec.Malformed (Printf.sprintf "bad response tag %d" n)))
     s

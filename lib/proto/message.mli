@@ -18,6 +18,10 @@ type request =
   | Audit_slice of { cursor : Serial.t; max : int }
       (** one increment of a remote full-store audit: proofs for up to
           [max] serials starting at [cursor] *)
+  | Write of { policy : Policy.t; blocks : string list }
+      (** ingest a new record under [policy]; answered with {!Write_ack}
+          once the SCPU has witnessed it, or {!Busy} when admission
+          control sheds the request under deferred-witness debt *)
 
 type response =
   | Hello_ack of {
@@ -39,6 +43,13 @@ type response =
       base : Firmware.base_bound;
       current : Firmware.current_bound;
     }
+  | Write_ack of { sn : Serial.t }
+      (** the record was witnessed under this SCPU-issued serial. The ack
+          deliberately carries only the SN: clients fetch the VRD through
+          {!Read} and verify it against the CA like any other proof. *)
+  | Busy of { retry_after_ns : int64 }
+      (** admission control shed the write: the store's deferred-witness
+          debt is over its ceiling, retry after the given virtual delay *)
 
 val describe_request : request -> string
 val describe_response : response -> string

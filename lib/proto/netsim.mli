@@ -19,6 +19,21 @@ val wrap : t -> (string -> string) -> string -> string
     caller waited for a reply that never came) before the exception is
     re-raised. *)
 
+val transfer_ns : t -> bytes:int -> int64
+(** Wire time of [bytes] at the configured bandwidth, rounded to the
+    nearest nanosecond (never truncated toward zero: small frames must
+    not bill 0 ns). *)
+
+val one_way_ns : t -> bytes:int -> int64
+(** Half an RTT plus {!transfer_ns}: the per-direction delivery latency
+    an event-driven server charges each client individually. *)
+
+val note_exchange : t -> bytes:int -> wait_ns:int64 -> unit
+(** Account one request/response exchange whose wait was computed by the
+    caller (e.g. the event server, which knows per-client queueing):
+    counts a request, [bytes] on the wire, and [wait_ns] elapsed.
+    @raise Invalid_argument on a negative wait. *)
+
 val charge_ns : t -> int64 -> unit
 (** Bill extra virtual wait — retry backoff, injected latency — into
     the ledger without counting a request or bytes.

@@ -157,7 +157,9 @@ let connect ~ca ~clock ?max_bound_age_ns ?retry ?netsim transport =
       | Error e -> Error e
     end
   | Ok (Message.Protocol_error e) -> Error ("server error: " ^ e)
-  | Ok (Message.Read_reply _ | Message.Read_many_reply _ | Message.Audit_slice_reply _) ->
+  | Ok
+      ( Message.Read_reply _ | Message.Read_many_reply _ | Message.Audit_slice_reply _ | Message.Write_ack _
+      | Message.Busy _ ) ->
       Error "handshake failed: unexpected response"
 
 let store_id t = t.store_id

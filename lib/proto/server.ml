@@ -1,9 +1,27 @@
 open Worm_core
 
-type t = { worm : Worm.t }
+type limits = { max_read_many : int; max_audit_slice : int }
 
-let create worm = { worm }
+let default_limits = { max_read_many = 256; max_audit_slice = 1024 }
+
+type t = { worm : Worm.t; limits : limits }
+
+let create ?(limits = default_limits) worm = { worm; limits }
 let store t = t.worm
+let limits t = t.limits
+
+(* Bound-cache maintenance, hoisted out of dispatch. An audit must cover
+   every allocated serial: a cached current bound that predates recent
+   writes would truncate the walk while the final above-bound probe
+   still verified — so re-sign when the SCPU counter has moved past the
+   cache. Keeping the mutation here (and not in [handle]) keeps dispatch
+   pure: serving a request consumes no SCPU signatures, so a replaying
+   or duplicating client cannot burn device time, and re-dispatching the
+   same bytes re-serves the identical reply. *)
+let refresh t =
+  ignore (Worm.cached_base_bound t.worm : Firmware.base_bound);
+  let current = Worm.cached_current_bound t.worm in
+  if Serial.(current.Firmware.sn < Firmware.sn_current (Worm.firmware t.worm)) then Worm.heartbeat t.worm
 
 let handle t = function
   | Message.Hello ->
@@ -16,22 +34,25 @@ let handle t = function
         }
   | Message.Read sn -> Message.Read_reply { sn; response = Worm.read t.worm sn }
   | Message.Read_many sns ->
-      Message.Read_many_reply (List.map (fun sn -> (sn, Worm.read t.worm sn)) sns)
+      (* Cap before doing any per-SN work: an adversarial frame listing
+         millions of serials must not monopolize the dispatcher (or the
+         event loop it runs under). *)
+      let n = List.length sns in
+      if n > t.limits.max_read_many then
+        Message.Protocol_error (Printf.sprintf "read-many of %d sns exceeds limit %d" n t.limits.max_read_many)
+      else Message.Read_many_reply (List.map (fun sn -> (sn, Worm.read t.worm sn)) sns)
+  | Message.Write { policy; blocks } ->
+      (* Synchronous ingest — the unbatched baseline. The event server
+         never routes writes here; it coalesces them across connections
+         into {!Worm_core.Worm.write_batch} flushes instead. *)
+      Message.Write_ack { sn = Worm.write t.worm ~policy ~blocks }
   | Message.Audit_slice { cursor; max } ->
-      let base = Worm.cached_base_bound t.worm in
-      (* An audit must cover every allocated serial: a cached bound that
-         predates recent writes would truncate the walk while the final
-         above-bound probe still verified. Refresh when the SCPU counter
-         has moved past the cache. *)
-      let current = Worm.cached_current_bound t.worm in
-      let current =
-        if Serial.(current.Firmware.sn < Firmware.sn_current (Worm.firmware t.worm)) then begin
-          Worm.heartbeat t.worm;
-          Worm.cached_current_bound t.worm
-        end
-        else current
-      in
-      let max = Stdlib.max 1 max in
+      let base = Worm.peek_base_bound t.worm in
+      let current = Worm.peek_current_bound t.worm in
+      (* Clamp, don't refuse: a truncated reply still carries the resume
+         cursor, so an honest auditor asking for too much just takes one
+         more round trip — while a hostile [max] cannot pin the loop. *)
+      let max = Stdlib.max 1 (Stdlib.min t.limits.max_audit_slice max) in
       if Serial.(cursor < base.Firmware.sn) then
         (* The whole below-base region is covered by one signed bound;
            skip the auditor straight to the base instead of streaming
@@ -47,18 +68,19 @@ let handle t = function
         Message.Audit_slice_reply { replies; next; base; current }
       end
 
-(* The server must stay total and idempotent on adversarial input:
-   [handle] is a pure function of the request and the store state
-   (a replayed request re-serves the identical bytes), and nothing a
-   client sends may crash the dispatcher — a fault-injecting transport
-   (see {!Faulty}) replays and mangles requests freely. *)
+(* The server must stay total on adversarial input: nothing a client
+   sends may crash the dispatcher — a fault-injecting transport (see
+   {!Faulty}) replays and mangles requests freely. Bound staleness is
+   healed by [refresh] before dispatch; [refresh] is convergent (a
+   second call at the same store state does nothing), so replayed bytes
+   still re-serve identical replies for the read/audit vocabulary. *)
 let handle_bytes t bytes =
   match Message.decode_request bytes with
   | Error e -> Message.encode_response (Message.Protocol_error e)
   | Ok request -> begin
+      refresh t;
       match Message.encode_response (handle t request) with
       | reply -> reply
       | exception exn ->
-          Message.encode_response
-            (Message.Protocol_error ("dispatch failed: " ^ Printexc.to_string exn))
+          Message.encode_response (Message.Protocol_error ("dispatch failed: " ^ Printexc.to_string exn))
     end

@@ -5,14 +5,41 @@
 
 type t
 
-val create : Worm_core.Worm.t -> t
+type limits = {
+  max_read_many : int;  (** largest SN list a {!Message.Read_many} may carry *)
+  max_audit_slice : int;  (** server-side clamp on {!Message.Audit_slice} [max] *)
+}
+(** Per-request work caps. Without them a single adversarial frame
+    (millions of SNs in one [Read_many], [max_int] in an [Audit_slice])
+    monopolizes the dispatcher — fatal under the single-threaded event
+    server, where every other client queues behind it. *)
+
+val default_limits : limits
+(** 256 SNs per [Read_many], 1024 per audit slice. *)
+
+val create : ?limits:limits -> Worm_core.Worm.t -> t
 val store : t -> Worm_core.Worm.t
+val limits : t -> limits
+
+val refresh : t -> unit
+(** Heal bound-cache staleness: re-sign the base/current bounds if the
+    base moved, the cache expired, or writes advanced the SCPU counter
+    past the cached current bound. This is the {e only} place the serve
+    path spends SCPU signatures; it is convergent — a second call at the
+    same store state does nothing. {!handle_bytes} calls it before every
+    dispatch; the event server calls it once per batch. *)
 
 val handle : t -> Message.request -> Message.response
+(** Dispatch one request. For the read/audit vocabulary this is a pure
+    function of the request and store state — it reads bounds through
+    {!Worm_core.Worm.peek_base_bound} / [peek_current_bound] and never
+    signs, so replaying a request re-serves identical bytes (pair with
+    {!refresh} for freshness). [Write] is the one mutating request:
+    each dispatch allocates a fresh serial. *)
 
 val handle_bytes : t -> string -> string
-(** Decode, dispatch, encode; malformed requests produce an encoded
-    [Protocol_error], and so does a dispatch that raises — adversarial
-    bytes never crash the server. Replaying a request byte-for-byte
-    re-serves the identical reply (dispatch is a pure function of the
-    request and store state), so a duplicating transport is harmless. *)
+(** Decode, {!refresh}, dispatch, encode; malformed requests produce an
+    encoded [Protocol_error], and so does a dispatch that raises —
+    adversarial bytes never crash the server. For non-[Write] requests a
+    byte-for-byte replay re-serves the identical reply, so a duplicating
+    transport is harmless. *)

@@ -14,6 +14,7 @@ type stats = {
   strong_signs : int;
   weak_signs : int;
   deletion_signs : int;
+  sign_calls : int;
   hmac_ops : int;
   hash_ops : int;
   hash_bytes : int;
@@ -26,6 +27,7 @@ let zero_stats =
     strong_signs = 0;
     weak_signs = 0;
     deletion_signs = 0;
+    sign_calls = 0;
     hmac_ops = 0;
     hash_ops = 0;
     hash_bytes = 0;
@@ -125,20 +127,20 @@ let current_weak_cert t =
 let sign_strong t msg =
   let k = keys t in
   charge t (Cost_model.rsa_sign_ns t.config.profile ~bits:t.config.strong_bits);
-  t.stats <- { t.stats with strong_signs = t.stats.strong_signs + 1 };
+  t.stats <- { t.stats with strong_signs = t.stats.strong_signs + 1; sign_calls = t.stats.sign_calls + 1 };
   Rsa.sign k.signing msg
 
 let sign_deletion t msg =
   let k = keys t in
   charge t (Cost_model.rsa_sign_ns t.config.profile ~bits:t.config.strong_bits);
-  t.stats <- { t.stats with deletion_signs = t.stats.deletion_signs + 1 };
+  t.stats <- { t.stats with deletion_signs = t.stats.deletion_signs + 1; sign_calls = t.stats.sign_calls + 1 };
   Rsa.sign k.deletion msg
 
 let sign_weak t msg =
   rotate_weak_if_needed t;
   let k = keys t in
   charge t (Cost_model.rsa_sign_ns t.config.profile ~bits:t.config.weak_bits);
-  t.stats <- { t.stats with weak_signs = t.stats.weak_signs + 1 };
+  t.stats <- { t.stats with weak_signs = t.stats.weak_signs + 1; sign_calls = t.stats.sign_calls + 1 };
   (k.weak_cert, Rsa.sign k.weak msg)
 
 (* Batch variants: one trip through the key material for a whole burst.
@@ -149,14 +151,14 @@ let sign_strong_batch t msgs =
   let k = keys t in
   let count = List.length msgs in
   charge t (Int64.mul (Int64.of_int count) (Cost_model.rsa_sign_ns t.config.profile ~bits:t.config.strong_bits));
-  t.stats <- { t.stats with strong_signs = t.stats.strong_signs + count };
+  t.stats <- { t.stats with strong_signs = t.stats.strong_signs + count; sign_calls = t.stats.sign_calls + 1 };
   Rsa.sign_batch k.signing msgs
 
 let sign_deletion_batch t msgs =
   let k = keys t in
   let count = List.length msgs in
   charge t (Int64.mul (Int64.of_int count) (Cost_model.rsa_sign_ns t.config.profile ~bits:t.config.strong_bits));
-  t.stats <- { t.stats with deletion_signs = t.stats.deletion_signs + count };
+  t.stats <- { t.stats with deletion_signs = t.stats.deletion_signs + count; sign_calls = t.stats.sign_calls + 1 };
   Rsa.sign_batch k.deletion msgs
 
 let sign_weak_batch t msgs =
@@ -164,7 +166,7 @@ let sign_weak_batch t msgs =
   let k = keys t in
   let count = List.length msgs in
   charge t (Int64.mul (Int64.of_int count) (Cost_model.rsa_sign_ns t.config.profile ~bits:t.config.weak_bits));
-  t.stats <- { t.stats with weak_signs = t.stats.weak_signs + count };
+  t.stats <- { t.stats with weak_signs = t.stats.weak_signs + count; sign_calls = t.stats.sign_calls + 1 };
   (k.weak_cert, Rsa.sign_batch k.weak msgs)
 
 let hmac_tag t msg =

@@ -35,6 +35,11 @@ type stats = {
   strong_signs : int;
   weak_signs : int;
   deletion_signs : int;
+  sign_calls : int;
+      (** signing {e invocations} (single or batch): each call pays the
+          per-key setup that {!sign_strong_batch} amortizes over a whole
+          burst, so cross-client batching shows up as fewer [sign_calls]
+          for the same number of signatures *)
   hmac_ops : int;
   hash_ops : int;
   hash_bytes : int;

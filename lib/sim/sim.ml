@@ -598,6 +598,215 @@ let remote_fault_tolerance ?(records = 24) ?(batch = 8) ?(rates = [ 0.05; 0.15; 
   (clean_row :: List.concat_map per_rate rates)
   @ [ row ~label:"crash@4+2" ~rate:0. [ Faulty.Crash { after = 4; down_for = 2 } ] ]
 
+(* ------------------------------------------------------------------ *)
+(* Multi-client event serving: thousands of writers multiplexed over
+   one store through the event server, writes coalesced across
+   connections into single signing flushes, reads interleaved, and a
+   sequential no-fault client driving the identical workload as both
+   the unbatched signing baseline and the convergence oracle. *)
+
+module Event_server = Worm_proto.Event_server
+module Message = Worm_proto.Message
+
+type latency_summary = { p50_ms : float; p95_ms : float; p99_ms : float; mean_ms : float; max_ms : float }
+
+let summarize_latencies ns =
+  match List.sort Int64.compare ns with
+  | [] -> { p50_ms = 0.; p95_ms = 0.; p99_ms = 0.; mean_ms = 0.; max_ms = 0. }
+  | sorted ->
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let ms v = Int64.to_float v /. 1e6 in
+      let pct q = arr.(Stdlib.min (n - 1) (Stdlib.max 0 (int_of_float (ceil (q *. float_of_int n)) - 1))) in
+      let total = List.fold_left Int64.add 0L sorted in
+      {
+        p50_ms = ms (pct 0.50);
+        p95_ms = ms (pct 0.95);
+        p99_ms = ms (pct 0.99);
+        mean_ms = Int64.to_float total /. 1e6 /. float_of_int n;
+        max_ms = ms arr.(n - 1);
+      }
+
+type multi_client_result = {
+  mc_clients : int;
+  mc_virtual_s : float;  (** event-run virtual makespan *)
+  mc_writes_acked : int;
+  mc_reads_ok : int;  (** read-after-write replies that verified clean *)
+  mc_gave_up : int;
+  mc_shed : int;  (** writes answered Busy by admission control *)
+  mc_flushes : int;
+  mc_strengthened_in_run : int;  (** debt repaid by shed slots during serving *)
+  mc_deferred_after : int;  (** debt ledger depth when serving ended *)
+  mc_sign_calls : int;  (** SCPU signing invocations, batched event run *)
+  mc_baseline_sign_calls : int;  (** same workload, sequential per-request serving *)
+  mc_write_latency : latency_summary;
+  mc_read_latency : latency_summary;
+  mc_fingerprint_match : bool;  (** faulty batched run converged to the sequential store *)
+  mc_fault_stats : Faulty.stats option;
+}
+
+(* Arrival times for a demand shape: each phase contributes
+   rate * duration writes at fixed inter-arrival gaps. *)
+let arrivals_of_phases phases =
+  let t = ref 0L in
+  List.concat_map
+    (fun { rate_per_sec; duration_s; _ } ->
+      let n = Stdlib.max 1 (int_of_float (rate_per_sec *. duration_s)) in
+      let gap = Int64.of_float (1e9 /. rate_per_sec) in
+      List.init n (fun _ ->
+          t := Int64.add !t gap;
+          !t))
+    phases
+
+(* Serving-phase fingerprint: after draining the deferred ledger (so
+   witness strength no longer depends on which mode the burst chose),
+   read every client's record back and verify it end-to-end with the
+   real client verifier. Two runs that converged to the same store
+   agree on every verdict name. *)
+let mc_fingerprint ~ca ~clk store acks =
+  let verifier = Client.for_store ~ca ~clock:clk store in
+  Array.to_list
+    (Array.mapi
+       (fun i ack ->
+         match ack with
+         | None -> (i, "no-ack")
+         | Some sn -> (i, Client.verdict_name (Client.verify_read verifier ~sn (Worm.read store sn))))
+       acks)
+
+let mc_drain store =
+  let rec go total =
+    let n = Worm.strengthen_pending store ~max:256 () in
+    if n > 0 then go (total + n) else total
+  in
+  go 0
+
+let multi_client ?(phases = default_day) ?(fault_rate = 0.08) ?(batch_size = 32) ?(debt_ceiling = 4096)
+    ?(record_bytes = 256) ?(strong_bits = 1024) ?(weak_bits = 512) ~seed () =
+  let arrivals = arrivals_of_phases phases in
+  let clients = List.length arrivals in
+  let wl_rng = Drbg.create ~seed:("mc-workload|" ^ seed) in
+  let payloads = List.map (fun at -> (at, Worm_workload.Workload.record wl_rng ~bytes:record_bytes)) arrivals in
+  let policy = Policy.of_regulation Policy.Sec17a4 in
+  let store_config = { Worm.default_config with datasig_mode = Worm.Host_hash; default_witness = Firmware.Weak_deferred } in
+  let fresh_stack () =
+    let env = make_env ~strong_bits ~weak_bits ~seed:("mc|" ^ seed) () in
+    let store = Worm.create ~config:store_config ~device:env.dev ~ca:(Rsa.public_of env.ca) () in
+    (env, store, Server.create store)
+  in
+
+  (* --- batched event-server run, over a faulty ingress path --- *)
+  let env, store, server = fresh_stack () in
+  let net = Netsim.create () in
+  let faulty =
+    if fault_rate <= 0. then None
+    else
+      Some
+        (Faulty.create
+           ~seed:("mc-faults|" ^ seed)
+           ~charge_delay:(Netsim.charge_ns net)
+           ~faults:
+             [
+               Faulty.Drop fault_rate;
+               Faulty.Garble fault_rate;
+               Faulty.Truncate fault_rate;
+               Faulty.Delay { p = fault_rate; ns = Clock.ns_of_ms 2. };
+             ]
+           Fun.id)
+  in
+  let controller = Worm_core.Adaptive.create ~profile:(Device.config env.dev).Device.profile ~device_config:(Device.config env.dev) () in
+  let es_config =
+    {
+      Event_server.default_config with
+      batch_size;
+      debt_ceiling;
+      max_attempts = 10;
+      witness = Event_server.Adaptive controller;
+    }
+  in
+  let es = Event_server.create ~config:es_config ?ingress:(Option.map Faulty.transport faulty) ~clock:env.clk ~net server in
+  let verifier = Client.for_store ~ca:(Rsa.public_of env.ca) ~clock:env.clk store in
+  let acks = Array.make clients None in
+  let write_lat = ref [] and read_lat = ref [] and reads_ok = ref 0 in
+  List.iteri
+    (fun i (at, payload) ->
+      Event_server.submit es ~client:i ~at
+        (Message.Write { policy; blocks = payload })
+        ~on_reply:(fun (c : Event_server.completion) ->
+          match c.Event_server.outcome with
+          | Event_server.Replied (Message.Write_ack { sn }) ->
+              acks.(i) <- Some sn;
+              write_lat := Int64.sub c.Event_server.delivered_ns c.Event_server.submitted_ns :: !write_lat;
+              (* read-after-write: fetch the record just acked and
+                 verify it like a remote client would *)
+              Event_server.submit es ~client:i ~at:c.Event_server.delivered_ns (Message.Read sn)
+                ~on_reply:(fun (rc : Event_server.completion) ->
+                  match rc.Event_server.outcome with
+                  | Event_server.Replied (Message.Read_reply { sn; response }) ->
+                      read_lat := Int64.sub rc.Event_server.delivered_ns rc.Event_server.submitted_ns :: !read_lat;
+                      (match Client.verify_read verifier ~sn response with
+                      | Client.Violation _ -> ()
+                      | _ -> incr reads_ok)
+                  | _ -> ())
+          | _ -> ()))
+    payloads;
+  Event_server.run es;
+  let stats = Event_server.stats es in
+  let sign_calls = (Device.stats env.dev).Device.sign_calls in
+  let deferred_after = Worm.deferred_length store in
+  let virtual_s = sec (Clock.now env.clk) in
+  ignore (mc_drain store);
+  let fp_event = mc_fingerprint ~ca:(Rsa.public_of env.ca) ~clk:env.clk store acks in
+
+  (* --- sequential no-fault baseline: identical workload, one
+     request/response at a time through the same wire stack --- *)
+  let benv, bstore, bserver = fresh_stack () in
+  let backs = Array.make clients None in
+  List.iteri
+    (fun i (at, payload) ->
+      Clock.advance_to benv.clk at;
+      let reply = Server.handle_bytes bserver (Message.encode_request (Message.Write { policy; blocks = payload })) in
+      match Message.decode_response reply with
+      | Ok (Message.Write_ack { sn }) ->
+          backs.(i) <- Some sn;
+          ignore (Server.handle_bytes bserver (Message.encode_request (Message.Read sn)))
+      | _ -> ())
+    payloads;
+  let baseline_sign_calls = (Device.stats benv.dev).Device.sign_calls in
+  ignore (mc_drain bstore);
+  let fp_baseline = mc_fingerprint ~ca:(Rsa.public_of benv.ca) ~clk:benv.clk bstore backs in
+
+  {
+    mc_clients = clients;
+    mc_virtual_s = virtual_s;
+    mc_writes_acked = Array.fold_left (fun acc a -> if a = None then acc else acc + 1) 0 acks;
+    mc_reads_ok = !reads_ok;
+    mc_gave_up = stats.Event_server.gave_up;
+    mc_shed = stats.Event_server.shed;
+    mc_flushes = stats.Event_server.flushes;
+    mc_strengthened_in_run = stats.Event_server.strengthened;
+    mc_deferred_after = deferred_after;
+    mc_sign_calls = sign_calls;
+    mc_baseline_sign_calls = baseline_sign_calls;
+    mc_write_latency = summarize_latencies !write_lat;
+    mc_read_latency = summarize_latencies !read_lat;
+    mc_fingerprint_match = fp_event = fp_baseline;
+    mc_fault_stats = Option.map Faulty.stats faulty;
+  }
+
+let pp_latency fmt l =
+  Format.fprintf fmt "p50 %.2f / p95 %.2f / p99 %.2f ms (mean %.2f, max %.2f)" l.p50_ms l.p95_ms l.p99_ms l.mean_ms
+    l.max_ms
+
+let pp_multi_client fmt r =
+  Format.fprintf fmt
+    "%d clients in %.2fs virtual: %d acked (%d shed, %d gave up), %d flushes, sign calls %d vs %d sequential \
+     (x%.1f), write %a, read %a, verdicts %s"
+    r.mc_clients r.mc_virtual_s r.mc_writes_acked r.mc_shed r.mc_gave_up r.mc_flushes r.mc_sign_calls
+    r.mc_baseline_sign_calls
+    (float_of_int r.mc_baseline_sign_calls /. float_of_int (Stdlib.max 1 r.mc_sign_calls))
+    pp_latency r.mc_write_latency pp_latency r.mc_read_latency
+    (if r.mc_fingerprint_match then "identical" else "DIVERGED")
+
 let pp_fault_row fmt r =
   Format.fprintf fmt "%-16s %5d calls  %4d retries  %3d reverify  %8.2f ms wire (x%.2f)  verdicts %s"
     r.fault_label r.fault_attempts r.fault_retries r.fault_reverifications r.wire_ms r.wire_overhead

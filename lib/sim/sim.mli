@@ -260,6 +260,54 @@ val remote_fault_tolerance :
 
 val pp_fault_row : Format.formatter -> fault_row -> unit
 
+type latency_summary = { p50_ms : float; p95_ms : float; p99_ms : float; mean_ms : float; max_ms : float }
+
+type multi_client_result = {
+  mc_clients : int;
+  mc_virtual_s : float;  (** event-run virtual makespan *)
+  mc_writes_acked : int;
+  mc_reads_ok : int;  (** read-after-write replies that verified clean *)
+  mc_gave_up : int;
+  mc_shed : int;  (** writes answered Busy by admission control *)
+  mc_flushes : int;  (** cross-client signing batches *)
+  mc_strengthened_in_run : int;  (** debt repaid by shed slots during serving *)
+  mc_deferred_after : int;  (** debt ledger depth when serving ended *)
+  mc_sign_calls : int;  (** SCPU signing invocations, batched event run *)
+  mc_baseline_sign_calls : int;  (** same workload served sequentially, unbatched *)
+  mc_write_latency : latency_summary;
+  mc_read_latency : latency_summary;
+  mc_fingerprint_match : bool;
+      (** after both stores drained their deferred debt, every client's
+          record read back with the same verified verdict in the faulty
+          batched run as in the sequential clean run *)
+  mc_fault_stats : Worm_proto.Faulty.stats option;
+}
+
+val multi_client :
+  ?phases:day_phase list ->
+  ?fault_rate:float ->
+  ?batch_size:int ->
+  ?debt_ceiling:int ->
+  ?record_bytes:int ->
+  ?strong_bits:int ->
+  ?weak_bits:int ->
+  seed:string ->
+  unit ->
+  multi_client_result
+(** Drive one writer per arrival of [phases] (default {!default_day})
+    through the real {!Worm_proto.Message} / {!Worm_proto.Server} stack
+    twice: once through {!Worm_proto.Event_server} with cross-client
+    batch witnessing, adaptive witness selection, debt-ceiling admission
+    control, and a seeded {!Worm_proto.Faulty} ingress at [fault_rate]
+    per fault kind; and once as a sequential no-fault client, which is
+    both the unbatched [sign_calls] baseline and the convergence oracle
+    for [mc_fingerprint_match]. Each acked write is followed by a
+    read-after-write verified with the real client verifier.
+    Deterministic in [seed]. *)
+
+val pp_latency : Format.formatter -> latency_summary -> unit
+val pp_multi_client : Format.formatter -> multi_client_result -> unit
+
 type table2_row = { operation : string; scpu : string; host : string }
 
 val table2 : ?profile:Worm_scpu.Cost_model.profile -> ?host:Worm_scpu.Cost_model.profile -> unit -> table2_row list

@@ -212,6 +212,21 @@ let test_server_idempotent_under_replay () =
       Alcotest.(check string) ("replay identical: " ^ Message.describe_request r) first replay)
     requests
 
+(* The heartbeat hoist: Audit_slice dispatch no longer mutates the
+   store behind the caller's back. handle_bytes heals staleness once in
+   refresh, then replays are byte-identical even across a clock
+   advance, with zero further SCPU signatures. *)
+let test_audit_slice_replay_signs_once () =
+  let env, honest, _, _ = proof_shape_env () in
+  let bytes = Message.encode_request (Message.Audit_slice { cursor = Serial.first; max = 4 }) in
+  let first = honest bytes in
+  let signed = (Device.stats env.device).Device.sign_calls in
+  Clock.advance env.clock (Clock.ns_of_sec 1.);
+  Alcotest.(check string) "replay identical across clock advance" first (honest bytes);
+  Alcotest.(check string) "and again" first (honest bytes);
+  Alcotest.(check int) "replays consumed no SCPU signatures" signed
+    (Device.stats env.device).Device.sign_calls
+
 let test_server_total_on_adversarial_bytes () =
   let env, honest, _, _ = proof_shape_env () in
   ignore env;
@@ -288,6 +303,7 @@ let suite =
     ("crash resumes from last good cursor", `Quick, test_crash_resumes_from_cursor);
     ("to-completion merges resumed runs", `Quick, test_to_completion_merges_runs);
     ("server idempotent under replay", `Quick, test_server_idempotent_under_replay);
+    ("audit-slice replay signs nothing", `Quick, test_audit_slice_replay_signs_once);
     ("server total on adversarial bytes", `Quick, test_server_total_on_adversarial_bytes);
     QCheck_alcotest.to_alcotest prop_server_total;
     ("faulty wrapper deterministic", `Quick, test_faulty_deterministic);
