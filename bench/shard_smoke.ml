@@ -1,0 +1,152 @@
+(* CI smoke for the sharded cluster: a 2-shard mirrored router must
+   (a) stripe writes across both SCPUs and hand back dense global
+   serials, (b) verify every routed read end-to-end under the owning
+   shard's certificates, (c) assemble an aggregated freshness proof
+   that verifies against the CA with a coherent global bound, (d) pass
+   a clean cluster scrub, (e) survive a shard SCPU zeroization —
+   fenced reads stay verdict-identical off the lockstep mirror, the
+   failover promotes and rebuilds, ingest resumes, and a re-scrub is
+   clean — and (f) the measured scaling harness must agree with the
+   sequential single-store oracle. `dune build @shard-smoke`. *)
+
+module Rsa = Worm_crypto.Rsa
+module Drbg = Worm_crypto.Drbg
+module Clock = Worm_simclock.Clock
+module Device = Worm_scpu.Device
+module Disk = Worm_simdisk.Disk
+module Router = Worm_cluster.Shard_router
+module Cluster_proof = Worm_cluster.Cluster_proof
+module Cluster_scrub = Worm_cluster.Cluster_scrub
+module Report = Worm_audit.Report
+module Sim = Worm_sim.Sim
+open Worm_core
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "shard-smoke: %-52s ok\n" name
+  else begin
+    incr failures;
+    Printf.printf "shard-smoke: %-52s FAILED\n" name
+  end
+
+(* verdict plus content: two reads agree iff they verified the same bytes *)
+let fp = function
+  | Client.Valid_data { blocks; _ } -> "valid:" ^ String.concat "\x00" blocks
+  | v -> Client.verdict_name v
+
+let () =
+  let rng = Drbg.create ~seed:"shard-smoke" in
+  let ca = Rsa.generate rng ~bits:1024 in
+  let clock = Clock.create () in
+  let config =
+    {
+      Router.default_config with
+      Router.shards = 2;
+      mirrored = true;
+      device_config = Device.test_config;
+      disk_latency = Disk.fast_latency;
+    }
+  in
+  let router = Router.create ~config ~seed:"shard-smoke" ~ca ~clock () in
+  let policy = Policy.of_regulation Policy.Sec17a4 in
+  let records = 10 in
+
+  (* --- stripe ingest --- *)
+  let sns =
+    List.init records (fun i ->
+        match Router.write router ~policy ~blocks:[ Printf.sprintf "rec-%d" i; "tail" ] with
+        | Ok sn -> sn
+        | Error e -> failwith ("write " ^ string_of_int i ^ ": " ^ e))
+  in
+  check "global serials are dense" (List.mapi (fun i sn -> Serial.to_int sn = i + 1) sns |> List.for_all Fun.id);
+
+  (* --- routed reads verify under the owning shard --- *)
+  let verifiers = Router.verifiers router in
+  let read_fp g = fp (Router.verify_read router verifiers g (Router.read router g)) in
+  let before = List.init records (fun i -> read_fp (Serial.of_int (i + 1))) in
+  check "every routed read verifies"
+    (List.for_all (fun s -> String.length s > 6 && String.sub s 0 6 = "valid:") before);
+
+  (* --- aggregated freshness proof --- *)
+  let proof_checks label expect =
+    match Router.freshness_proof router with
+    | Error e ->
+        check (label ^ ": proof assembled") false;
+        prerr_endline e
+    | Ok proof ->
+        check (label ^ ": proof assembled") true;
+        check
+          (label ^ ": proof verifies against CA")
+          (Cluster_proof.verify ~ca:(Rsa.public_of ca) ~now:(Clock.now clock) proof = Ok ());
+        check
+          (label ^ ": coherent global bound")
+          (match Cluster_proof.global_current proof with Ok g -> Serial.to_int g = expect | Error _ -> false)
+  in
+  proof_checks "pre-failover" records;
+
+  (* --- clean cluster scrub --- *)
+  let outcome = Cluster_scrub.run router in
+  check "cluster scrub covers every shard" (outcome.Cluster_scrub.skipped = []);
+  check "cluster scrub pass completes" outcome.Cluster_scrub.merged.Report.pass_complete;
+  check "cluster scrub finds nothing on an honest cluster" (outcome.Cluster_scrub.merged.Report.findings = []);
+  check "cluster scrub scanned the global space"
+    (outcome.Cluster_scrub.merged.Report.records_scanned >= records);
+
+  (* --- shard 0 zeroizes: fence, serve off the mirror, fail over --- *)
+  Router.kill router 0;
+  check "probe detects the zeroized shard" (Router.probe router = [ 0 ]);
+  check "fence succeeds" (Router.fence router 0 = Ok ());
+  check "fenced stripe refuses ingest"
+    (match Router.write router ~policy ~blocks:[ "refused" ] with Ok _ -> false | Error _ -> true);
+  let fenced_verifiers = Router.verifiers router in
+  let fenced =
+    List.init records (fun i ->
+        let g = Serial.of_int (i + 1) in
+        fp (Router.verify_read router fenced_verifiers g (Router.read router g)))
+  in
+  check "fenced reads stay verdict-identical (mirror serving)" (fenced = before);
+
+  (match Router.recover router 0 with
+  | Error e ->
+      check "failover recovers the shard" false;
+      prerr_endline e
+  | Ok r ->
+      check "failover recovers the shard" true;
+      check "resync rebuilt the full stripe" (r.Router.resynced = records / 2);
+      check "replacement mirror is a fresh SCPU" (r.Router.new_mirror_id <> ""));
+  check "shard is active again" (Router.shard_state router 0 = Router.Active);
+
+  (* --- post-failover: ingest resumes, proof and scrub still clean --- *)
+  (match Router.write router ~policy ~blocks:[ "post-failover" ] with
+  | Ok sn -> check "ingest resumes on the promoted store" (Serial.to_int sn = records + 1)
+  | Error e ->
+      check "ingest resumes on the promoted store" false;
+      prerr_endline e);
+  let after_verifiers = Router.verifiers router in
+  let after =
+    List.init records (fun i ->
+        let g = Serial.of_int (i + 1) in
+        fp (Router.verify_read router after_verifiers g (Router.read router g)))
+  in
+  check "post-failover reads match pre-failover" (after = before);
+  proof_checks "post-failover" (records + 1);
+  let outcome2 = Cluster_scrub.run router in
+  check "post-failover scrub is clean"
+    (outcome2.Cluster_scrub.skipped = []
+    && outcome2.Cluster_scrub.merged.Report.pass_complete
+    && outcome2.Cluster_scrub.merged.Report.findings = []);
+
+  (* --- measured scaling harness agrees with the sequential oracle --- *)
+  let rows =
+    Sim.cluster_scaling ~records:8 ~strong_bits:512 ~weak_bits:512 ~seed:"shard-smoke" ~shards_list:[ 1; 2 ] ()
+  in
+  check "scaling rows measured for N=1,2" (List.map (fun r -> r.Sim.cl_shards) rows = [ 1; 2 ]);
+  check "scaling proofs verify"
+    (List.for_all (fun r -> r.Sim.cl_proof_ok && r.Sim.cl_global_current_ok) rows);
+  check "scaling verdicts match the sequential oracle" (List.for_all (fun r -> r.Sim.cl_fingerprint_match) rows);
+
+  if !failures > 0 then begin
+    Printf.eprintf "shard-smoke: %d check(s) failed\n" !failures;
+    exit 1
+  end

@@ -18,6 +18,9 @@
      audit [json]                           full compliance scrub (+ JSON report)
      remote-audit [fault-rate]              audit over the wire protocol; optional
                                             injected drop/garble/truncate rate
+     cluster <n> [json]                     provision an n-shard mirrored router,
+                                            run a mixed workload, report per-shard
+                                            stats + the aggregated freshness proof
      status                                 store counters
      help                                   this text
      quit
@@ -36,7 +39,7 @@ let usage =
   "commands: write <secs> <data> | read <sn> | advance <secs> | expire |\n\
   \          hold <sn> <case> <secs> | release <sn> | extend <sn> <secs> |\n\
   \          idle | compact | journal | anchor | audit [json] |\n\
-  \          remote-audit [fault-rate] | status |\n\
+  \          remote-audit [fault-rate] | cluster <n> [json] | status |\n\
   \          tamper <sn> | hide <sn> | rewrite-history <seq> | help | quit"
 
 let () =
@@ -210,6 +213,101 @@ let () =
                 Printf.printf "-> virtual wire time %s (%d bytes)\n"
                   (Format.asprintf "%a" Clock.pp_duration (Proto.Netsim.elapsed_ns net))
                   (Proto.Netsim.bytes_transferred net)
+          end
+        | "cluster" :: n :: rest when rest = [] || rest = [ "json" ] -> begin
+            (* One-shot sharded-cluster demo: provision an n-shard
+               mirrored router on this console's clock and CA, stripe a
+               mixed-retention workload across it, client-verify every
+               routed read, and print the per-shard picture plus the
+               aggregated freshness proof a cluster client would check. *)
+            let module Router = Worm_cluster.Shard_router in
+            let module Cluster_proof = Worm_cluster.Cluster_proof in
+            match int_of_string_opt n with
+            | None | Some 0 -> Printf.printf "-> cluster: shard count must be a positive integer\n"
+            | Some shards when shards < 0 -> Printf.printf "-> cluster: shard count must be a positive integer\n"
+            | Some shards ->
+                let rconfig =
+                  {
+                    Router.default_config with
+                    Router.shards;
+                    mirrored = true;
+                    device_config = Device.test_config;
+                    disk_latency = Worm_simdisk.Disk.zero_latency;
+                  }
+                in
+                let router = Router.create ~config:rconfig ~seed:"wormctl-cluster" ~ca ~clock () in
+                let records = (2 * shards) + 4 in
+                let written = ref 0 in
+                for i = 1 to records do
+                  let retention_ns = Clock.ns_of_sec (if i mod 2 = 0 then 3600. else 60.) in
+                  let policy = Policy.custom ~name:"ctl-cluster" ~retention_ns ~shred_passes:1 in
+                  match Router.write router ~policy ~blocks:[ Printf.sprintf "cluster-rec-%d" i ] with
+                  | Ok _ -> incr written
+                  | Error e -> Printf.printf "-> write %d failed: %s\n" i e
+                done;
+                let verifiers = Router.verifiers router in
+                let verified = ref 0 in
+                for i = 1 to !written do
+                  let g = Serial.of_int i in
+                  match Router.verify_read router verifiers g (Router.read router g) with
+                  | Client.Valid_data _ -> incr verified
+                  | _ -> ()
+                done;
+                let mets = Router.metrics router in
+                let proof = Router.freshness_proof router in
+                let id12 id = String.sub (Worm_util.Hex.encode id) 0 12 in
+                if rest = [ "json" ] then begin
+                  let shard_json (m : Router.shard_metrics) =
+                    Printf.sprintf
+                      "{\"shard\":%d,\"store\":\"%s\",\"state\":\"%s\",\"mirrored\":%b,\"active\":%d,\"local_current\":%Ld,\"windows\":%d}"
+                      m.Router.sm_shard (id12 m.Router.sm_store_id)
+                      (match m.Router.sm_state with Router.Active -> "active" | Router.Fenced -> "fenced")
+                      m.Router.sm_mirrored m.Router.sm_active
+                      (Serial.to_int64 m.Router.sm_local_current)
+                      m.Router.sm_windows
+                  in
+                  let proof_json =
+                    match proof with
+                    | Error e -> Printf.sprintf "{\"error\":%S}" e
+                    | Ok p ->
+                        Printf.sprintf
+                          "{\"epoch\":%d,\"fingerprint\":\"%s\",\"verified\":%b,\"global_current\":%s}"
+                          p.Cluster_proof.epoch (Cluster_proof.fingerprint p)
+                          (Cluster_proof.verify ~ca:(Rsa.public_of ca) ~now:(Clock.now clock) p = Ok ())
+                          (match Cluster_proof.global_current p with
+                          | Ok g -> Int64.to_string (Serial.to_int64 g)
+                          | Error _ -> "null")
+                  in
+                  Printf.printf
+                    "{\"shards\":%d,\"records\":%d,\"verified_reads\":%d,\"shard_stats\":[%s],\"proof\":%s}\n"
+                    shards !written !verified
+                    (String.concat "," (List.map shard_json mets))
+                    proof_json
+                end
+                else begin
+                  Printf.printf "-> cluster of %d mirrored shard(s): %d record(s) striped, %d/%d reads verified\n"
+                    shards !written !verified !written;
+                  List.iter
+                    (fun (m : Router.shard_metrics) ->
+                      Printf.printf "->   shard %d: store %s %s, %d active record(s), local current %s, %d window(s)\n"
+                        m.Router.sm_shard (id12 m.Router.sm_store_id)
+                        (match m.Router.sm_state with Router.Active -> "active" | Router.Fenced -> "FENCED")
+                        m.Router.sm_active
+                        (Serial.to_string m.Router.sm_local_current)
+                        m.Router.sm_windows)
+                    mets;
+                  match proof with
+                  | Error e -> Printf.printf "-> proof: %s\n" e
+                  | Ok p ->
+                      Printf.printf "-> proof: epoch %d, fingerprint %s, %s, global current %s\n"
+                        p.Cluster_proof.epoch (Cluster_proof.fingerprint p)
+                        (match Cluster_proof.verify ~ca:(Rsa.public_of ca) ~now:(Clock.now clock) p with
+                        | Ok () -> "verifies against the CA"
+                        | Error e -> "REJECTED: " ^ e)
+                        (match Cluster_proof.global_current p with
+                        | Ok g -> Serial.to_string g
+                        | Error e -> "INCOHERENT: " ^ e)
+                end
           end
         | [ "idle" ] ->
             Worm.idle_tick store;

@@ -1,0 +1,27 @@
+open Worm_core
+
+let check_shards n = if n < 1 then invalid_arg "Partition: shard count must be >= 1"
+
+let check_index ~shards shard =
+  check_shards shards;
+  if shard < 0 || shard >= shards then invalid_arg "Partition: shard index out of range"
+
+let shard_of ~shards g =
+  check_shards shards;
+  let g = Serial.to_int g in
+  if g < 1 then 0 else (g - 1) mod shards
+
+let local_of ~shards g =
+  check_shards shards;
+  let g = Serial.to_int g in
+  if g < 1 then Serial.zero else Serial.of_int (((g - 1) / shards) + 1)
+
+let global_of ~shards ~shard l =
+  check_index ~shards shard;
+  let l = Serial.to_int l in
+  if l < 1 then Serial.zero else Serial.of_int (((l - 1) * shards) + shard + 1)
+
+let locals_covered ~shards ~shard ~global_current =
+  check_index ~shards shard;
+  let g = Serial.to_int global_current in
+  if g < 1 then Serial.zero else Serial.of_int ((g + shards - 1 - shard) / shards)

@@ -1,0 +1,37 @@
+(** The cluster's serial-number partition: round-robin mod N.
+
+    A cluster of [n] shards presents one global, consecutive SN space to
+    clients while each shard's SCPU independently issues its own local,
+    consecutive SNs. The two are related by a fixed interleave:
+
+    - global [g] (1-based) lives on shard [(g - 1) mod n],
+    - as that shard's local serial [(g - 1) / n + 1].
+
+    The map is total (every global SN lands on exactly one shard),
+    bijective per shard, and — crucially — {e client-computable}: a
+    verifier derives the (shard, local) pair itself from public cluster
+    parameters, so a malicious router cannot silently remap records
+    between global serials. Compare the per-record routing table a host
+    could offer instead: that table would itself need SCPU witnessing.
+
+    [Serial.zero] is a reserved sentinel in both spaces; it maps to
+    shard 0 / local zero so probing reads of SN 0 stay well-defined. *)
+
+open Worm_core
+
+val shard_of : shards:int -> Serial.t -> int
+(** Which shard owns global serial [g]. @raise Invalid_argument if
+    [shards < 1]. *)
+
+val local_of : shards:int -> Serial.t -> Serial.t
+(** The owning shard's local serial for global [g]. *)
+
+val global_of : shards:int -> shard:int -> Serial.t -> Serial.t
+(** Inverse: the global serial of shard [shard]'s local [l].
+    @raise Invalid_argument if [shard] is outside [0, shards). *)
+
+val locals_covered : shards:int -> shard:int -> global_current:Serial.t -> Serial.t
+(** How many local serials shard [shard] holds when the cluster has
+    allocated globals [1..global_current]: [(G + n - 1 - s) / n]. The
+    coherence check of {!Cluster_proof.global_current} is built on
+    this. *)

@@ -171,6 +171,40 @@ let heal_witness t ~sn =
     Ok ()
   end
 
+let resync_mirror t =
+  (* Strengthen first: the import path refuses weak/MAC witnesses, and a
+     mirror rebuilt from them would anyway inherit evidence the source
+     SCPU is about to replace. *)
+  let rec drain () = if Worm.strengthen_pending t.primary ~max:256 () > 0 then drain () in
+  drain ();
+  let source_cert = Firmware.signing_cert (Worm.firmware t.primary) in
+  let source_store_id = Worm.store_id t.primary in
+  let sns = List.sort Serial.compare (Vrdt.active_sns (Worm.vrdt t.primary)) in
+  let rec go n = function
+    | [] -> Ok n
+    | sn :: rest when Hashtbl.mem t.pairs sn -> go n rest
+    | sn :: rest -> begin
+        match Worm.read t.primary sn with
+        | Proof.Found { vrd; blocks } -> begin
+            match
+              Worm.import_record t.mirror ~source_signing_cert:source_cert ~source_store_id
+                ~vrd_bytes:(Vrd.to_bytes vrd) ~blocks
+            with
+            | Ok msn ->
+                Hashtbl.replace t.pairs sn msn;
+                backup_vrd t sn;
+                go (n + 1) rest
+            | Error e ->
+                Error
+                  (Printf.sprintf "mirror refused re-ingest of sn %d: %s" (Serial.to_int sn)
+                     (Firmware.error_to_string e))
+          end
+        | r ->
+            Error (Printf.sprintf "primary record %d unreadable: %s" (Serial.to_int sn) (Proof.describe r))
+      end
+  in
+  go 0 sns
+
 let heal_missing t ~sn =
   let* msn =
     match mirror_sn t sn with

@@ -39,6 +39,15 @@ val expire_due : t -> int * int
 
 val idle_tick : t -> unit
 
+val resync_mirror : t -> (int, string) result
+(** Re-ingest every live primary record that has no mirror pairing,
+    through the compliant-migration import path — the bulk form of
+    {!heal_missing} in the other direction, used by the cluster's
+    failover engine to rebuild a {e fresh} mirror after the old one was
+    promoted to primary. Deferred witnesses are strengthened first
+    (import refuses weak/MAC evidence). Returns how many records were
+    replicated; stops at the first record the mirror SCPU refuses. *)
+
 type divergence = {
   primary_sn : Serial.t;
   mirror_sn_ : Serial.t;

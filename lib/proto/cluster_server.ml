@@ -1,0 +1,81 @@
+open Worm_core
+module Router = Worm_cluster.Shard_router
+module Cluster_proof = Worm_cluster.Cluster_proof
+
+type t = {
+  router : Router.t;
+  limits : Server.limits;
+  (* per-shard dispatchers, keyed by the store they wrap so a failover's
+     promotion invalidates the cache entry naturally *)
+  mutable servers : (Worm.t * Server.t) option array;
+}
+
+let create ?(limits = Server.default_limits) router =
+  { router; limits; servers = Array.make (Router.shard_count router) None }
+
+let router t = t.router
+
+let shard_server t i =
+  match Router.serving_store t.router i with
+  | None -> failwith (Printf.sprintf "shard %d has no serving store" i)
+  | Some store -> (
+      match t.servers.(i) with
+      | Some (cached_store, server) when cached_store == store -> server
+      | Some _ | None ->
+          let server = Server.create ~limits:t.limits store in
+          t.servers.(i) <- Some (store, server);
+          server)
+
+let handle t = function
+  | Message.Cluster_hello -> (
+      let rec collect acc i =
+        if i < 0 then Ok acc
+        else
+          match Router.serving_store t.router i with
+          | None -> Error i
+          | Some store ->
+              let fw = Worm.firmware store in
+              collect ((Worm.store_id store, Firmware.signing_cert fw, Firmware.deletion_cert fw) :: acc) (i - 1)
+      in
+      match collect [] (Router.shard_count t.router - 1) with
+      | Error i -> Message.Protocol_error (Printf.sprintf "shard %d has no serving store" i)
+      | Ok shards ->
+          Message.Cluster_hello_ack
+            { n_shards = Router.shard_count t.router; epoch = Router.epoch t.router; shards })
+  | Message.Cluster_read sn ->
+      let shard, response = Router.read t.router sn in
+      Message.Cluster_read_reply { sn; shard; response }
+  | Message.Cluster_read_many sns ->
+      let n = List.length sns in
+      if n > t.limits.Server.max_read_many then
+        Message.Protocol_error
+          (Printf.sprintf "cluster-read-many of %d sns exceeds limit %d" n t.limits.Server.max_read_many)
+      else Message.Cluster_read_many_reply (Router.read_many t.router sns)
+  | Message.Cluster_proof_get -> (
+      match Router.freshness_proof t.router with
+      | Ok proof -> Message.Cluster_proof_reply proof
+      | Error e -> Message.Protocol_error e)
+  | Message.Write { policy; blocks } -> (
+      match Router.write t.router ~policy ~blocks with
+      | Ok sn -> Message.Write_ack { sn }
+      | Error e -> Message.Protocol_error e)
+  | Message.Hello | Message.Read _ | Message.Read_many _ | Message.Audit_slice _ ->
+      Message.Protocol_error "single-store request sent to a cluster front end; use a shard server"
+
+let refresh t =
+  for i = 0 to Router.shard_count t.router - 1 do
+    match Router.serving_store t.router i with
+    | Some _ -> Server.refresh (shard_server t i)
+    | None -> ()
+  done
+
+let handle_bytes t bytes =
+  match Message.decode_request bytes with
+  | Error e -> Message.encode_response (Message.Protocol_error e)
+  | Ok request -> begin
+      refresh t;
+      match Message.encode_response (handle t request) with
+      | reply -> reply
+      | exception exn ->
+          Message.encode_response (Message.Protocol_error ("dispatch failed: " ^ Printexc.to_string exn))
+    end

@@ -9,6 +9,10 @@ type request =
   | Read_many of Serial.t list
   | Audit_slice of { cursor : Serial.t; max : int }
   | Write of { policy : Policy.t; blocks : string list }
+  | Cluster_hello
+  | Cluster_read of Serial.t
+  | Cluster_read_many of Serial.t list
+  | Cluster_proof_get
 
 type response =
   | Hello_ack of { store_id : string; signing_cert : Cert.t; deletion_cert : Cert.t }
@@ -23,6 +27,10 @@ type response =
     }
   | Write_ack of { sn : Serial.t }
   | Busy of { retry_after_ns : int64 }
+  | Cluster_hello_ack of { n_shards : int; epoch : int; shards : (string * Cert.t * Cert.t) list }
+  | Cluster_read_reply of { sn : Serial.t; shard : int; response : Proof.read_response }
+  | Cluster_read_many_reply of (Serial.t * int * Proof.read_response) list
+  | Cluster_proof_reply of Worm_cluster.Cluster_proof.t
 
 (* One-line renderings for fault traces and console output. *)
 
@@ -33,6 +41,10 @@ let describe_request = function
   | Audit_slice { cursor; max } -> Printf.sprintf "audit-slice %s max=%d" (Serial.to_string cursor) max
   | Write { policy; blocks } ->
       Printf.sprintf "write %s [%d blocks]" (Policy.regulation_name policy.Policy.regulation) (List.length blocks)
+  | Cluster_hello -> "cluster-hello"
+  | Cluster_read sn -> Printf.sprintf "cluster-read %s" (Serial.to_string sn)
+  | Cluster_read_many sns -> Printf.sprintf "cluster-read-many [%d sns]" (List.length sns)
+  | Cluster_proof_get -> "cluster-proof-get"
 
 let describe_response = function
   | Hello_ack { store_id; _ } -> Printf.sprintf "hello-ack %s" (Worm_util.Hex.encode store_id)
@@ -44,6 +56,13 @@ let describe_response = function
         (match next with None -> "done" | Some sn -> Serial.to_string sn)
   | Write_ack { sn } -> Printf.sprintf "write-ack %s" (Serial.to_string sn)
   | Busy { retry_after_ns } -> Printf.sprintf "busy retry-after=%Ldns" retry_after_ns
+  | Cluster_hello_ack { n_shards; epoch; _ } -> Printf.sprintf "cluster-hello-ack %d shards epoch=%d" n_shards epoch
+  | Cluster_read_reply { sn; shard; _ } -> Printf.sprintf "cluster-read-reply %s shard=%d" (Serial.to_string sn) shard
+  | Cluster_read_many_reply replies -> Printf.sprintf "cluster-read-many-reply [%d sns]" (List.length replies)
+  | Cluster_proof_reply proof ->
+      Printf.sprintf "cluster-proof-reply %d shards epoch=%d %s" proof.Worm_cluster.Cluster_proof.n_shards
+        proof.Worm_cluster.Cluster_proof.epoch
+        (Worm_cluster.Cluster_proof.fingerprint proof)
 
 (* ---------- proof payloads ---------- *)
 
@@ -113,7 +132,15 @@ let encode_request r =
       | Write { policy; blocks } ->
           Codec.u8 enc 4;
           Policy.encode enc policy;
-          Codec.list (fun enc b -> Codec.bytes enc b) enc blocks)
+          Codec.list (fun enc b -> Codec.bytes enc b) enc blocks
+      | Cluster_hello -> Codec.u8 enc 5
+      | Cluster_read sn ->
+          Codec.u8 enc 6;
+          Serial.encode enc sn
+      | Cluster_read_many sns ->
+          Codec.u8 enc 7;
+          Codec.list (fun enc sn -> Serial.encode enc sn) enc sns
+      | Cluster_proof_get -> Codec.u8 enc 8)
     ()
 
 let decode_request s =
@@ -131,6 +158,10 @@ let decode_request s =
           let policy = Policy.decode dec in
           let blocks = Codec.read_list Codec.read_bytes dec in
           Write { policy; blocks }
+      | 5 -> Cluster_hello
+      | 6 -> Cluster_read (Serial.decode dec)
+      | 7 -> Cluster_read_many (Codec.read_list Serial.decode dec)
+      | 8 -> Cluster_proof_get
       | n -> raise (Codec.Malformed (Printf.sprintf "bad request tag %d" n)))
     s
 
@@ -174,7 +205,33 @@ let encode_response r =
           Serial.encode enc sn
       | Busy { retry_after_ns } ->
           Codec.u8 enc 6;
-          Codec.u64 enc retry_after_ns)
+          Codec.u64 enc retry_after_ns
+      | Cluster_hello_ack { n_shards; epoch; shards } ->
+          Codec.u8 enc 7;
+          Codec.u32 enc n_shards;
+          Codec.int_as_u64 enc epoch;
+          Codec.list
+            (fun enc (store_id, signing_cert, deletion_cert) ->
+              Codec.bytes enc store_id;
+              Cert.encode enc signing_cert;
+              Cert.encode enc deletion_cert)
+            enc shards
+      | Cluster_read_reply { sn; shard; response } ->
+          Codec.u8 enc 8;
+          Serial.encode enc sn;
+          Codec.u32 enc shard;
+          encode_read_response enc response
+      | Cluster_read_many_reply replies ->
+          Codec.u8 enc 9;
+          Codec.list
+            (fun enc (sn, shard, response) ->
+              Serial.encode enc sn;
+              Codec.u32 enc shard;
+              encode_read_response enc response)
+            enc replies
+      | Cluster_proof_reply proof ->
+          Codec.u8 enc 10;
+          Worm_cluster.Cluster_proof.encode enc proof)
     ()
 
 let decode_response s =
@@ -214,5 +271,33 @@ let decode_response s =
           Audit_slice_reply { replies; next; base; current }
       | 5 -> Write_ack { sn = Serial.decode dec }
       | 6 -> Busy { retry_after_ns = Codec.read_u64 dec }
+      | 7 ->
+          let n_shards = Codec.read_u32 dec in
+          let epoch = Codec.read_int_as_u64 dec in
+          let shards =
+            Codec.read_list
+              (fun dec ->
+                let store_id = Codec.read_bytes dec in
+                let signing_cert = Cert.decode dec in
+                let deletion_cert = Cert.decode dec in
+                (store_id, signing_cert, deletion_cert))
+              dec
+          in
+          Cluster_hello_ack { n_shards; epoch; shards }
+      | 8 ->
+          let sn = Serial.decode dec in
+          let shard = Codec.read_u32 dec in
+          let response = decode_read_response dec in
+          Cluster_read_reply { sn; shard; response }
+      | 9 ->
+          Cluster_read_many_reply
+            (Codec.read_list
+               (fun dec ->
+                 let sn = Serial.decode dec in
+                 let shard = Codec.read_u32 dec in
+                 let response = decode_read_response dec in
+                 (sn, shard, response))
+               dec)
+      | 10 -> Cluster_proof_reply (Worm_cluster.Cluster_proof.decode dec)
       | n -> raise (Codec.Malformed (Printf.sprintf "bad response tag %d" n)))
     s

@@ -22,6 +22,10 @@ type request =
       (** ingest a new record under [policy]; answered with {!Write_ack}
           once the SCPU has witnessed it, or {!Busy} when admission
           control sheds the request under deferred-witness debt *)
+  | Cluster_hello  (** fetch cluster shape and every shard's certificates *)
+  | Cluster_read of Serial.t  (** read one {e global} serial through the router *)
+  | Cluster_read_many of Serial.t list
+  | Cluster_proof_get  (** fetch the aggregated cluster freshness proof *)
 
 type response =
   | Hello_ack of {
@@ -50,6 +54,19 @@ type response =
   | Busy of { retry_after_ns : int64 }
       (** admission control shed the write: the store's deferred-witness
           debt is over its ceiling, retry after the given virtual delay *)
+  | Cluster_hello_ack of {
+      n_shards : int;
+      epoch : int;
+      shards : (string * Worm_crypto.Cert.t * Worm_crypto.Cert.t) list;
+          (** per shard, in index order: (store id, signing cert,
+              deletion cert) — everything a client needs to compute the
+              partition and verify shard-served proofs *)
+    }
+  | Cluster_read_reply of { sn : Serial.t; shard : int; response : Proof.read_response }
+      (** [shard] is the router's routing claim; verifiers recompute the
+          partition themselves and treat a mismatch as a violation *)
+  | Cluster_read_many_reply of (Serial.t * int * Proof.read_response) list
+  | Cluster_proof_reply of Worm_cluster.Cluster_proof.t
 
 val describe_request : request -> string
 val describe_response : response -> string

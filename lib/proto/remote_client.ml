@@ -159,7 +159,8 @@ let connect ~ca ~clock ?max_bound_age_ns ?retry ?netsim transport =
   | Ok (Message.Protocol_error e) -> Error ("server error: " ^ e)
   | Ok
       ( Message.Read_reply _ | Message.Read_many_reply _ | Message.Audit_slice_reply _ | Message.Write_ack _
-      | Message.Busy _ ) ->
+      | Message.Busy _ | Message.Cluster_hello_ack _ | Message.Cluster_read_reply _
+      | Message.Cluster_read_many_reply _ | Message.Cluster_proof_reply _ ) ->
       Error "handshake failed: unexpected response"
 
 let store_id t = t.store_id

@@ -67,6 +67,12 @@ let handle t = function
         let next = if Serial.(stopped > current.Firmware.sn) then None else Some stopped in
         Message.Audit_slice_reply { replies; next; base; current }
       end
+  | Message.Cluster_hello | Message.Cluster_read _ | Message.Cluster_read_many _ | Message.Cluster_proof_get ->
+      (* The cluster vocabulary only makes sense against a router front
+         end ({!Cluster_server}); a single store has no shards to route
+         over or aggregate, and pretending to be shard 0 of 1 would hand
+         clients a freshness proof with the wrong trust story. *)
+      Message.Protocol_error "cluster request sent to a single-store server"
 
 (* The server must stay total on adversarial input: nothing a client
    sends may crash the dispatcher — a fault-injecting transport (see

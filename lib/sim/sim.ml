@@ -249,14 +249,19 @@ let multi_scpu_scaling ?(strong_bits = 1024) ?(record_bytes = 1024) ?(records = 
           ())
   in
   let run k =
-    let disk = Disk.create ~latency:Disk.fast_latency () in
+    (* Each SCPU owns its disk, as in the real cluster: a single shared
+       spindle would serialize k independent stores and misattribute
+       every disk-heavy row. The host column stays summed — this is the
+       paper's k-SCPUs-in-one-host projection, the measured counterpart
+       with per-shard hosts is [cluster_scaling]. *)
+    let disks = Array.init k (fun _ -> Disk.create ~latency:Disk.fast_latency ()) in
     let config = { Worm.default_config with datasig_mode = Worm.Host_hash } in
     let stores =
-      List.init k (fun i -> Worm.create ~config ~disk ~device:devices.(i) ~ca:(Rsa.public_of ca) ())
+      List.init k (fun i -> Worm.create ~config ~disk:disks.(i) ~device:devices.(i) ~ca:(Rsa.public_of ca) ())
     in
     Array.iter Device.reset_busy devices;
     List.iter Worm.reset_host_busy stores;
-    Disk.reset_busy disk;
+    Array.iter Disk.reset_busy disks;
     let policy = Policy.of_regulation Policy.Sec17a4 in
     let payloads = List.init records (fun _ -> Worm_workload.Workload.record rng ~bytes:record_bytes) in
     List.iteri
@@ -266,7 +271,7 @@ let multi_scpu_scaling ?(strong_bits = 1024) ?(record_bytes = 1024) ?(records = 
       List.fold_left (fun acc i -> max acc (sec (Device.busy_ns devices.(i)))) 0. (List.init k Fun.id)
     in
     let host_busy = List.fold_left (fun acc store -> acc +. sec (Worm.host_busy_ns store)) 0. stores in
-    let disk_busy = sec (Disk.busy_ns disk) in
+    let disk_busy = Array.fold_left (fun acc d -> max acc (sec (Disk.busy_ns d))) 0. disks in
     let slowest = max scpu_busy (max host_busy disk_busy) in
     let bottleneck =
       if slowest = scpu_busy then "scpu" else if slowest = host_busy then "host" else "disk"
@@ -287,6 +292,7 @@ let multi_scpu_scaling ?(strong_bits = 1024) ?(record_bytes = 1024) ?(records = 
       in
       { scpus = k; aggregate_rps = rps; speedup = rps /. base; scaling_bottleneck = bottleneck })
     scpus_list
+
 
 type storage_row = { stage : string; vrdt_bytes : int; entries : int; windows : int }
 
@@ -815,3 +821,211 @@ let pp_fault_row fmt r =
 let pp_measurement fmt (m : measurement) =
   Format.fprintf fmt "%-24s %7d B  %8.1f rec/s  (scpu %.4fs, host %.4fs, disk %.4fs; bottleneck %s; idle %.4fs)"
     m.label m.record_bytes m.throughput_rps m.scpu_s m.host_s m.disk_s m.bottleneck m.idle_scpu_s
+
+
+(* ---------- measured cluster scaling ---------- *)
+module Cluster_server = Worm_proto.Cluster_server
+
+type cluster_shard_row = {
+  cs_shard : int;
+  cs_records : int;
+  cs_scpu_s : float;
+  cs_host_s : float;
+  cs_disk_s : float;
+  cs_rps : float;
+  cs_bottleneck : string;
+}
+
+type cluster_row = {
+  cl_shards : int;
+  cl_records : int;
+  cl_aggregate_rps : float;
+  cl_speedup : float;
+  cl_bottleneck_shard : int;
+  cl_bottleneck : string;
+  cl_makespan_s : float;
+  cl_flushes : int;
+  cl_proof_ok : bool;
+  cl_global_current_ok : bool;
+  cl_fingerprint_match : bool;
+  cl_shard_rows : cluster_shard_row list;
+}
+
+module Shard_router = Worm_cluster.Shard_router
+module Cluster_proof = Worm_cluster.Cluster_proof
+
+(* Verdict plus content digest, the same shape Replicator's divergence
+   audit compares: two runs that converged to the same records agree on
+   every element. *)
+let cluster_fp_of_verdict = function
+  | Client.Valid_data { blocks; _ } ->
+      let rec sep = function [] -> [] | [ b ] -> [ b ] | b :: rest -> b :: "\x00" :: sep rest in
+      "valid:" ^ Worm_util.Hex.encode (Worm_crypto.Sha256.digest_parts (sep blocks))
+  | v -> Client.verdict_name v
+
+let cluster_scaling ?(record_bytes = 1024) ?(records = 48) ?(strong_bits = 1024) ?(weak_bits = 512) ~seed
+    ~shards_list () =
+  let policy = Policy.of_regulation Policy.Sec17a4 in
+  let store_config =
+    { Worm.default_config with datasig_mode = Worm.Host_hash; default_witness = Firmware.Strong_now }
+  in
+  (* one payload sequence shared by the sequential oracle and every
+     cluster size: global record i+1 is the same bytes everywhere *)
+  let payloads =
+    let rng = Drbg.create ~seed:("cluster-workload|" ^ seed) in
+    Array.init records (fun _ -> Worm_workload.Workload.record rng ~bytes:record_bytes)
+  in
+
+  (* --- sequential single-store oracle: same records, one synchronous
+     request at a time through the ordinary wire stack --- *)
+  let seq_fp =
+    let env = make_env ~strong_bits ~weak_bits ~seed:("cluster-seq|" ^ seed) () in
+    let store = Worm.create ~config:store_config ~device:env.dev ~ca:(Rsa.public_of env.ca) () in
+    let server = Server.create store in
+    Array.iter
+      (fun blocks ->
+        ignore (Server.handle_bytes server (Message.encode_request (Message.Write { policy; blocks }))))
+      payloads;
+    Clock.advance env.clk (Clock.ns_of_sec 1.);
+    Worm.idle_tick store;
+    let verifier = Client.for_store ~ca:(Rsa.public_of env.ca) ~clock:env.clk store in
+    List.init records (fun i ->
+        let sn = Serial.of_int (i + 1) in
+        cluster_fp_of_verdict (Client.verify_read verifier ~sn (Worm.read store sn)))
+  in
+
+  let run n =
+    let rng = Drbg.create ~seed:(Printf.sprintf "cluster-ca|%s|%d" seed n) in
+    let ca = Rsa.generate rng ~bits:1024 in
+    let clk = Clock.create () in
+    let router_config =
+      {
+        Shard_router.default_config with
+        Shard_router.shards = n;
+        mirrored = false;
+        store_config;
+        device_config = { Device.default_config with Device.strong_bits; weak_bits };
+        disk_latency = Disk.fast_latency;
+      }
+    in
+    let router =
+      Shard_router.create ~config:router_config ~seed:(Printf.sprintf "cluster|%s|%d" seed n) ~ca ~clock:clk ()
+    in
+    let front = Cluster_server.create router in
+    let net = Netsim.create () in
+    let es_config =
+      { Event_server.default_config with batch_size = 8; witness = Event_server.Fixed Firmware.Strong_now }
+    in
+    Shard_router.reset_busy router;
+    let acks = Array.make records None in
+    let flushes = ref 0 in
+    let makespans = Array.make n 0. in
+    let shard_records = Array.make n 0 in
+    (* One event loop per shard over the shared virtual clock. The loops
+       run one after another — virtual time needs no interleaving to be
+       honest — with each shard's submissions offset to its loop's start,
+       so every per-shard ledger and makespan is the duration that shard
+       alone would have taken; the cluster runs them in parallel, which
+       is exactly what the max() aggregation below models. *)
+    for s = 0 to n - 1 do
+      let es = Event_server.create ~config:es_config ~clock:clk ~net (Cluster_server.shard_server front s) in
+      let t0 = Clock.now clk in
+      let gap = Clock.ns_of_us 100. in
+      for i = 0 to records - 1 do
+        if i mod n = s then begin
+          let at = Int64.add t0 (Int64.mul (Int64.of_int shard_records.(s)) gap) in
+          shard_records.(s) <- shard_records.(s) + 1;
+          Event_server.submit es ~client:i ~at
+            (Message.Write { policy; blocks = payloads.(i) })
+            ~on_reply:(fun (c : Event_server.completion) ->
+              match c.Event_server.outcome with
+              | Event_server.Replied (Message.Write_ack { sn }) ->
+                  acks.(i) <- Some (Shard_router.register_ack router ~shard:s ~local:sn)
+              | _ -> ())
+        end
+      done;
+      Event_server.run es;
+      makespans.(s) <- sec (Int64.sub (Clock.now clk) t0);
+      flushes := !flushes + (Event_server.stats es).Event_server.flushes
+    done;
+    (* burst ledgers, before idle maintenance muddies them *)
+    let mets = Shard_router.metrics router in
+    Clock.advance clk (Clock.ns_of_sec 1.);
+    Shard_router.idle_tick router;
+    let shard_rows =
+      List.map
+        (fun (m : Shard_router.shard_metrics) ->
+          let scpu_s = sec m.Shard_router.sm_scpu_busy_ns in
+          let host_s = sec m.Shard_router.sm_host_busy_ns in
+          let disk_s = sec m.Shard_router.sm_disk_busy_ns in
+          let slowest = max scpu_s (max host_s disk_s) in
+          {
+            cs_shard = m.Shard_router.sm_shard;
+            cs_records = shard_records.(m.Shard_router.sm_shard);
+            cs_scpu_s = scpu_s;
+            cs_host_s = host_s;
+            cs_disk_s = disk_s;
+            cs_rps =
+              (if slowest <= 0. then infinity
+               else float_of_int shard_records.(m.Shard_router.sm_shard) /. slowest);
+            cs_bottleneck =
+              (if slowest = scpu_s then "scpu" else if slowest = host_s then "host" else "disk");
+          })
+        mets
+    in
+    let slowest_of r = max r.cs_scpu_s (max r.cs_host_s r.cs_disk_s) in
+    let bottleneck_row =
+      List.fold_left (fun acc r -> if slowest_of r > slowest_of acc then r else acc)
+        (List.hd shard_rows) shard_rows
+    in
+    let cluster_slowest = slowest_of bottleneck_row in
+    let proof_ok, global_ok =
+      match Shard_router.freshness_proof router with
+      | Error _ -> (false, false)
+      | Ok proof -> (
+          let ok =
+            Cluster_proof.verify ~ca:(Rsa.public_of ca) ~now:(Clock.now clk) proof = Ok ()
+          in
+          match Cluster_proof.global_current proof with
+          | Ok g -> (ok, Serial.to_int g = records)
+          | Error _ -> (ok, false))
+    in
+    let verifiers = Shard_router.verifiers router in
+    let fp =
+      List.init records (fun i ->
+          let g = Serial.of_int (i + 1) in
+          match acks.(i) with
+          | Some acked when Serial.equal acked g ->
+              cluster_fp_of_verdict (Shard_router.verify_read router verifiers g (Shard_router.read router g))
+          | Some _ -> "misrouted-ack"
+          | None -> "no-ack")
+    in
+    {
+      cl_shards = n;
+      cl_records = records;
+      cl_aggregate_rps = (if cluster_slowest <= 0. then infinity else float_of_int records /. cluster_slowest);
+      cl_speedup = 1.0;
+      cl_bottleneck_shard = bottleneck_row.cs_shard;
+      cl_bottleneck = bottleneck_row.cs_bottleneck;
+      cl_makespan_s = Array.fold_left max 0. makespans;
+      cl_flushes = !flushes;
+      cl_proof_ok = proof_ok;
+      cl_global_current_ok = global_ok;
+      cl_fingerprint_match = fp = seq_fp;
+      cl_shard_rows = shard_rows;
+    }
+  in
+  let single_rps = ref None in
+  List.map
+    (fun n ->
+      let row = run n in
+      let base =
+        match !single_rps with
+        | Some r -> r
+        | None ->
+            let r = if n = 1 then row.cl_aggregate_rps else (run 1).cl_aggregate_rps in
+            single_rps := Some r;
+            r
+      in
+      { row with cl_speedup = row.cl_aggregate_rps /. base })
+    shards_list

@@ -151,10 +151,58 @@ type scaling_row = {
 val multi_scpu_scaling :
   ?strong_bits:int -> ?record_bytes:int -> ?records:int -> seed:string -> scpus_list:int list -> unit -> scaling_row list
 (** §5: "These results naturally scale if multiple SCPUs are available."
-    Round-robin record ingest across k SCPU-backed stores sharing one
-    host and one disk; aggregate throughput is limited by the busiest
-    resource. Scaling is near-linear until the shared host CPU or disk
-    saturates. *)
+    Round-robin record ingest across k SCPU-backed stores, each with its
+    own disk, all sharing one host CPU; aggregate throughput is limited
+    by the busiest resource. This is a projection (k stores driven in a
+    plain loop, host cost summed); {!cluster_scaling} is the measured
+    counterpart that drives a real {!Worm_cluster.Shard_router}. *)
+
+type cluster_shard_row = {
+  cs_shard : int;
+  cs_records : int;
+  cs_scpu_s : float;
+  cs_host_s : float;
+  cs_disk_s : float;
+  cs_rps : float;  (** this shard's stripe alone, at its own bottleneck *)
+  cs_bottleneck : string;
+}
+
+type cluster_row = {
+  cl_shards : int;
+  cl_records : int;
+  cl_aggregate_rps : float;  (** whole workload over the slowest shard's busy time *)
+  cl_speedup : float;  (** relative to the measured 1-shard cluster *)
+  cl_bottleneck_shard : int;
+  cl_bottleneck : string;  (** saturated resource on that shard *)
+  cl_makespan_s : float;  (** slowest shard's event-loop virtual makespan *)
+  cl_flushes : int;  (** batched signing flushes across all shard loops *)
+  cl_proof_ok : bool;  (** aggregated freshness proof verified against the CA *)
+  cl_global_current_ok : bool;  (** proof's coherent global bound equals records written *)
+  cl_fingerprint_match : bool;  (** every global serial's verified content matches the sequential single store *)
+  cl_shard_rows : cluster_shard_row list;
+}
+
+val cluster_scaling :
+  ?record_bytes:int ->
+  ?records:int ->
+  ?strong_bits:int ->
+  ?weak_bits:int ->
+  seed:string ->
+  shards_list:int list ->
+  unit ->
+  cluster_row list
+(** Measured multi-SCPU scaling: for each N in [shards_list], provision
+    a real N-shard {!Worm_cluster.Shard_router} (independent SCPU +
+    disk + host ledger per shard), mount one batching
+    {!Worm_proto.Event_server} per shard over its
+    {!Worm_proto.Cluster_server.shard_server}, drive the interleaved
+    stripe of the same [records]-record workload through each loop, and
+    report aggregate throughput from the per-shard busy ledgers — no
+    multiplied projections. Every run is gated: the aggregated
+    {!Worm_cluster.Cluster_proof} must verify and its coherent global
+    bound must equal the record count, and reading every global serial
+    back through the router must produce verdicts and content digests
+    identical to a sequential single-store run of the same payloads. *)
 
 type storage_row = { stage : string; vrdt_bytes : int; entries : int; windows : int }
 
