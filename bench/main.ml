@@ -13,6 +13,7 @@
      burst      maximum safe burst length per arrival rate (§4.3)
      adaptive   adaptive witness strength across a day of load (§4.3)
      scaling    multi-SCPU scaling (§5)
+     wire       message encode/decode rates and per-op allocation
      local      Figure 1 re-projected onto THIS host's measured rates
      readthroughput  verified reads/s: domain pool x verify cache, + projection
      bechamel   real wall-clock rates of the pure-OCaml primitives
@@ -390,6 +391,8 @@ let print_serve ~quick ~env:_ =
   in
   let r = Sim.multi_client ~phases ~seed:"bench-serve" () in
   Format.printf "%a@." Sim.pp_multi_client r;
+  Printf.printf "wire path: %d requests, %.1f minor words/request, %.0f req/s of host CPU\n" r.Sim.mc_requests
+    r.Sim.mc_minor_words_per_req r.Sim.mc_host_rps;
   if not r.Sim.mc_fingerprint_match then begin
     prerr_endline "serve: batched faulty run diverged from the sequential oracle";
     exit 1
@@ -424,6 +427,9 @@ let print_serve ~quick ~env:_ =
          ("write_latency", json_latency r.Sim.mc_write_latency);
          ("read_latency", json_latency r.Sim.mc_read_latency);
          ("fingerprint_match", Bool r.Sim.mc_fingerprint_match);
+         ("requests", Int r.Sim.mc_requests);
+         ("minor_words_per_req", Float r.Sim.mc_minor_words_per_req);
+         ("host_rps", Float r.Sim.mc_host_rps);
        ])
 
 let print_scaling ~quick ~env:_ =
@@ -432,14 +438,15 @@ let print_scaling ~quick ~env:_ =
   let shards_list = [ 1; 2; 4; 8 ] in
   let rows = Sim.cluster_scaling ~records ~seed:"bench-scaling" ~shards_list () in
   Printf.printf "Measured: N-shard Shard_router, one batching event loop per shard, per-shard ledgers.\n";
-  Printf.printf "%-8s %16s %10s %18s %10s %10s %10s\n" "shards" "aggregate rec/s" "speedup" "bottleneck"
-    "flushes" "proof" "verdicts";
+  Printf.printf "%-8s %16s %10s %18s %10s %10s %10s %10s %10s\n" "shards" "aggregate rec/s" "speedup" "bottleneck"
+    "flushes" "proof" "verdicts" "words/req" "host rps";
   List.iter
     (fun (r : Sim.cluster_row) ->
-      Printf.printf "%-8d %16.0f %9.2fx %11s@shard%d %10d %10s %10s\n" r.Sim.cl_shards r.Sim.cl_aggregate_rps
-        r.Sim.cl_speedup r.Sim.cl_bottleneck r.Sim.cl_bottleneck_shard r.Sim.cl_flushes
+      Printf.printf "%-8d %16.0f %9.2fx %11s@shard%d %10d %10s %10s %10.0f %10.0f\n" r.Sim.cl_shards
+        r.Sim.cl_aggregate_rps r.Sim.cl_speedup r.Sim.cl_bottleneck r.Sim.cl_bottleneck_shard r.Sim.cl_flushes
         (if r.Sim.cl_proof_ok && r.Sim.cl_global_current_ok then "verified" else "FAILED")
-        (if r.Sim.cl_fingerprint_match then "identical" else "DIVERGED");
+        (if r.Sim.cl_fingerprint_match then "identical" else "DIVERGED")
+        r.Sim.cl_minor_words_per_req r.Sim.cl_host_rps;
       List.iter
         (fun (s : Sim.cluster_shard_row) ->
           Printf.printf "          shard %d: %3d rec  scpu %.4fs  host %.4fs  disk %.4fs  %8.0f rec/s  (%s-bound)\n"
@@ -485,6 +492,8 @@ let print_scaling ~quick ~env:_ =
                       ("proof_ok", Bool r.Sim.cl_proof_ok);
                       ("global_current_ok", Bool r.Sim.cl_global_current_ok);
                       ("fingerprint_match", Bool r.Sim.cl_fingerprint_match);
+                      ("minor_words_per_req", Float r.Sim.cl_minor_words_per_req);
+                      ("host_rps", Float r.Sim.cl_host_rps);
                       ( "shards_detail",
                         Arr
                           (List.map
@@ -901,6 +910,126 @@ let print_readthroughput ~quick ~env:_ =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Wire path: encode/decode rates and per-op minor-heap allocation for
+   each message class the serving stack touches. Identity-gated:
+   encodings are canonical and signed, so encoding must be repeatable
+   and re-encoding a decoded value must reproduce the bytes exactly.
+   (Byte-identity against the retained seed codec is enforced separately
+   by bench/wire_smoke.ml and the QCheck oracle properties.) *)
+
+module Message = Worm_proto.Message
+module Proto_server = Worm_proto.Server
+
+type wire_row = {
+  wr_class : string;
+  wr_dir : string;  (** "request" or "response" *)
+  wr_bytes : int;
+  wr_enc_ops : float;
+  wr_dec_ops : float;
+  wr_enc_words : float;  (** minor words per encode *)
+  wr_dec_words : float;  (** minor words per decode *)
+  wr_identity : bool;
+}
+
+let print_wire ~quick ~env:_ =
+  hr "WIRE -- message encode/decode rates and per-op allocation";
+  let budget = if quick then 0.02 else 0.15 in
+  let alloc_ops = if quick then 256 else 4096 in
+  let clock, _ca, store, items, _, _ = read_workload ~quick () in
+  ignore clock;
+  let server = Proto_server.create store in
+  Proto_server.refresh server;
+  let shape p = List.find_opt (fun (_, r) -> p r) items in
+  let found_sn =
+    match shape (function Core.Proof.Found _ -> true | _ -> false) with
+    | Some (sn, _) -> sn
+    | None -> Core.Serial.first
+  in
+  let absent_sn =
+    match shape (function Core.Proof.Proof_unallocated _ -> true | _ -> false) with
+    | Some (sn, _) -> sn
+    | None -> found_sn
+  in
+  let policy = Core.Policy.of_regulation Core.Policy.Sec17a4 in
+  let payload = Drbg.generate (Drbg.create ~seed:"bench-wire") 1024 in
+  let many_sns =
+    let all = List.map fst items in
+    List.filteri (fun i _ -> i < 64) (all @ all @ all)
+  in
+  let requests =
+    [
+      ("hello", Message.Hello);
+      ("read", Message.Read found_sn);
+      (Printf.sprintf "read-many-%d" (List.length many_sns), Message.Read_many many_sns);
+      ("audit-slice-req", Message.Audit_slice { cursor = Core.Serial.first; max = 64 });
+      ("write-1KB", Message.Write { policy; blocks = [ payload ] });
+    ]
+  in
+  let responses =
+    [
+      ("write-ack", Message.Write_ack { sn = found_sn });
+      ("busy", Message.Busy { retry_after_ns = 5_000_000L });
+      ("hello-ack", Proto_server.handle server Message.Hello);
+      ("read-reply-found", Proto_server.handle server (Message.Read found_sn));
+      ("read-reply-absence", Proto_server.handle server (Message.Read absent_sn));
+      ("audit-slice-reply", Proto_server.handle server (Message.Audit_slice { cursor = Core.Serial.first; max = 64 }));
+    ]
+  in
+  let measure ~dir ~encode ~decode (name, value) =
+    let bytes = encode value in
+    let enc_t = time_per_op ~min_time_s:budget ~min_iters:32 (fun () -> ignore (encode value)) in
+    let dec_t = time_per_op ~min_time_s:budget ~min_iters:32 (fun () -> ignore (decode bytes)) in
+    let enc_w = Worm_util.Allocmeter.per_op ~ops:alloc_ops (fun () -> ignore (encode value)) in
+    let dec_w = Worm_util.Allocmeter.per_op ~ops:alloc_ops (fun () -> ignore (decode bytes)) in
+    let identity =
+      String.equal bytes (encode value)
+      && (match decode bytes with Ok v -> String.equal bytes (encode v) | Error _ -> false)
+    in
+    {
+      wr_class = name;
+      wr_dir = dir;
+      wr_bytes = String.length bytes;
+      wr_enc_ops = 1. /. enc_t;
+      wr_dec_ops = 1. /. dec_t;
+      wr_enc_words = enc_w;
+      wr_dec_words = dec_w;
+      wr_identity = identity;
+    }
+  in
+  let rows =
+    List.map (measure ~dir:"request" ~encode:Message.encode_request ~decode:Message.decode_request) requests
+    @ List.map (measure ~dir:"response" ~encode:Message.encode_response ~decode:Message.decode_response) responses
+  in
+  Printf.printf "%-20s %-9s %8s %12s %12s %10s %10s %10s\n" "class" "dir" "bytes" "enc/s" "dec/s" "enc words"
+    "dec words" "identity";
+  List.iter
+    (fun r ->
+      Printf.printf "%-20s %-9s %8d %12.0f %12.0f %10.1f %10.1f %10s\n" r.wr_class r.wr_dir r.wr_bytes
+        r.wr_enc_ops r.wr_dec_ops r.wr_enc_words r.wr_dec_words
+        (if r.wr_identity then "ok" else "DRIFTED"))
+    rows;
+  if List.exists (fun r -> not r.wr_identity) rows then begin
+    prerr_endline "wire: canonical encoding drifted (encode not repeatable or re-encode differs)";
+    exit 1
+  end;
+  add_json "wire"
+    (Arr
+       (List.map
+          (fun r ->
+            Obj
+              [
+                ("class", Str r.wr_class);
+                ("dir", Str r.wr_dir);
+                ("wire_bytes", Int r.wr_bytes);
+                ("encode_ops_per_sec", Float r.wr_enc_ops);
+                ("decode_ops_per_sec", Float r.wr_dec_ops);
+                ("encode_minor_words_per_op", Float r.wr_enc_words);
+                ("decode_minor_words_per_op", Float r.wr_dec_words);
+                ("identity", Bool r.wr_identity);
+              ])
+          rows))
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -918,6 +1047,7 @@ let sections =
     ("serve", print_serve);
     ("scaling", print_scaling);
     ("hash", print_hash);
+    ("wire", print_wire);
     ("local", print_local);
     ("readthroughput", print_readthroughput);
     ("bechamel", run_bechamel);

@@ -1,0 +1,188 @@
+(* CI smoke for the zero-copy wire path: the pooled unsafe codec must be
+   byte-identical to the retained seed implementation
+   (test/support/ref_codec.ml) across the primitive vocabulary and whole
+   protocol messages, the encode-once memo must re-serve identical bytes
+   and never a stale bound, and a remote audit of a seeded store through
+   the new path must come back clean. `dune build @wire-smoke`. *)
+
+open Worm_core
+module Device = Worm_scpu.Device
+module Clock = Worm_simclock.Clock
+module Rsa = Worm_crypto.Rsa
+module Drbg = Worm_crypto.Drbg
+module Codec = Worm_util.Codec
+module Ref = Worm_testkit.Ref_codec
+module Message = Worm_proto.Message
+module Server = Worm_proto.Server
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    Printf.eprintf "wire-smoke FAIL: %s\n" name;
+    incr failures
+  end
+
+let () =
+  (* Primitive byte identity: every write the new encoder can make must
+     equal the seed encoder's bytes, and the new decoder must read the
+     seed's bytes back. *)
+  let rng = Drbg.create ~seed:"wire-smoke-prim" in
+  for round = 1 to 200 do
+    let v8 = Drbg.int_below rng 256 in
+    let v16 = Drbg.int_below rng 65536 in
+    let v32 = (Drbg.int_below rng 65536 * 65536) + Drbg.int_below rng 65536 in
+    let v64 =
+      Int64.logor
+        (Int64.shift_left (Int64.of_int v32) 32)
+        (Int64.of_int (Drbg.int_below rng 65536))
+    in
+    let blob = Drbg.generate rng (Drbg.int_below rng 700) in
+    let xs = List.init (Drbg.int_below rng 9) (fun i -> (i * 7919) land 0xffff) in
+    let opt = if Drbg.int_below rng 2 = 0 then None else Some v16 in
+    let write_ref () =
+      let e = Ref.encoder () in
+      Ref.u8 e v8;
+      Ref.u16 e v16;
+      Ref.u32 e v32;
+      Ref.u64 e v64;
+      Ref.int_as_u64 e v32;
+      Ref.bool e (v8 land 1 = 1);
+      Ref.bytes e blob;
+      Ref.list Ref.u16 e xs;
+      Ref.option Ref.u16 e opt;
+      Ref.to_string e
+    in
+    let write_new () =
+      Codec.with_encoder (fun e ->
+          Codec.u8 e v8;
+          Codec.u16 e v16;
+          Codec.u32 e v32;
+          Codec.u64 e v64;
+          Codec.int_as_u64 e v32;
+          Codec.bool e (v8 land 1 = 1);
+          Codec.bytes e blob;
+          Codec.list Codec.u16 e xs;
+          Codec.option Codec.u16 e opt;
+          Codec.to_string e)
+    in
+    let bytes_ref = write_ref () in
+    check (Printf.sprintf "primitive bytes #%d" round) (write_new () = bytes_ref);
+    let read_back d =
+      let r8 = Codec.read_u8 d in
+      let r16 = Codec.read_u16 d in
+      let r32 = Codec.read_u32 d in
+      let r64 = Codec.read_u64 d in
+      let ri = Codec.read_int_as_u64 d in
+      let rb = Codec.read_bool d in
+      let rblob = Codec.read_bytes d in
+      let rxs = Codec.read_list Codec.read_u16 d in
+      let ropt = Codec.read_option Codec.read_u16 d in
+      r8 = v8 && r16 = v16 && r32 = v32 && r64 = v64 && ri = v32
+      && rb = (v8 land 1 = 1)
+      && rblob = blob && rxs = xs && ropt = opt
+    in
+    check
+      (Printf.sprintf "primitive decode #%d" round)
+      (Codec.decode read_back bytes_ref = Ok true);
+    (* Slices must see the same field without copying the input apart. *)
+    let d = Codec.decoder bytes_ref in
+    ignore (Codec.read_u8 d);
+    ignore (Codec.read_u16 d);
+    ignore (Codec.read_u32 d);
+    ignore (Codec.read_u64 d);
+    ignore (Codec.read_int_as_u64 d);
+    ignore (Codec.read_bool d);
+    let s = Codec.read_bytes_slice d in
+    check (Printf.sprintf "slice view #%d" round) (Codec.slice_string s = blob)
+  done;
+
+  (* Seeded store: every proof shape, served through the wire. *)
+  let ca = Rsa.generate (Drbg.create ~seed:"wire-smoke") ~bits:1024 in
+  let clock = Clock.create () in
+  let device = Device.provision ~seed:"wire-smoke-scpu" ~clock ~ca ~name:"scpu-wire-smoke" () in
+  let store = Worm.create ~device ~ca:(Rsa.public_of ca) () in
+  let long = Policy.custom ~name:"long" ~retention_ns:(Clock.ns_of_sec 3600.) ~shred_passes:1 in
+  let short = Policy.custom ~name:"short" ~retention_ns:(Clock.ns_of_sec 10.) ~shred_passes:1 in
+  ignore (Worm.write store ~policy:long ~blocks:[ "keeper-0" ]);
+  for i = 1 to 6 do
+    ignore (Worm.write store ~policy:short ~blocks:[ Printf.sprintf "ephemeral-%d" i ])
+  done;
+  Clock.advance clock (Clock.ns_of_sec 11.);
+  ignore (Worm.expire_due store);
+  Worm.idle_tick store;
+  let server = Server.create store in
+  Server.refresh server;
+  let current = Worm.peek_current_bound store in
+  let beyond = Serial.next current.Firmware.sn in
+  let requests =
+    [
+      ("hello", Message.Hello);
+      ("read-found", Message.Read (Serial.of_int 1));
+      ("read-deleted", Message.Read (Serial.of_int 3));
+      ("read-unallocated", Message.Read beyond);
+      ("read-many", Message.Read_many (List.init 7 (fun i -> Serial.of_int (i + 1))));
+      ("audit-slice", Message.Audit_slice { cursor = Serial.of_int 1; max = 64 });
+      ("write", Message.Write { policy = long; blocks = [ "wire-smoke-payload" ] });
+    ]
+  in
+  List.iter
+    (fun (name, request) ->
+      let bytes = Message.encode_request request in
+      check (name ^ " request re-encode") (Message.encode_request request = bytes);
+      check (name ^ " request length") (Message.request_wire_length request = String.length bytes);
+      match Message.decode_request bytes with
+      | Error e -> check (name ^ " request decode: " ^ e) false
+      | Ok request' -> check (name ^ " request roundtrip") (Message.encode_request request' = bytes))
+    requests;
+  List.iter
+    (fun (name, request) ->
+      let response = Server.handle server request in
+      let plain = Message.encode_response response in
+      (* memo cold, then warm: both must equal the memo-free encoding *)
+      check (name ^ " memo cold") (Server.encode_response server response = plain);
+      check (name ^ " memo warm") (Server.encode_response server response = plain);
+      check (name ^ " memo length") (Server.response_wire_length server response = String.length plain);
+      match Message.decode_response plain with
+      | Error e -> check (name ^ " response decode: " ^ e) false
+      | Ok response' -> check (name ^ " response roundtrip") (Message.encode_response response' = plain))
+    (List.filter (fun (n, _) -> n <> "write") requests);
+
+  (* Memo invalidation: after new writes advance the bound, a read above
+     the old bound must be served with the fresh bound, not the cached
+     encoding of the stale one. *)
+  let stale = Server.handle server (Message.Read beyond) in
+  ignore (Server.encode_response server stale : string) (* populate the memo *);
+  ignore (Worm.write store ~policy:long ~blocks:[ "bound-mover" ]);
+  Server.refresh server;
+  let fresh_bytes = Server.encode_response server (Server.handle server (Message.Read beyond)) in
+  (match Message.decode_response fresh_bytes with
+  | Ok (Message.Read_reply { response = Proof.Found _; _ }) ->
+      (* [beyond] was allocated by the new write: served as data now *)
+      ()
+  | Ok (Message.Read_reply { response = Proof.Proof_unallocated b; _ }) ->
+      check "memo invalidation (fresh bound)" (Serial.equal b.Firmware.sn (Worm.peek_current_bound store).Firmware.sn)
+  | _ -> check "memo invalidation (reply shape)" false);
+
+  (* Remote audit of the seeded store through the new wire path. *)
+  let module Proto = Worm_proto in
+  let net = Proto.Netsim.create () in
+  let transport = Proto.Netsim.wrap net (Server.handle_bytes server) in
+  (match Proto.Remote_client.connect ~ca:(Rsa.public_of ca) ~clock ~netsim:net transport with
+  | Error e -> check ("remote connect: " ^ e) false
+  | Ok rc ->
+      let a = Proto.Remote_client.run_remote_audit_to_completion rc in
+      check "remote audit complete" (a.Proto.Remote_client.resume = None);
+      check "remote audit clean" (a.Proto.Remote_client.violations = []));
+
+  if !failures > 0 then begin
+    Printf.eprintf "wire-smoke: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  let p = Codec.pool_stats () in
+  let m = Server.global_memo_stats () in
+  Printf.printf "wire-smoke: clean (200 primitive rounds, %d message classes, pool %d/%d reused, memo %d/%d hits)\n"
+    (List.length requests) p.Codec.pool_reused
+    (p.Codec.pool_reused + p.Codec.pool_fresh)
+    m.Server.memo_hits
+    (m.Server.memo_hits + m.Server.memo_misses)

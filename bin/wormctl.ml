@@ -15,6 +15,8 @@
      tamper <sn>                            insider: flip a data byte
      hide <sn>                              insider: expunge the record
      rewrite-history <seq>                  insider: falsify a journal entry
+     stats                                  SCPU signing, client verify-cache,
+                                            codec pool and encode-memo counters
      audit [json]                           full compliance scrub (+ JSON report)
      remote-audit [fault-rate]              audit over the wire protocol; optional
                                             injected drop/garble/truncate rate
@@ -39,7 +41,7 @@ let usage =
   "commands: write <secs> <data> | read <sn> | advance <secs> | expire |\n\
   \          hold <sn> <case> <secs> | release <sn> | extend <sn> <secs> |\n\
   \          idle | compact | journal | anchor | audit [json] |\n\
-  \          remote-audit [fault-rate] | cluster <n> [json] | status |\n\
+  \          remote-audit [fault-rate] | cluster <n> [json] | status | stats |\n\
   \          tamper <sn> | hide <sn> | rewrite-history <seq> | help | quit"
 
 let () =
@@ -319,6 +321,22 @@ let () =
         | [ "hide"; s ] ->
             Printf.printf "-> %s\n"
               (if Adversary.hide_record mallory (sn_of s) then "hidden (try 'read')" else "no such record")
+        | [ "stats" ] ->
+            let d = Device.stats device in
+            Printf.printf "-> scpu: %d sign call(s) (%d strong, %d weak, %d deletion), %d hash op(s)\n"
+              d.Device.sign_calls d.Device.strong_signs d.Device.weak_signs d.Device.deletion_signs
+              d.Device.hash_ops;
+            (match Client.verify_cache_stats client with
+            | Some c ->
+                Printf.printf "-> client verify cache: %d hit(s), %d miss(es), %d entr(ies)\n"
+                  c.Client.cache_hits c.Client.cache_misses c.Client.cache_entries
+            | None -> Printf.printf "-> client verify cache: disabled\n");
+            let p = Worm_util.Codec.pool_stats () in
+            Printf.printf "-> codec pool: %d reused, %d fresh\n" p.Worm_util.Codec.pool_reused
+              p.Worm_util.Codec.pool_fresh;
+            let m = Worm_proto.Server.global_memo_stats () in
+            Printf.printf "-> encode memo: %d hit(s), %d miss(es)\n" m.Worm_proto.Server.memo_hits
+              m.Worm_proto.Server.memo_misses
         | [ "status" ] ->
             Printf.printf "-> t=%s | %s | scpu-busy=%s\n"
               (Format.asprintf "%a" Clock.pp_duration (Clock.now clock))

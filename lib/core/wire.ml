@@ -1,61 +1,70 @@
 module Codec = Worm_util.Codec
 
+(* Pooled: statements are built for every metasig/datasig/bound message
+   the SCPU signs or a verifier checks — the hottest encode path in the
+   core. Tags carry the "worm:v1:" domain prefix precomputed, so a
+   statement costs one pooled encode and the result string, nothing
+   else. *)
 let stmt tag fields =
-  let enc = Codec.encoder () in
-  Codec.bytes enc ("worm:v1:" ^ tag);
-  fields enc;
-  Codec.to_string enc
+  Codec.with_encoder (fun enc ->
+      Codec.bytes enc tag;
+      fields enc;
+      Codec.to_string enc)
 
 let metasig_msg ~store_id ~sn ~attr_bytes =
-  stmt "meta" (fun enc ->
+  stmt "worm:v1:meta" (fun enc ->
       Codec.bytes enc store_id;
       Serial.encode enc sn;
       Codec.bytes enc attr_bytes)
 
 let datasig_msg ~store_id ~sn ~data_hash =
-  stmt "data" (fun enc ->
+  stmt "worm:v1:data" (fun enc ->
       Codec.bytes enc store_id;
       Serial.encode enc sn;
       Codec.bytes enc data_hash)
 
 let deletion_msg ~store_id ~sn =
-  stmt "del" (fun enc ->
+  stmt "worm:v1:del" (fun enc ->
       Codec.bytes enc store_id;
       Serial.encode enc sn)
 
 let base_bound_msg ~store_id ~sn ~expires_at =
-  stmt "base" (fun enc ->
+  stmt "worm:v1:base" (fun enc ->
       Codec.bytes enc store_id;
       Serial.encode enc sn;
       Codec.u64 enc expires_at)
 
 let current_bound_msg ~store_id ~sn ~timestamp =
-  stmt "current" (fun enc ->
+  stmt "worm:v1:current" (fun enc ->
       Codec.bytes enc store_id;
       Serial.encode enc sn;
       Codec.u64 enc timestamp)
 
-let deletion_window_bound side ~store_id ~window_id ~sn =
-  stmt ("delwin:" ^ side) (fun enc ->
-      Codec.bytes enc store_id;
-      Codec.bytes enc window_id;
-      Serial.encode enc sn)
+let deletion_window_bound side =
+  let tag = "worm:v1:delwin:" ^ side in
+  fun ~store_id ~window_id ~sn ->
+    stmt tag (fun enc ->
+        Codec.bytes enc store_id;
+        Codec.bytes enc window_id;
+        Serial.encode enc sn)
 
 let deletion_window_lo_msg = deletion_window_bound "lo"
 let deletion_window_hi_msg = deletion_window_bound "hi"
 
-let hold_or_release tag ~store_id ~sn ~timestamp ~lit_id =
-  stmt tag (fun enc ->
-      Codec.bytes enc store_id;
-      Serial.encode enc sn;
-      Codec.u64 enc timestamp;
-      Codec.bytes enc lit_id)
+let hold_or_release tag =
+  let tag = "worm:v1:" ^ tag in
+  fun ~store_id ~sn ~timestamp ~lit_id ->
+    stmt tag (fun enc ->
+        Codec.bytes enc store_id;
+        Serial.encode enc sn;
+        Codec.u64 enc timestamp;
+        Codec.bytes enc lit_id)
 
 let hold_credential_msg = hold_or_release "lit-hold"
 let release_credential_msg = hold_or_release "lit-release"
 
 let migration_manifest_msg ~source_store_id ~target_store_id ~base ~current ~content_hash =
-  stmt "migration" (fun enc ->
+  stmt "worm:v1:migration" (fun enc ->
       Codec.bytes enc source_store_id;
       Codec.bytes enc target_store_id;
       Serial.encode enc base;

@@ -8,10 +8,20 @@ type t = {
   (* per-shard dispatchers, keyed by the store they wrap so a failover's
      promotion invalidates the cache entry naturally *)
   mutable servers : (Worm.t * Server.t) option array;
+  read_memo : Server.read_memo;  (** shared across shards; keys are per-store records *)
+  mutable m_proof : (Cluster_proof.t * string) option;
+  mutable m_hello : (Message.response * string) option;
 }
 
 let create ?(limits = Server.default_limits) router =
-  { router; limits; servers = Array.make (Router.shard_count router) None }
+  {
+    router;
+    limits;
+    servers = Array.make (Router.shard_count router) None;
+    read_memo = Server.read_memo ();
+    m_proof = None;
+    m_hello = None;
+  }
 
 let router t = t.router
 
@@ -69,12 +79,65 @@ let refresh t =
     | None -> ()
   done
 
+(* Encode-once caches for the cluster's own hot artifacts. The router
+   assembles a fresh proof/ack record per request, but every signed
+   thing inside it (certs, base/current bounds) is the store's stable
+   cached record — so "same artifact" is decidable by walking the
+   structure with physical equality on the signed leaves. A heartbeat
+   that re-signs any shard's bound, or a failover that swaps a cert,
+   breaks the comparison and the cache re-encodes; it can never serve a
+   stale aggregate. *)
+
+let same_shard_bound (a : Cluster_proof.shard_bound) (b : Cluster_proof.shard_bound) =
+  a.shard_index = b.shard_index
+  && a.store_id == b.store_id
+  && a.signing_cert == b.signing_cert
+  && a.deletion_cert == b.deletion_cert
+  && a.base == b.base
+  && a.current == b.current
+
+let same_proof (a : Cluster_proof.t) (b : Cluster_proof.t) =
+  a.epoch = b.epoch && a.n_shards = b.n_shards
+  && List.length a.shards = List.length b.shards
+  && List.for_all2 same_shard_bound a.shards b.shards
+
+let same_shard_cert (id, sc, dc) (id', sc', dc') = id == id' && sc == sc' && dc == dc'
+
+let encode_response t response =
+  match response with
+  | Message.Cluster_proof_reply proof -> begin
+      match t.m_proof with
+      | Some (p, bytes) when same_proof p proof ->
+          Server.note_memo_hit ();
+          bytes
+      | _ ->
+          Server.note_memo_miss ();
+          let bytes = Message.encode_response response in
+          t.m_proof <- Some (proof, bytes);
+          bytes
+    end
+  | Message.Cluster_hello_ack { n_shards; epoch; shards } -> begin
+      match t.m_hello with
+      | Some (Message.Cluster_hello_ack h, bytes)
+        when h.n_shards = n_shards && h.epoch = epoch
+             && List.length h.shards = List.length shards
+             && List.for_all2 same_shard_cert h.shards shards ->
+          Server.note_memo_hit ();
+          bytes
+      | _ ->
+          Server.note_memo_miss ();
+          let bytes = Message.encode_response response in
+          t.m_hello <- Some (response, bytes);
+          bytes
+    end
+  | _ -> Message.encode_response ~read_response:(Server.memo_read_response t.read_memo) response
+
 let handle_bytes t bytes =
   match Message.decode_request bytes with
   | Error e -> Message.encode_response (Message.Protocol_error e)
   | Ok request -> begin
       refresh t;
-      match Message.encode_response (handle t request) with
+      match encode_response t (handle t request) with
       | reply -> reply
       | exception exn ->
           Message.encode_response (Message.Protocol_error ("dispatch failed: " ^ Printexc.to_string exn))

@@ -36,3 +36,13 @@ val handle : t -> Message.request -> Message.response
 val handle_bytes : t -> string -> string
 (** Decode → refresh shard bounds → dispatch → encode; total on
     adversarial input, like {!Server.handle_bytes}. *)
+
+val encode_response : t -> Message.response -> string
+(** Encode through the cluster's encode-once caches: the aggregated
+    freshness proof and the cluster hello ack are re-encoded only when
+    some signed leaf inside them (a cert or a shard bound record)
+    actually changed — decided by physical equality on the records the
+    stores hand out, so a heartbeat or failover invalidates the cache
+    automatically. Shard-served read responses share one {!Server}
+    read memo across all shards. Bytes are identical to
+    {!Message.encode_response}. *)

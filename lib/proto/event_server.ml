@@ -73,6 +73,7 @@ type t = {
   mutable batch_gen : int;  (** invalidates stale deadline events *)
   mutable completions : completion list;  (** reversed *)
   mutable stats : stats;
+  mutable wire_minor_words : float;  (** minor words allocated encoding/decoding frames *)
 }
 
 let zero_stats = { flushes = 0; batched_writes = 0; shed = 0; gave_up = 0; strengthened = 0 }
@@ -95,18 +96,30 @@ let create ?(config = default_config) ?ingress ~clock ~net server =
     batch_gen = 0;
     completions = [];
     stats = zero_stats;
+    wire_minor_words = 0.;
   }
 
 let server t = t.server
 let stats t = t.stats
 let completions t = List.rev t.completions
+let wire_minor_words t = t.wire_minor_words
+
+(* Meter exactly the wire work — request encode, frame decode, response
+   encode/framing — and none of the store dispatch (signing, hashing,
+   disk) or client callbacks. This is the allocation column the serve
+   and scaling bench rows report per request. *)
+let metered t f =
+  let w0 = Worm_util.Allocmeter.minor_words () in
+  let r = f () in
+  t.wire_minor_words <- t.wire_minor_words +. (Worm_util.Allocmeter.minor_words () -. w0);
+  r
 
 let enqueue t ~at ev =
   t.seq <- t.seq + 1;
   t.queue <- Pq.add (at, t.seq) ev t.queue
 
 let submit t ~client ~at ?on_reply request =
-  let bytes = Message.encode_request request in
+  let bytes = metered t (fun () -> Message.encode_request request) in
   let arrives = Int64.add at (Netsim.one_way_ns t.net ~bytes:(String.length bytes)) in
   enqueue t ~at:arrives
     (Arrival { j_client = client; j_submitted = at; j_attempts = 0; j_bytes = bytes; j_on_reply = on_reply })
@@ -117,15 +130,22 @@ let busy_total t =
   let dev = Firmware.device (Worm.firmware t.worm) in
   Int64.add (Device.busy_ns dev) (Int64.add (Worm.host_busy_ns t.worm) (Disk.busy_ns (Worm.disk t.worm)))
 
-let deliver t job ~attempts ~finished_ns response =
-  let resp = Message.encode_response response in
-  let delivered_ns = Int64.add finished_ns (Netsim.one_way_ns t.net ~bytes:(String.length resp)) in
+(* Completions carry the structured response; the wire only needs its
+   length (for transit time and byte accounting), so delivery never
+   materialises the encoded string — a pooled length-only encode, or a
+   precomputed length when [flush] frames a whole batch at once. *)
+let deliver_len t job ~attempts ~finished_ns ~resp_len response =
+  let delivered_ns = Int64.add finished_ns (Netsim.one_way_ns t.net ~bytes:resp_len) in
   Netsim.note_exchange t.net
-    ~bytes:(String.length job.j_bytes + String.length resp)
+    ~bytes:(String.length job.j_bytes + resp_len)
     ~wait_ns:(Int64.sub delivered_ns job.j_submitted);
   let c = { client = job.j_client; submitted_ns = job.j_submitted; delivered_ns; attempts; outcome = Replied response } in
   t.completions <- c :: t.completions;
   Option.iter (fun f -> f c) job.j_on_reply
+
+let deliver t job ~attempts ~finished_ns response =
+  let resp_len = metered t (fun () -> Server.response_wire_length t.server response) in
+  deliver_len t job ~attempts ~finished_ns ~resp_len response
 
 let give_up t job ~attempts ~now =
   t.stats <- { t.stats with gave_up = t.stats.gave_up + 1 };
@@ -159,9 +179,24 @@ let flush t ~now =
     let finished = Int64.add start (Int64.sub (busy_total t) before) in
     t.free_at <- finished;
     t.stats <- { t.stats with flushes = t.stats.flushes + 1; batched_writes = t.stats.batched_writes + List.length batch };
+    (* frame every ack of the batch through one pooled buffer; per-ack
+       wire lengths fall out of the encoder position deltas *)
+    let ack_lens =
+      metered t (fun () ->
+          Worm_util.Codec.with_encoder (fun enc ->
+              List.map
+                (fun sn ->
+                  let p0 = Worm_util.Codec.length enc in
+                  Message.encode_response_into enc (Message.Write_ack { sn });
+                  Worm_util.Codec.length enc - p0)
+                sns))
+    in
     List.iter2
-      (fun pw sn -> deliver t pw.pw_job ~attempts:(pw.pw_job.j_attempts + 1) ~finished_ns:finished (Message.Write_ack { sn }))
-      batch sns
+      (fun pw (sn, resp_len) ->
+        deliver_len t pw.pw_job ~attempts:(pw.pw_job.j_attempts + 1) ~finished_ns:finished ~resp_len
+          (Message.Write_ack { sn }))
+      batch
+      (List.combine sns ack_lens)
   end
 
 (* Admission control: the deferred-strengthening ledger is the debt this
@@ -177,10 +212,12 @@ let shed_write t job ~start =
   t.stats <- { t.stats with strengthened = t.stats.strengthened + repaid };
   let finished = Int64.add start (Int64.sub (busy_total t) before) in
   t.free_at <- finished;
-  let busy = Message.encode_response (Message.Busy { retry_after_ns = t.config.shed_retry_ns }) in
-  let retry_at = Int64.add (Int64.add finished (Netsim.one_way_ns t.net ~bytes:(String.length busy))) t.config.shed_retry_ns in
+  let busy_len =
+    metered t (fun () -> Message.response_wire_length (Message.Busy { retry_after_ns = t.config.shed_retry_ns }))
+  in
+  let retry_at = Int64.add (Int64.add finished (Netsim.one_way_ns t.net ~bytes:busy_len)) t.config.shed_retry_ns in
   Netsim.note_exchange t.net
-    ~bytes:(String.length job.j_bytes + String.length busy)
+    ~bytes:(String.length job.j_bytes + busy_len)
     ~wait_ns:(Int64.sub retry_at job.j_submitted);
   (* the client honors retry_after; the retry is not a transport failure
      and does not count against max_attempts *)
@@ -194,7 +231,9 @@ let process_arrival t ~now job =
   (* submit always encodes a well-formed request, so a frame that no
      longer decodes was damaged in flight — same recovery as a lost one:
      client backoff and resend, up to max_attempts *)
-  let decoded = Option.bind frame (fun bytes -> Result.to_option (Message.decode_request bytes)) in
+  let decoded =
+    metered t (fun () -> Option.bind frame (fun bytes -> Result.to_option (Message.decode_request bytes)))
+  in
   match decoded with
   | None ->
       if attempts >= t.config.max_attempts then give_up t job ~attempts ~now:start

@@ -88,3 +88,11 @@ val stats : t -> stats
 
 val completions : t -> completion list
 (** Every finished request, in completion order. *)
+
+val wire_minor_words : t -> float
+(** Minor-heap words this loop's wire path has allocated so far:
+    request encode at {!submit}, frame filter + decode at arrival, and
+    response encode/framing at delivery — none of the store dispatch
+    (signing, hashing, disk) and none of the [on_reply] callbacks.
+    Divided by completions, this is the allocation column the serve and
+    scaling bench rows report. *)

@@ -85,9 +85,11 @@ let flip_one_byte t reply =
     let i = Drbg.int_below t.rng (String.length reply) in
     (* A zero mask would be a no-op "garble"; force at least one bit. *)
     let mask = 1 + Drbg.int_below t.rng 255 in
+    (* One copy, mutated in place; [b] never escapes, so freezing it
+       with [unsafe_to_string] is sound and skips the second copy. *)
     let b = Bytes.of_string reply in
     Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
-    Bytes.to_string b
+    Bytes.unsafe_to_string b
   end
 
 let truncate_reply t reply =

@@ -114,10 +114,8 @@ let decode_read_response dec =
 
 (* ---------- requests ---------- *)
 
-let encode_request r =
-  Codec.encode
-    (fun enc () ->
-      match r with
+let encode_request_into enc r =
+  match r with
       | Hello -> Codec.u8 enc 0
       | Read sn ->
           Codec.u8 enc 1;
@@ -140,8 +138,11 @@ let encode_request r =
       | Cluster_read_many sns ->
           Codec.u8 enc 7;
           Codec.list (fun enc sn -> Serial.encode enc sn) enc sns
-      | Cluster_proof_get -> Codec.u8 enc 8)
-    ()
+      | Cluster_proof_get -> Codec.u8 enc 8
+
+let encode_request r = Codec.encode encode_request_into r
+
+let request_wire_length r = Codec.encoded_length encode_request_into r
 
 let decode_request s =
   Codec.decode
@@ -167,72 +168,79 @@ let decode_request s =
 
 (* ---------- responses ---------- *)
 
-let encode_response r =
-  Codec.encode
-    (fun enc () ->
-      match r with
-      | Hello_ack { store_id; signing_cert; deletion_cert } ->
-          Codec.u8 enc 0;
+(* [read_response] lets a server splice in memoised fragments for
+   epoch-stable proofs (Server's encode-once memo) without this module
+   knowing about the memo; the default is the plain encoder, and the
+   bytes must be identical either way. *)
+let encode_response_into ?(read_response = encode_read_response) enc r =
+  match r with
+  | Hello_ack { store_id; signing_cert; deletion_cert } ->
+      Codec.u8 enc 0;
+      Codec.bytes enc store_id;
+      Cert.encode enc signing_cert;
+      Cert.encode enc deletion_cert
+  | Read_reply { sn; response } ->
+      Codec.u8 enc 1;
+      Serial.encode enc sn;
+      read_response enc response
+  | Read_many_reply replies ->
+      Codec.u8 enc 2;
+      Codec.list
+        (fun enc (sn, response) ->
+          Serial.encode enc sn;
+          read_response enc response)
+        enc replies
+  | Protocol_error msg ->
+      Codec.u8 enc 3;
+      Codec.bytes enc msg
+  | Audit_slice_reply { replies; next; base; current } ->
+      Codec.u8 enc 4;
+      Codec.list
+        (fun enc (sn, response) ->
+          Serial.encode enc sn;
+          read_response enc response)
+        enc replies;
+      Codec.option Serial.encode enc next;
+      encode_base_bound enc base;
+      encode_current_bound enc current
+  | Write_ack { sn } ->
+      Codec.u8 enc 5;
+      Serial.encode enc sn
+  | Busy { retry_after_ns } ->
+      Codec.u8 enc 6;
+      Codec.u64 enc retry_after_ns
+  | Cluster_hello_ack { n_shards; epoch; shards } ->
+      Codec.u8 enc 7;
+      Codec.u32 enc n_shards;
+      Codec.int_as_u64 enc epoch;
+      Codec.list
+        (fun enc (store_id, signing_cert, deletion_cert) ->
           Codec.bytes enc store_id;
           Cert.encode enc signing_cert;
-          Cert.encode enc deletion_cert
-      | Read_reply { sn; response } ->
-          Codec.u8 enc 1;
-          Serial.encode enc sn;
-          encode_read_response enc response
-      | Read_many_reply replies ->
-          Codec.u8 enc 2;
-          Codec.list
-            (fun enc (sn, response) ->
-              Serial.encode enc sn;
-              encode_read_response enc response)
-            enc replies
-      | Protocol_error msg ->
-          Codec.u8 enc 3;
-          Codec.bytes enc msg
-      | Audit_slice_reply { replies; next; base; current } ->
-          Codec.u8 enc 4;
-          Codec.list
-            (fun enc (sn, response) ->
-              Serial.encode enc sn;
-              encode_read_response enc response)
-            enc replies;
-          Codec.option Serial.encode enc next;
-          encode_base_bound enc base;
-          encode_current_bound enc current
-      | Write_ack { sn } ->
-          Codec.u8 enc 5;
-          Serial.encode enc sn
-      | Busy { retry_after_ns } ->
-          Codec.u8 enc 6;
-          Codec.u64 enc retry_after_ns
-      | Cluster_hello_ack { n_shards; epoch; shards } ->
-          Codec.u8 enc 7;
-          Codec.u32 enc n_shards;
-          Codec.int_as_u64 enc epoch;
-          Codec.list
-            (fun enc (store_id, signing_cert, deletion_cert) ->
-              Codec.bytes enc store_id;
-              Cert.encode enc signing_cert;
-              Cert.encode enc deletion_cert)
-            enc shards
-      | Cluster_read_reply { sn; shard; response } ->
-          Codec.u8 enc 8;
+          Cert.encode enc deletion_cert)
+        enc shards
+  | Cluster_read_reply { sn; shard; response } ->
+      Codec.u8 enc 8;
+      Serial.encode enc sn;
+      Codec.u32 enc shard;
+      read_response enc response
+  | Cluster_read_many_reply replies ->
+      Codec.u8 enc 9;
+      Codec.list
+        (fun enc (sn, shard, response) ->
           Serial.encode enc sn;
           Codec.u32 enc shard;
-          encode_read_response enc response
-      | Cluster_read_many_reply replies ->
-          Codec.u8 enc 9;
-          Codec.list
-            (fun enc (sn, shard, response) ->
-              Serial.encode enc sn;
-              Codec.u32 enc shard;
-              encode_read_response enc response)
-            enc replies
-      | Cluster_proof_reply proof ->
-          Codec.u8 enc 10;
-          Worm_cluster.Cluster_proof.encode enc proof)
-    ()
+          read_response enc response)
+        enc replies
+  | Cluster_proof_reply proof ->
+      Codec.u8 enc 10;
+      Worm_cluster.Cluster_proof.encode enc proof
+
+let encode_response ?read_response r =
+  Codec.encode (fun enc r -> encode_response_into ?read_response enc r) r
+
+let response_wire_length ?read_response r =
+  Codec.encoded_length (fun enc r -> encode_response_into ?read_response enc r) r
 
 let decode_response s =
   Codec.decode

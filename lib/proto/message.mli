@@ -75,10 +75,33 @@ val describe_response : response -> string
 
 val encode_request : request -> string
 val decode_request : string -> (request, string) result
-val encode_response : response -> string
+
+val encode_response :
+  ?read_response:(Worm_util.Codec.encoder -> Proof.read_response -> unit) ->
+  response ->
+  string
+(** [read_response] (default {!encode_read_response}) lets a server
+    splice memoised canonical fragments for epoch-stable proofs; the
+    resulting bytes must be identical to the default encoding. *)
+
 val decode_response : string -> (response, string) result
 
-(** Exposed for reuse (e.g. persisting audit evidence). *)
+val request_wire_length : request -> int
+val response_wire_length :
+  ?read_response:(Worm_util.Codec.encoder -> Proof.read_response -> unit) ->
+  response ->
+  int
+(** Wire length without materialising the encoded string — for byte
+    accounting (Netsim charges by length only). *)
 
+(** Exposed for reuse (e.g. persisting audit evidence, streaming
+    encoders). *)
+
+val encode_request_into : Worm_util.Codec.encoder -> request -> unit
+val encode_response_into :
+  ?read_response:(Worm_util.Codec.encoder -> Proof.read_response -> unit) ->
+  Worm_util.Codec.encoder ->
+  response ->
+  unit
 val encode_read_response : Worm_util.Codec.encoder -> Proof.read_response -> unit
 val decode_read_response : Worm_util.Codec.decoder -> Proof.read_response

@@ -1,14 +1,122 @@
 open Worm_core
+module Codec = Worm_util.Codec
 
 type limits = { max_read_many : int; max_audit_slice : int }
 
 let default_limits = { max_read_many = 256; max_audit_slice = 1024 }
 
-type t = { worm : Worm.t; limits : limits }
+(* ---------- encode-once memo ---------- *)
 
-let create ?(limits = default_limits) worm = { worm; limits }
+(* Epoch-stable artifacts — bounds, window proofs, deletion proofs, the
+   hello ack — are re-served verbatim between refreshes, so their
+   canonical encodings are cached and spliced with [Codec.raw]. Every
+   entry is keyed by physical equality on the record the store hands
+   out: [Worm.heartbeat]/[refresh] allocates a fresh bound record when
+   it re-signs, so a stale cache entry simply never matches again — the
+   memo is invalidated exactly when the served artifact changes, by
+   construction, with no explicit flush to forget. *)
+
+let memo_hits = Atomic.make 0
+let memo_misses = Atomic.make 0
+let note_memo_hit () = Atomic.incr memo_hits
+let note_memo_miss () = Atomic.incr memo_misses
+
+type memo_stats = { memo_hits : int; memo_misses : int }
+
+let global_memo_stats () = { memo_hits = Atomic.get memo_hits; memo_misses = Atomic.get memo_misses }
+
+let mru_cap = 4
+let deleted_cap = 4096
+
+type memo = {
+  mutable m_hello : (Worm_crypto.Cert.t * Worm_crypto.Cert.t * string) option;
+  mutable m_current : (Firmware.current_bound * string) list;  (** MRU, [mru_cap] *)
+  mutable m_base : (Firmware.base_bound * string) list;
+  mutable m_window : (Firmware.deletion_window * string) list;
+  m_deleted : (Serial.t, string * string) Hashtbl.t;  (** sn -> (proof witness, fragment) *)
+}
+
+let memo_create () = { m_hello = None; m_current = []; m_base = []; m_window = []; m_deleted = Hashtbl.create 64 }
+
+let fragment response = Codec.encode Message.encode_read_response response
+
+let memo_fragment ~get ~set key response =
+  match List.find_opt (fun (k, _) -> k == key) (get ()) with
+  | Some (_, frag) ->
+      Atomic.incr memo_hits;
+      frag
+  | None ->
+      Atomic.incr memo_misses;
+      let frag = fragment response in
+      set ((key, frag) :: List.filteri (fun i _ -> i < mru_cap - 1) (get ()));
+      frag
+
+(* The default encoder for anything not worth caching: [Found] carries
+   the data blocks (large, and the audit walk touches each live SN
+   once), [Refused] is an error path. *)
+let memo_read_response memo enc response =
+  match response with
+  | Proof.Proof_unallocated current ->
+      Codec.raw enc
+        (memo_fragment ~get:(fun () -> memo.m_current) ~set:(fun l -> memo.m_current <- l) current response)
+  | Proof.Proof_below_base base ->
+      Codec.raw enc (memo_fragment ~get:(fun () -> memo.m_base) ~set:(fun l -> memo.m_base <- l) base response)
+  | Proof.Proof_in_window w ->
+      Codec.raw enc (memo_fragment ~get:(fun () -> memo.m_window) ~set:(fun l -> memo.m_window <- l) w response)
+  | Proof.Proof_deleted { sn; proof } -> begin
+      match Hashtbl.find_opt memo.m_deleted sn with
+      | Some (p, frag) when p == proof ->
+          Atomic.incr memo_hits;
+          Codec.raw enc frag
+      | _ ->
+          Atomic.incr memo_misses;
+          let frag = fragment response in
+          if Hashtbl.length memo.m_deleted >= deleted_cap then Hashtbl.reset memo.m_deleted;
+          Hashtbl.replace memo.m_deleted sn (proof, frag);
+          Codec.raw enc frag
+    end
+  | Proof.Found _ | Proof.Refused _ -> Message.encode_read_response enc response
+
+(* The cluster front end shares one read memo across all its shards:
+   physical keys never collide between stores, so per-shard segregation
+   would buy nothing. *)
+type read_memo = memo
+
+let read_memo () = memo_create ()
+
+type t = {
+  worm : Worm.t;
+  limits : limits;
+  memo : memo;
+  hook : Codec.encoder -> Proof.read_response -> unit;
+}
+
+let create ?(limits = default_limits) worm =
+  let memo = memo_create () in
+  { worm; limits; memo; hook = memo_read_response memo }
+
 let store t = t.worm
 let limits t = t.limits
+
+let encode_response t response =
+  match response with
+  | Message.Hello_ack { signing_cert; deletion_cert; _ } -> begin
+      match t.memo.m_hello with
+      | Some (sc, dc, bytes) when sc == signing_cert && dc == deletion_cert ->
+          Atomic.incr memo_hits;
+          bytes
+      | _ ->
+          Atomic.incr memo_misses;
+          let bytes = Message.encode_response response in
+          t.memo.m_hello <- Some (signing_cert, deletion_cert, bytes);
+          bytes
+    end
+  | _ -> Message.encode_response ~read_response:t.hook response
+
+let response_wire_length t response =
+  match response with
+  | Message.Hello_ack _ -> String.length (encode_response t response)
+  | _ -> Message.response_wire_length ~read_response:t.hook response
 
 (* Bound-cache maintenance, hoisted out of dispatch. An audit must cover
    every allocated serial: a cached current bound that predates recent
@@ -85,7 +193,7 @@ let handle_bytes t bytes =
   | Error e -> Message.encode_response (Message.Protocol_error e)
   | Ok request -> begin
       refresh t;
-      match Message.encode_response (handle t request) with
+      match encode_response t (handle t request) with
       | reply -> reply
       | exception exn ->
           Message.encode_response (Message.Protocol_error ("dispatch failed: " ^ Printexc.to_string exn))

@@ -43,3 +43,38 @@ val handle_bytes : t -> string -> string
     adversarial bytes never crash the server. For non-[Write] requests a
     byte-for-byte replay re-serves the identical reply, so a duplicating
     transport is harmless. *)
+
+val encode_response : t -> Message.response -> string
+(** Encode through this server's encode-once memo: epoch-stable
+    artifacts (hello ack, base/current bounds, window bounds, deletion
+    proofs) are encoded the first time they are served and spliced as
+    cached fragments after that. Entries are keyed by physical equality
+    on the record the store hands out, so a refresh that re-signs a
+    bound (a fresh record) misses the cache automatically — the memo can
+    never serve a stale artifact. Bytes are identical to
+    {!Message.encode_response}. *)
+
+val response_wire_length : t -> Message.response -> int
+(** Wire length of {!encode_response} without materialising the string
+    (the event server charges the network by length only). Populates
+    the same memo. *)
+
+type memo_stats = { memo_hits : int; memo_misses : int }
+
+val global_memo_stats : unit -> memo_stats
+(** Aggregate encode-memo counters across all server instances since
+    program start (surfaced by [wormctl stats] and the wire bench). *)
+
+(** {2 Memo plumbing for other front ends}
+
+    The cluster server reuses the read-response memo (one shared
+    instance across its shards — physical keys never collide between
+    stores) and reports its own proof/hello cache traffic through the
+    same counters. *)
+
+type read_memo
+
+val read_memo : unit -> read_memo
+val memo_read_response : read_memo -> Worm_util.Codec.encoder -> Worm_core.Proof.read_response -> unit
+val note_memo_hit : unit -> unit
+val note_memo_miss : unit -> unit

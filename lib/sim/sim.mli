@@ -180,6 +180,12 @@ type cluster_row = {
   cl_global_current_ok : bool;  (** proof's coherent global bound equals records written *)
   cl_fingerprint_match : bool;  (** every global serial's verified content matches the sequential single store *)
   cl_shard_rows : cluster_shard_row list;
+  cl_minor_words_per_req : float;
+      (** wire-path minor-heap words per request across the shard event
+          loops (encode/decode/framing only; store dispatch and client
+          callbacks excluded) — real-machine cost, not part of the
+          virtual-time model *)
+  cl_host_rps : float;  (** requests per second of real host CPU across the shard loops *)
 }
 
 val cluster_scaling :
@@ -329,6 +335,13 @@ type multi_client_result = {
           record read back with the same verified verdict in the faulty
           batched run as in the sequential clean run *)
   mc_fault_stats : Worm_proto.Faulty.stats option;
+  mc_requests : int;  (** completions the event run delivered (or gave up) *)
+  mc_minor_words_per_req : float;
+      (** wire-path minor-heap words per request, metered by the event
+          server around its own encode/decode/framing work — store
+          dispatch (signing, hashing, disk) and client callbacks are
+          excluded. Real-machine cost, not part of the virtual model. *)
+  mc_host_rps : float;  (** requests per second of real host CPU in the event run *)
 }
 
 val multi_client :

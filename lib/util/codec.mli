@@ -2,12 +2,29 @@
 
     All multi-byte integers are big-endian. Variable-length fields are
     length-prefixed. Encodings are canonical: a value has exactly one
-    encoding, so encodings can be hashed and signed directly. *)
+    encoding, so encodings can be hashed and signed directly.
+
+    The implementation is the zero-copy wire core: encoders write into
+    a growable preallocated [Bytes] with unsafe big-endian word stores
+    and can be reset and reused (a small per-domain pool backs
+    {!with_encoder}/{!encode}); decoders can expose length-prefixed
+    fields as {!slice} views over the input instead of [String.sub]
+    copies, feeding the [feed_sub]/[digest_sub] zero-copy hash API.
+    The byte format is frozen — [test/support/ref_codec.ml] keeps the
+    original implementation as the identity oracle. *)
 
 type encoder
 (** Mutable accumulator for an encoding in progress. *)
 
 val encoder : unit -> encoder
+(** A fresh, unpooled encoder, for long-lived accumulators. *)
+
+val reset : encoder -> unit
+(** Forget the contents; keeps the underlying buffer for reuse. *)
+
+val length : encoder -> int
+(** Bytes written so far. *)
+
 val to_string : encoder -> string
 
 val u8 : encoder -> int -> unit
@@ -27,13 +44,31 @@ val bool : encoder -> bool -> unit
 val bytes : encoder -> string -> unit
 (** Length-prefixed (u32) byte string. *)
 
+val raw : encoder -> string -> unit
+(** Append bytes verbatim, no length prefix — for splicing fragments
+    that are already canonical encodings (the encode-once memo path). *)
+
+val raw_sub : encoder -> string -> pos:int -> len:int -> unit
+(** [raw] of a substring, without materialising it.
+    @raise Invalid_argument if the range is outside [s]. *)
+
 val list : (encoder -> 'a -> unit) -> encoder -> 'a list -> unit
 (** u32 count followed by the elements. *)
 
 val option : (encoder -> 'a -> unit) -> encoder -> 'a option -> unit
 
+val with_encoder : (encoder -> 'a) -> 'a
+(** Borrow a pooled per-domain encoder, reset and ready; it returns to
+    the pool when [f] finishes (exception-safe). Nesting borrows is
+    fine — each gets its own encoder. *)
+
+type pool_stats = { pool_reused : int; pool_fresh : int }
+
+val pool_stats : unit -> pool_stats
+(** Aggregate borrow counters across all domains since program start. *)
+
 type decoder
-(** Read cursor over an encoded string. *)
+(** Read cursor over an encoded string (or a window of one). *)
 
 exception Truncated
 (** Raised when a read runs past the end of the input. *)
@@ -42,6 +77,11 @@ exception Malformed of string
 (** Raised on structurally invalid input (e.g. a bad bool tag). *)
 
 val decoder : string -> decoder
+
+val decoder_sub : string -> pos:int -> len:int -> decoder
+(** Cursor over a window of [s], no copy.
+    @raise Invalid_argument if the range is outside [s]. *)
+
 val remaining : decoder -> int
 
 val read_u8 : decoder -> int
@@ -51,6 +91,22 @@ val read_u64 : decoder -> int64
 val read_int_as_u64 : decoder -> int
 val read_bool : decoder -> bool
 val read_bytes : decoder -> string
+
+type slice = private { base : string; pos : int; len : int }
+(** A zero-copy view of a length-prefixed field inside a decoder's
+    input. Valid as long as the underlying string — strings are
+    immutable, so slices never dangle. *)
+
+val read_bytes_slice : decoder -> slice
+(** Like {!read_bytes} but returns the view instead of a copy — feed it
+    to [Sha256.feed_sub]/[digest_sub], {!raw_sub}, or {!slice_decoder}. *)
+
+val slice_string : slice -> string
+(** Materialise the slice (one [String.sub]). *)
+
+val slice_decoder : slice -> decoder
+(** Decode a framed sub-message in place. *)
+
 val read_list : (decoder -> 'a) -> decoder -> 'a list
 val read_option : (decoder -> 'a) -> decoder -> 'a option
 
@@ -58,7 +114,14 @@ val expect_end : decoder -> unit
 (** @raise Malformed if input bytes remain. *)
 
 val encode : (encoder -> 'a -> unit) -> 'a -> string
-(** [encode enc v] runs [enc] on a fresh encoder and returns the bytes. *)
+(** [encode enc v] runs [enc] on a pooled encoder and returns the bytes. *)
+
+val encoded_length : (encoder -> 'a -> unit) -> 'a -> int
+(** Wire length of [encode enc v] without materialising the string —
+    the event server charges Netsim by length only. *)
 
 val decode : (decoder -> 'a) -> string -> ('a, string) result
 (** [decode dec s] runs [dec], requiring all input to be consumed. *)
+
+val decode_sub : (decoder -> 'a) -> string -> pos:int -> len:int -> ('a, string) result
+(** {!decode} over a window of [s], no copy. *)

@@ -435,6 +435,70 @@ let prop_response_codec_total =
       match Message.decode_response s with
       | Ok _ | Error _ -> true)
 
+(* ---------- encode-once memo ---------- *)
+
+let decode_response_exn raw =
+  match Message.decode_response raw with Ok r -> r | Error e -> Alcotest.fail e
+
+(* The memo must be an optimization, never an oracle of its own: warm
+   bytes must equal cold bytes, and once the store moves — a write
+   advances the bound, a heartbeat re-signs it — the memoised encoding
+   of the old artifact must never be served again. An attacker who could
+   pin the server on a stale cached bound would shrink the audited
+   region. *)
+let test_encode_memo_identity_and_invalidation () =
+  let env, server, transport = remote_env () in
+  ignore (write_n env 3);
+  let probe = Serial.of_int 4 (* one past the allocated region *) in
+  let req = Message.encode_request (Message.Read probe) in
+  let cold = transport req in
+  let warm = transport req in
+  Alcotest.(check string) "warm bytes = cold bytes" cold warm;
+  let stale_bound =
+    match decode_response_exn cold with
+    | Message.Read_reply { response = Proof.Proof_unallocated b; _ } -> b
+    | _ -> Alcotest.fail "expected an unallocated proof"
+  in
+  Alcotest.(check int64) "bound covers the 3 writes" 3L (Serial.to_int64 stale_bound.Firmware.sn);
+  (* verifier agrees with the locally-served proof, through the memo *)
+  (match decode_response_exn warm with
+  | Message.Read_reply { sn; response } ->
+      Alcotest.(check string) "verdict through memo"
+        (Client.verdict_name (Client.verify_read env.client ~sn (Worm.read env.store probe)))
+        (Client.verdict_name (Client.verify_read env.client ~sn response))
+  | _ -> Alcotest.fail "expected a read reply");
+  (* the attack: allocate [probe], then ask again — the reply must be
+     the record, not the memoised absence proof *)
+  let sn = write env ~blocks:[ "now it exists" ] () in
+  Alcotest.(check int64) "probe got allocated" (Serial.to_int64 probe) (Serial.to_int64 sn);
+  (match decode_response_exn (transport req) with
+  | Message.Read_reply { sn; response = Proof.Found _ as response } -> begin
+      match Client.verify_read env.client ~sn response with
+      | Client.Valid_data { blocks; _ } ->
+          Alcotest.(check (list string)) "served the new record" [ "now it exists" ] blocks
+      | v -> Alcotest.fail ("served record does not verify: " ^ Client.verdict_name v)
+    end
+  | _ -> Alcotest.fail "stale absence proof served for an allocated serial");
+  (* a re-signed bound (heartbeat after clock advance) must also flush
+     the memo: the next unallocated proof carries the fresh signature *)
+  let probe' = Serial.of_int 99 in
+  let req' = Message.encode_request (Message.Read probe') in
+  let b1 =
+    match decode_response_exn (transport req') with
+    | Message.Read_reply { response = Proof.Proof_unallocated b; _ } -> b
+    | _ -> Alcotest.fail "expected an unallocated proof"
+  in
+  Clock.advance env.clock (Clock.ns_of_sec 3600.);
+  Worm.heartbeat env.store;
+  ignore server;
+  let b2 =
+    match decode_response_exn (transport req') with
+    | Message.Read_reply { response = Proof.Proof_unallocated b; _ } -> b
+    | _ -> Alcotest.fail "expected an unallocated proof"
+  in
+  Alcotest.(check bool) "re-signed bound is served, not the cached one" true
+    (Int64.compare b2.Firmware.timestamp b1.Firmware.timestamp > 0)
+
 let suite =
   [
     ("request codec", `Quick, test_request_codec);
@@ -457,6 +521,7 @@ let suite =
     ("MITM substitution detected", `Quick, test_mitm_response_substitution_detected);
     ("MITM garbage/drop yields no proof", `Quick, test_mitm_garbage_and_drop);
     ("batching amortizes round trips", `Quick, test_batching_amortizes_round_trips);
+    ("encode memo: identity and invalidation", `Quick, test_encode_memo_identity_and_invalidation);
     QCheck_alcotest.to_alcotest prop_request_codec_total;
     QCheck_alcotest.to_alcotest prop_response_codec_total;
   ]

@@ -119,6 +119,126 @@ let prop_codec_random_bytes_never_crash =
       match Codec.decode dec s with
       | Ok _ | Error _ -> true)
 
+(* ---------- Codec vs the retained seed implementation ---------- *)
+
+(* The byte format is signed and hashed, so the rewritten codec must be
+   bit-identical to test/support/ref_codec.ml in both directions. *)
+
+module Ref = Worm_testkit.Ref_codec
+
+let ref_value_codec =
+  let enc e (n, s, flag, opt, l) =
+    Ref.int_as_u64 e n;
+    Ref.bytes e s;
+    Ref.bool e flag;
+    Ref.option Ref.u32 e opt;
+    Ref.list (fun e x -> Ref.u16 e x) e l
+  in
+  let dec d =
+    let n = Ref.read_int_as_u64 d in
+    let s = Ref.read_bytes d in
+    let flag = Ref.read_bool d in
+    let opt = Ref.read_option Ref.read_u32 d in
+    let l = Ref.read_list Ref.read_u16 d in
+    (n, s, flag, opt, l)
+  in
+  (enc, dec)
+
+let composite_gen =
+  QCheck.(
+    tup5 (map abs int) string bool (option (int_bound 0xffffffff)) (small_list (int_bound 0xffff)))
+
+let prop_codec_matches_ref_encode =
+  let enc, _ = value_codec in
+  let ref_enc, _ = ref_value_codec in
+  QCheck.Test.make ~name:"new codec encodes ref codec's bytes" ~count:300 composite_gen (fun v ->
+      String.equal (Codec.encode enc v) (Ref.encode ref_enc v))
+
+let prop_codec_matches_ref_decode =
+  let _, dec = value_codec in
+  let ref_enc, ref_dec = ref_value_codec in
+  QCheck.Test.make ~name:"new codec decodes ref codec's bytes (and back)" ~count:300 composite_gen
+    (fun v ->
+      let bytes = Ref.encode ref_enc v in
+      match (Codec.decode dec bytes, Ref.decode ref_dec bytes) with
+      | Ok a, Ok b -> a = v && b = v
+      | _ -> false)
+
+(* ---------- slice decoder bounds ---------- *)
+
+let test_decoder_sub_bounds () =
+  let s = "abcdefgh" in
+  Alcotest.check_raises "negative pos" (Invalid_argument "Codec.decoder_sub") (fun () ->
+      ignore (Codec.decoder_sub s ~pos:(-1) ~len:2));
+  Alcotest.check_raises "negative len" (Invalid_argument "Codec.decoder_sub") (fun () ->
+      ignore (Codec.decoder_sub s ~pos:0 ~len:(-1)));
+  Alcotest.check_raises "past end" (Invalid_argument "Codec.decoder_sub") (fun () ->
+      ignore (Codec.decoder_sub s ~pos:6 ~len:3));
+  Alcotest.check_raises "overflowing pos" (Invalid_argument "Codec.decoder_sub") (fun () ->
+      ignore (Codec.decoder_sub s ~pos:max_int ~len:1));
+  (* a valid window reads only its own bytes and hits Truncated at the
+     window edge, not the string's *)
+  let d = Codec.decoder_sub s ~pos:2 ~len:2 in
+  Alcotest.(check int) "window u16" 0x6364 (Codec.read_u16 d);
+  Alcotest.check_raises "window exhausted" Codec.Truncated (fun () -> ignore (Codec.read_u8 d))
+
+let test_raw_sub_bounds () =
+  Codec.with_encoder (fun e ->
+      Alcotest.check_raises "raw_sub past end" (Invalid_argument "Codec.raw_sub") (fun () ->
+          Codec.raw_sub e "abc" ~pos:2 ~len:2);
+      Alcotest.check_raises "raw_sub negative" (Invalid_argument "Codec.raw_sub") (fun () ->
+          Codec.raw_sub e "abc" ~pos:(-1) ~len:1);
+      Codec.raw_sub e "abcdef" ~pos:1 ~len:4;
+      Alcotest.(check string) "raw_sub bytes" "bcde" (Codec.to_string e))
+
+let test_slice_views () =
+  let bytes =
+    Codec.encode
+      (fun e () ->
+        Codec.bytes e "inner-payload";
+        Codec.u16 e 0xbeef)
+      ()
+  in
+  let d = Codec.decoder bytes in
+  let s = Codec.read_bytes_slice d in
+  Alcotest.(check string) "slice materializes" "inner-payload" (Codec.slice_string s);
+  Alcotest.(check int) "outer decode continues" 0xbeef (Codec.read_u16 d);
+  Codec.expect_end d;
+  (* a slice over a framed sub-message decodes in place *)
+  let framed =
+    Codec.encode
+      (fun e () ->
+        Codec.bytes e (Codec.encode (fun e () -> Codec.u32 e 42) ());
+        Codec.u8 e 7)
+      ()
+  in
+  let d = Codec.decoder framed in
+  let inner = Codec.read_bytes_slice d in
+  let di = Codec.slice_decoder inner in
+  Alcotest.(check int) "inner u32" 42 (Codec.read_u32 di);
+  Codec.expect_end di;
+  Alcotest.(check int) "outer tail" 7 (Codec.read_u8 d);
+  (* a length prefix larger than the remaining input must truncate, not
+     hand out a slice past the end *)
+  let d = Codec.decoder "\x00\x00\x00\xff" in
+  Alcotest.check_raises "oversized length prefix" Codec.Truncated (fun () ->
+      ignore (Codec.read_bytes_slice d))
+
+let test_pool_reuse () =
+  let before = (Codec.pool_stats ()).Codec.pool_reused in
+  ignore (Codec.encode (fun e () -> Codec.u8 e 1) ());
+  ignore (Codec.encode (fun e () -> Codec.u8 e 2) ());
+  let after = (Codec.pool_stats ()).Codec.pool_reused in
+  Alcotest.(check bool) "second borrow reuses" true (after > before);
+  (* nested borrows must hand out distinct encoders *)
+  Codec.with_encoder (fun outer ->
+      Codec.u8 outer 1;
+      Codec.with_encoder (fun inner ->
+          Codec.u8 inner 2;
+          Alcotest.(check string) "inner isolated" "\x02" (Codec.to_string inner));
+      Codec.u8 outer 3;
+      Alcotest.(check string) "outer intact" "\x01\x03" (Codec.to_string outer))
+
 let suite =
   [
     ("hex known values", `Quick, test_hex_known);
@@ -129,10 +249,16 @@ let suite =
     ("codec truncation", `Quick, test_codec_truncation);
     ("codec trailing bytes", `Quick, test_codec_trailing);
     ("codec strict tags", `Quick, test_codec_bool_strict);
+    ("slice decoder bounds", `Quick, test_decoder_sub_bounds);
+    ("raw_sub bounds", `Quick, test_raw_sub_bounds);
+    ("slice views", `Quick, test_slice_views);
+    ("encoder pool reuse", `Quick, test_pool_reuse);
     QCheck_alcotest.to_alcotest prop_hex_roundtrip;
     QCheck_alcotest.to_alcotest prop_ct_matches_structural;
     QCheck_alcotest.to_alcotest prop_codec_roundtrip;
     QCheck_alcotest.to_alcotest prop_codec_random_bytes_never_crash;
+    QCheck_alcotest.to_alcotest prop_codec_matches_ref_encode;
+    QCheck_alcotest.to_alcotest prop_codec_matches_ref_decode;
   ]
 
 let () = Alcotest.run "worm_util" [ ("util", suite) ]
