@@ -123,7 +123,7 @@ let () =
       ("read-unallocated", Message.Read beyond);
       ("read-many", Message.Read_many (List.init 7 (fun i -> Serial.of_int (i + 1))));
       ("audit-slice", Message.Audit_slice { cursor = Serial.of_int 1; max = 64 });
-      ("write", Message.Write { policy = long; blocks = [ "wire-smoke-payload" ] });
+      ("write", Message.Write { policy = long; tenant = ""; blocks = [ "wire-smoke-payload" ] });
     ]
   in
   List.iter

@@ -2,6 +2,10 @@
    Strong WORM store. Reads commands from stdin, one per line:
 
      write <retention-seconds> <data...>    store a record
+     twrite <tenant> <secs> <data...>       store a record sealed under a
+                                            tenant's key hierarchy
+     erase <tenant> [json]                  destroy the tenant's key: O(1)
+                                            crypto-erasure + signed certificate
      read <sn>                              read + client-verify
      advance <seconds>                      advance the virtual clock
      expire                                 run the Retention Monitor
@@ -38,7 +42,8 @@ module Rsa = Worm_crypto.Rsa
 module Drbg = Worm_crypto.Drbg
 
 let usage =
-  "commands: write <secs> <data> | read <sn> | advance <secs> | expire |\n\
+  "commands: write <secs> <data> | twrite <tenant> <secs> <data> | read <sn> |\n\
+  \          erase <tenant> [json] | advance <secs> | expire |\n\
   \          hold <sn> <case> <secs> | release <sn> | extend <sn> <secs> |\n\
   \          idle | compact | journal | anchor | audit [json] |\n\
   \          remote-audit [fault-rate] | cluster <n> [json] | status | stats |\n\
@@ -67,6 +72,37 @@ let () =
             let policy = Policy.custom ~name:"ctl" ~retention_ns ~shred_passes:3 in
             let sn = Worm.write store ~policy ~blocks:[ String.concat " " rest ] in
             Printf.printf "-> %s\n" (Serial.to_string sn)
+        | "twrite" :: tenant :: secs :: rest when rest <> [] -> begin
+            let retention_ns = Clock.ns_of_sec (float_of_string secs) in
+            let policy = Policy.custom ~name:"ctl" ~retention_ns ~shred_passes:3 in
+            match Worm.write store ~tenant ~policy ~blocks:[ String.concat " " rest ] with
+            | sn -> Printf.printf "-> %s (sealed for %s)\n" (Serial.to_string sn) tenant
+            | exception Invalid_argument e -> Printf.printf "-> refused: %s\n" e
+          end
+        | "erase" :: tenant :: rest when rest = [] || rest = [ "json" ] -> begin
+            let already = Worm.tenant_is_erased store tenant in
+            let records = Worm.tenant_record_count store tenant in
+            match Worm.erase_tenant store ~tenant with
+            | exception Invalid_argument e -> Printf.printf "-> refused: %s\n" e
+            | cert ->
+                let verified =
+                  match Client.verify_erasure_cert client cert with Ok () -> "verified" | Error e -> "REJECTED: " ^ e
+                in
+                if rest = [ "json" ] then
+                  Printf.printf
+                    "{\"tenant\":%S,\"already_erased\":%b,\"records_covered\":%d,\"upto\":%Ld,\"erased_at_ns\":%Ld,\"signature\":%S,\"ca_verification\":%S}\n"
+                    cert.Firmware.tenant already records
+                    (Serial.to_int64 cert.Firmware.upto)
+                    cert.Firmware.erased_at
+                    (Worm_util.Hex.encode cert.Firmware.signature)
+                    verified
+                else
+                  Printf.printf "-> %s %s: %d record(s) unreadable, certificate through %s, CA %s\n"
+                    (if already then "already erased" else "erased tenant")
+                    tenant records
+                    (Serial.to_string cert.Firmware.upto)
+                    verified
+          end
         | [ "read"; s ] -> begin
             let sn = sn_of s in
             match Client.verify_read client ~sn (Worm.read store sn) with

@@ -49,7 +49,8 @@ let violation_cls = function
   | Client.Data_mismatch -> Data_mismatch
   | Client.Window_bound_invalid | Client.Window_does_not_cover -> Torn_window
   | Client.Meta_witness_invalid | Client.Data_witness_invalid | Client.Deletion_proof_invalid
-  | Client.Current_bound_invalid | Client.Base_bound_invalid | Client.Base_bound_expired ->
+  | Client.Current_bound_invalid | Client.Base_bound_invalid | Client.Base_bound_expired
+  | Client.Erasure_cert_invalid ->
       Bad_signature
   | Client.Absence_unproven | Client.Wrong_serial | Client.Base_does_not_cover -> Missing_proof
   | Client.Stale_current_bound -> Stale_bound

@@ -86,7 +86,10 @@ let classify t sn response verdict =
          false even when a within-tolerance stale bound lets a remote
          client accept it (the §4.2.1 staleness window). *)
       flag t (Finding.Record sn) Finding.Missing_proof "never-written claimed for an allocated serial"
-  | _, (Client.Valid_data _ | Client.Committed_unverifiable | Client.Properly_deleted) -> ());
+  | _, (Client.Valid_data _ | Client.Committed_unverifiable | Client.Properly_deleted | Client.Properly_erased) ->
+      (* Properly_erased is compliant: the cert verified, the tenant's
+         records are provably unrecoverable — nothing to flag. *)
+      ());
   record_cost t (blocks_of response)
 
 let check_sn t sn =

@@ -65,6 +65,7 @@ let read t lba =
     | Client.Valid_data _ -> Compromised "unexpected block shape"
     | Client.Committed_unverifiable -> Compromised "witness not yet strengthened"
     | Client.Properly_deleted -> Expired
+    | Client.Properly_erased -> Expired
     | Client.Never_written -> Unwritten
     | Client.Violation vs -> Compromised (String.concat "; " (List.map Client.violation_to_string vs))
   end

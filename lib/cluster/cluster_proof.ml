@@ -112,6 +112,45 @@ let verify ~ca ~now ?(max_bound_age_ns = default_max_bound_age_ns) t =
       (fun acc b -> match acc with Error _ -> acc | Ok () -> verify_shard ~ca ~now ~max_bound_age_ns b)
       (Ok ()) t.shards
 
+(* A cluster-wide erasure is the conjunction of per-shard erasures, the
+   same way the freshness proof is the conjunction of per-shard bounds:
+   there is no cluster key, so the only acceptable evidence is one
+   certificate per shard, each signed by that shard's own deletion key.
+   A missing shard means some stripe could still decrypt the tenant —
+   the whole claim fails, it does not degrade. *)
+let verify_erasure ~ca ~now t ~tenant certs =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if String.equal tenant "" then fail "erasure claim names an empty tenant"
+  else if List.length certs <> t.n_shards then
+    fail "erasure claim covers %d shard(s), cluster has %d — every shard must attest"
+      (List.length certs) t.n_shards
+  else
+    List.fold_left
+      (fun acc (b, (shard, store_id, (cert : Firmware.erasure_cert))) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            if shard <> b.shard_index then
+              fail "erasure certificates out of shard order (%d where %d expected)" shard b.shard_index
+            else if not (String.equal store_id b.store_id) then
+              fail "shard %d: erasure certificate names a different store" shard
+            else if not (String.equal cert.Firmware.tenant tenant) then
+              fail "shard %d: certificate names tenant %S, not %S" shard cert.Firmware.tenant tenant
+            else if not (Cert.verify ~ca ~now b.deletion_cert) then
+              fail "shard %d: deletion certificate rejected" shard
+            else if b.deletion_cert.Cert.role <> Cert.Scpu_deletion then
+              fail "shard %d: deletion certificate has wrong role" shard
+            else
+              let msg =
+                Wire.erasure_msg ~store_id:b.store_id ~tenant ~erased_at:cert.Firmware.erased_at
+                  ~upto:cert.Firmware.upto
+              in
+              if not (Rsa.verify b.deletion_cert.Cert.key ~msg ~signature:cert.Firmware.signature)
+              then fail "shard %d: erasure signature does not verify under the deletion certificate" shard
+              else Ok ())
+      (Ok ())
+      (List.combine t.shards certs)
+
 (* Recover G from the per-shard currents. Shard 0 always holds
    ceil(G / n) locals, so G is one of [c_0 * n - (n - 1) .. c_0 * n];
    rather than search, derive G = sum of locals and check every shard

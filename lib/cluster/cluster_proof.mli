@@ -57,6 +57,20 @@ val verify :
     [max_bound_age_ns] old (default 5 minutes, matching
     {!Worm_core.Client}). *)
 
+val verify_erasure :
+  ca:Worm_crypto.Rsa.public ->
+  now:int64 ->
+  t ->
+  tenant:string ->
+  (int * string * Firmware.erasure_cert) list ->
+  (unit, string) result
+(** Client-side check of a cluster-wide crypto-erasure claim
+    ({!Worm_proto.Message} [Cluster_erasure_reply]): exactly one
+    certificate per shard in index order, each naming [tenant] and the
+    shard's store id, each signed by that shard's CA-verified deletion
+    key. A shard that has not attested fails the whole claim — some
+    stripe could still decrypt the tenant. *)
+
 val global_current : t -> (Serial.t, string) result
 (** The cluster-wide current bound implied by the shard bounds: the
     unique [G] with shard [s] holding [(G + n - 1 - s) / n] locals.

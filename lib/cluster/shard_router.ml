@@ -109,27 +109,42 @@ let fence_unchecked s = if s.state = Active then s.state <- Fenced
 (* A write that survives losing the mirror mid-flight: the primary's own
    serial counter decides whether the record landed before degrading the
    shard to unmirrored operation. A dead primary propagates. *)
-let write_shard ?witness s ~policy ~blocks =
+let write_shard ?witness ?tenant s ~policy ~blocks =
   match s.repl with
-  | None -> Worm.write ?witness s.serving ~policy ~blocks
+  | None -> Worm.write ?witness ?tenant s.serving ~policy ~blocks
   | Some r -> (
       let before = Firmware.sn_current (Worm.firmware s.serving) in
-      try fst (Replicator.write ?witness r ~policy ~blocks)
+      try fst (Replicator.write ?witness ?tenant r ~policy ~blocks)
       with Device.Tamper_detected when not (Device.is_zeroized (device_of s.serving)) ->
         s.repl <- None;
         s.lockstep <- false;
         let after = Firmware.sn_current (Worm.firmware s.serving) in
-        if Serial.(after > before) then after else Worm.write ?witness s.serving ~policy ~blocks)
+        if Serial.(after > before) then after else Worm.write ?witness ?tenant s.serving ~policy ~blocks)
 
-let write ?witness t ~policy ~blocks =
+(* Erasure is cluster-wide, so any shard remembering the tombstone is
+   enough to refuse: the stripe interleave spreads a tenant's records
+   over every shard, and re-admitting the tenant on one stripe would
+   mint records no key can decrypt. *)
+let tenant_is_erased t tenant =
+  (not (String.equal tenant ""))
+  && Array.exists
+       (fun s ->
+         match serving_store_of s with
+         | Some store -> Worm.tenant_is_erased store tenant
+         | None -> false)
+       t.shards
+
+let write ?witness ?(tenant = "") t ~policy ~blocks =
   let n = shard_count t in
   let g = t.next_global in
   let idx = Partition.shard_of ~shards:n g in
   let s = t.shards.(idx) in
   match s.state with
   | Fenced -> Error (Printf.sprintf "shard %d is fenced; stripe unavailable until recovery" idx)
+  | Active when tenant_is_erased t tenant ->
+      Error (Printf.sprintf "tenant %S has been erased; writes refused" tenant)
   | Active -> (
-      match write_shard ?witness s ~policy ~blocks with
+      match write_shard ?witness ~tenant s ~policy ~blocks with
       | exception Device.Tamper_detected ->
           fence_unchecked s;
           Error (Printf.sprintf "shard %d zeroized during write; shard fenced" idx)
@@ -203,18 +218,89 @@ let freshness_proof t =
   in
   Result.map (Cluster_proof.make ~epoch:t.epoch) (collect [] (shard_count t - 1))
 
+(* A fenced shard with no mirror has no certificates to verify against;
+   its slot is [None], and any response claiming to come from it is
+   unverifiable by construction — never an exception on the verify
+   path. *)
 let verifiers t =
   Array.map
     (fun s ->
       match serving_store_of s with
-      | Some store -> Client.for_store ~ca:t.ca_pub ~clock:t.clock store
-      | None -> failwith (Printf.sprintf "shard %d has no serving store" s.index))
+      | Some store -> Some (Client.for_store ~ca:t.ca_pub ~clock:t.clock store)
+      | None -> None)
     t.shards
 
 let verify_read t clients g (idx, response) =
   let n = shard_count t in
   if idx <> Partition.shard_of ~shards:n g then Client.Violation [ Client.Wrong_serial ]
-  else Client.verify_read clients.(idx) ~sn:(Partition.local_of ~shards:n g) response
+  else
+    match clients.(idx) with
+    | None -> Client.Violation [ Client.Absence_unproven ]
+    | Some client -> Client.verify_read client ~sn:(Partition.local_of ~shards:n g) response
+
+(* Crypto-erase one shard: the serving store destroys the tenant's
+   keys, and while the shard is healthy the lockstep mirror does too —
+   the key hierarchies are independent SCPU state, so erasure must
+   reach every device that ever sealed for this tenant. A device dying
+   mid-erase falls back once, exactly like the read path. *)
+let erase_shard s ~tenant =
+  let mirror_erase () =
+    match (s.state, s.repl) with
+    | Active, Some r -> (
+        try ignore (Worm.erase_tenant (Replicator.mirror r) ~tenant : Firmware.erasure_cert)
+        with Device.Tamper_detected ->
+          s.repl <- None;
+          s.lockstep <- false)
+    | _ -> ()
+  in
+  match serving_store_of s with
+  | None -> None
+  | Some store -> (
+      match Worm.erase_tenant store ~tenant with
+      | cert ->
+          mirror_erase ();
+          Some (s.index, Worm.store_id store, cert)
+      | exception Device.Tamper_detected -> (
+          fence_unchecked s;
+          match serving_store_of s with
+          | None -> None
+          | Some fallback -> (
+              match Worm.erase_tenant fallback ~tenant with
+              | cert -> Some (s.index, Worm.store_id fallback, cert)
+              | exception Device.Tamper_detected -> None)))
+
+(* Right to be forgotten, cluster-wide: every shard attests or the
+   request fails — the stripe interleave spreads a tenant's records
+   over all shards, and a tenant must not believe itself forgotten
+   while one stripe still holds live keys. O(shards), independent of
+   how many records the tenant wrote. Partial completion (a shard
+   fencing mid-sweep) is safe to retry after {!recover}: per-store
+   erasure is idempotent and returns the original certificate. *)
+let erase_tenant t ~tenant =
+  if String.equal tenant "" then Error "erase-tenant: empty tenant id"
+  else begin
+    let rec go acc i =
+      if i >= shard_count t then Ok (List.rev acc)
+      else
+        match erase_shard t.shards.(i) ~tenant with
+        | Some entry -> go (entry :: acc) (i + 1)
+        | None ->
+            Error
+              (Printf.sprintf
+                 "shard %d has no serving store; erasure incomplete (idempotent — retry after recovery)" i)
+    in
+    go [] 0
+  end
+
+(* The certificates already issued for a tenant, shard by shard — empty
+   when no serving store has erased it. *)
+let erasure_certs t ~tenant =
+  Array.to_list t.shards
+  |> List.filter_map (fun s ->
+         match serving_store_of s with
+         | None -> None
+         | Some store ->
+             Option.map (fun cert -> (s.index, Worm.store_id store, cert)) (Worm.erasure_cert_of store tenant))
 
 let count_deletions outcomes = List.length (List.filter (fun (_, r) -> r = Ok ()) outcomes)
 

@@ -78,12 +78,19 @@ val replicator : t -> int -> Replicator.t option
 (** {2 WORM operations (global serial space)} *)
 
 val write :
-  ?witness:Firmware.witness_mode -> t -> policy:Policy.t -> blocks:string list -> (Serial.t, string) result
+  ?witness:Firmware.witness_mode ->
+  ?tenant:string ->
+  t ->
+  policy:Policy.t ->
+  blocks:string list ->
+  (Serial.t, string) result
 (** Route the next global serial's write to its owning shard (and its
     mirror). Fails without allocating if the owning shard is fenced — a
-    fenced stripe is unavailable for ingest until {!recover}. A mirror
-    dying mid-write degrades the shard to unmirrored; a primary dying
-    fences the shard in-line. *)
+    fenced stripe is unavailable for ingest until {!recover} — or if
+    [tenant] has been erased anywhere in the cluster. A non-empty
+    [tenant] seals the record under the owning stores' per-tenant key
+    hierarchies. A mirror dying mid-write degrades the shard to
+    unmirrored; a primary dying fences the shard in-line. *)
 
 val read : t -> Serial.t -> int * Proof.read_response
 (** [(owning shard, the shard's response)]. The caller verifies with the
@@ -105,16 +112,39 @@ val freshness_proof : t -> (Cluster_proof.t, string) result
     store. [Error] if some shard is fenced with no mirror (the cluster
     cannot prove freshness for that stripe). *)
 
-val verifiers : t -> Client.t array
+val verifiers : t -> Client.t option array
 (** One verifying client per shard, bound to its serving store's
-    certificates. Rebuild after a failover — promotion changes the
-    serving SCPU. @raise Failure if a shard has no serving store. *)
+    certificates; [None] for a shard that is fenced with no serving
+    store — it has no certificates to verify against, and
+    {!verify_read} treats responses claiming to come from it as
+    unverifiable ([Violation [Absence_unproven]]) rather than raising.
+    Rebuild after a failover — promotion changes the serving SCPU. *)
 
-val verify_read : t -> Client.t array -> Serial.t -> int * Proof.read_response -> Client.verdict
+val verify_read : t -> Client.t option array -> Serial.t -> int * Proof.read_response -> Client.verdict
 (** End-to-end check of a routed read: recomputes the partition (a
     response from the wrong shard is a violation, whatever it says) and
     verifies the response under the owning shard's certificates against
     the translated local serial. *)
+
+(** {2 Crypto-erasure (right to be forgotten)} *)
+
+val tenant_is_erased : t -> string -> bool
+(** True if any serving store holds an erasure tombstone for the
+    tenant — erasure is a cluster-wide property, and a remembering
+    shard is enough to refuse re-admission of the tenant. *)
+
+val erase_tenant : t -> tenant:string -> ((int * string * Firmware.erasure_cert) list, string) result
+(** Destroy the tenant's keys on {e every} shard — serving store and
+    lockstep mirror alike — and return [(shard, store id, certificate)]
+    per shard, in index order. O(shards), independent of the tenant's
+    record count. Fails (without claiming success) if some shard has no
+    serving store; per-store erasure is idempotent, so retrying after
+    {!recover} completes the sweep and returns the original
+    certificates. *)
+
+val erasure_certs : t -> tenant:string -> (int * string * Firmware.erasure_cert) list
+(** The certificates already issued for the tenant, one per serving
+    store that has erased it; empty if the tenant was never erased. *)
 
 (** {2 Maintenance} *)
 

@@ -10,10 +10,11 @@ type t = {
   f_flag : bool;
   mac_label : string;
   dac_label : string;
+  tenant : string;  (* "" = no tenant; otherwise keyed into the SCPU's per-tenant key hierarchy *)
 }
 
-let make ?(f_flag = false) ?(mac_label = "") ?(dac_label = "") ~created_at ~policy () =
-  { created_at; policy; litigation = None; f_flag; mac_label; dac_label }
+let make ?(f_flag = false) ?(mac_label = "") ?(dac_label = "") ?(tenant = "") ~created_at ~policy () =
+  { created_at; policy; litigation = None; f_flag; mac_label; dac_label; tenant }
 
 let expiry t = Int64.add t.created_at t.policy.Policy.retention_ns
 let is_expired t ~now = Int64.compare now (expiry t) > 0
@@ -48,7 +49,8 @@ let encode enc t =
   Codec.option encode_hold enc t.litigation;
   Codec.bool enc t.f_flag;
   Codec.bytes enc t.mac_label;
-  Codec.bytes enc t.dac_label
+  Codec.bytes enc t.dac_label;
+  Codec.bytes enc t.tenant
 
 (* Must track [encode] exactly; checked by a property test. *)
 let encoded_size t =
@@ -60,7 +62,7 @@ let encoded_size t =
         + (4 + String.length h.credential) + 8 + 8
   in
   8 + Policy.encoded_size t.policy + hold_size + 1 + (4 + String.length t.mac_label)
-  + (4 + String.length t.dac_label)
+  + (4 + String.length t.dac_label) + (4 + String.length t.tenant)
 
 let decode dec =
   let created_at = Codec.read_u64 dec in
@@ -69,13 +71,15 @@ let decode dec =
   let f_flag = Codec.read_bool dec in
   let mac_label = Codec.read_bytes dec in
   let dac_label = Codec.read_bytes dec in
-  { created_at; policy; litigation; f_flag; mac_label; dac_label }
+  let tenant = Codec.read_bytes dec in
+  { created_at; policy; litigation; f_flag; mac_label; dac_label; tenant }
 
 let to_bytes t = Codec.encode encode t
 let equal a b = a = b
 
 let pp fmt t =
-  Format.fprintf fmt "attr[%a created=%Ld%s]" Policy.pp t.policy t.created_at
+  Format.fprintf fmt "attr[%a created=%Ld%s%s]" Policy.pp t.policy t.created_at
+    (if String.equal t.tenant "" then "" else " tenant=" ^ t.tenant)
     (match t.litigation with
     | Some hold -> Printf.sprintf " HELD:%s until %Ld" hold.lit_id hold.timeout
     | None -> "")

@@ -21,9 +21,23 @@ type t = {
   f_flag : bool;
   mac_label : string;
   dac_label : string;
+  tenant : string;
+      (** data-subject / tenant identifier; [""] means untenanted. A
+          non-empty tenant routes the record's payload through the
+          SCPU's per-tenant key hierarchy, making it crypto-erasable
+          in O(1) ({!Firmware.erase_tenant}). Part of the canonical
+          encoding, so metasig binds the record to its tenant. *)
 }
 
-val make : ?f_flag:bool -> ?mac_label:string -> ?dac_label:string -> created_at:int64 -> policy:Policy.t -> unit -> t
+val make :
+  ?f_flag:bool ->
+  ?mac_label:string ->
+  ?dac_label:string ->
+  ?tenant:string ->
+  created_at:int64 ->
+  policy:Policy.t ->
+  unit ->
+  t
 
 val expiry : t -> int64
 (** [created_at + retention]: first instant the record may be deleted,

@@ -143,6 +143,7 @@ type violation =
   | Deletion_proof_invalid
   | Window_bound_invalid
   | Window_does_not_cover
+  | Erasure_cert_invalid
   | Absence_unproven
 
 let violation_to_string = function
@@ -158,12 +159,14 @@ let violation_to_string = function
   | Deletion_proof_invalid -> "deletion proof does not verify"
   | Window_bound_invalid -> "deletion-window bounds do not verify under one window id"
   | Window_does_not_cover -> "serial lies outside the deletion window"
+  | Erasure_cert_invalid -> "erasure certificate does not verify or does not cover this record"
   | Absence_unproven -> "host failed to prove the record's absence"
 
 type verdict =
   | Valid_data of { vrd : Vrd.t; blocks : string list }
   | Committed_unverifiable
   | Properly_deleted
+  | Properly_erased
   | Never_written
   | Violation of violation list
 
@@ -171,6 +174,7 @@ let verdict_name = function
   | Valid_data _ -> "valid-data"
   | Committed_unverifiable -> "committed-unverifiable"
   | Properly_deleted -> "properly-deleted"
+  | Properly_erased -> "properly-erased"
   | Never_written -> "never-written"
   | Violation vs -> "VIOLATION: " ^ String.concat "; " (List.map violation_to_string vs)
 
@@ -288,7 +292,58 @@ let verify_read ?pool t ~sn (response : Proof.read_response) =
       | Ok trusted ->
           if Serial.(sn > trusted.Firmware.sn) then Never_written else Violation [ Absence_unproven ]
     end
+  | Proof.Erased { vrd; cert } ->
+      (* The VRD's metasig binds sn to the tenant; the cert proves that
+         tenant's keys are gone. Together: this exact record existed and
+         is now unrecoverable — a compliant outcome. The cert signature
+         is epoch-stable per tenant, so it goes through the memo. *)
+      let tenant = vrd.Vrd.attr.Attr.tenant in
+      let meta_msg =
+        Wire.metasig_msg ~store_id:t.store_id ~sn:vrd.Vrd.sn ~attr_bytes:(Attr.to_bytes vrd.Vrd.attr)
+      in
+      let cert_msg =
+        Wire.erasure_msg ~store_id:t.store_id ~tenant:cert.Firmware.tenant
+          ~erased_at:cert.Firmware.erased_at ~upto:cert.Firmware.upto
+      in
+      let violations = ref [] in
+      let flag v = violations := v :: !violations in
+      if not (Serial.equal vrd.Vrd.sn sn) then flag Wrong_serial;
+      let meta_ok =
+        match check_witness t meta_msg vrd.Vrd.metasig with
+        | Ok v -> v
+        | Error () ->
+            flag Meta_witness_invalid;
+            true
+      in
+      if String.equal tenant "" || not (String.equal tenant cert.Firmware.tenant) then
+        flag Erasure_cert_invalid
+      else if not (verify_deletion_stable t ~msg:cert_msg ~signature:cert.Firmware.signature) then
+        flag Erasure_cert_invalid
+      else if Serial.(sn > cert.Firmware.upto) then
+        (* The cert pinned SN_current at destruction time; a record above
+           it cannot belong to the erased tenant's history. *)
+        flag Erasure_cert_invalid;
+      begin
+        match List.rev !violations with
+        | [] -> if meta_ok then Properly_erased else Committed_unverifiable
+        | vs -> Violation vs
+      end
   | Proof.Refused _ -> Violation [ Absence_unproven ]
+
+(* Standalone CA-rooted check of an erasure certificate, for callers
+   that hold the cert without a record to read it through — the tenant
+   itself validating its own "right to be forgotten" receipt, or an
+   aggregating verifier checking every shard's attestation. *)
+let verify_erasure_cert t (cert : Firmware.erasure_cert) =
+  if String.equal cert.Firmware.tenant "" then Error "erasure certificate names an empty tenant"
+  else begin
+    let msg =
+      Wire.erasure_msg ~store_id:t.store_id ~tenant:cert.Firmware.tenant
+        ~erased_at:cert.Firmware.erased_at ~upto:cert.Firmware.upto
+    in
+    if verify_deletion_stable t ~msg ~signature:cert.Firmware.signature then Ok ()
+    else Error "erasure certificate signature does not verify under the deletion certificate"
+  end
 
 (* A [Direct_scpu] absence check calls back into the firmware, which is
    not domain-safe — those responses stay on the submitting domain. *)
@@ -299,7 +354,7 @@ let must_verify_inline t = function
       | Timestamped _ -> false
     end
   | Proof.Found _ | Proof.Proof_deleted _ | Proof.Proof_in_window _ | Proof.Proof_below_base _
-  | Proof.Refused _ ->
+  | Proof.Erased _ | Proof.Refused _ ->
       false
 
 let verify_read_many ?pool t items =

@@ -75,6 +75,10 @@ type violation =
   | Deletion_proof_invalid
   | Window_bound_invalid  (** signatures don't match under one window id *)
   | Window_does_not_cover
+  | Erasure_cert_invalid
+      (** erasure cert fails to verify, names a different (or empty)
+          tenant than the VRD's metasig binds, or does not cover the
+          serial *)
   | Absence_unproven  (** the host refused to prove anything *)
 
 val violation_to_string : violation -> string
@@ -85,6 +89,11 @@ type verdict =
       (** witnessed only by an SCPU-internal MAC so far (§4.3 HMAC mode);
           retry after the next idle-period strengthening *)
   | Properly_deleted
+  | Properly_erased
+      (** the record's tenant was crypto-erased: the metasig binds the
+          serial to the tenant, and the SCPU-signed erasure certificate
+          proves that tenant's keys are destroyed — provably
+          unrecoverable, compliant *)
   | Never_written
   | Violation of violation list
 
@@ -105,6 +114,14 @@ val verify_read_many :
     [List.map]-of-{!verify_read} it replaces. [Direct_scpu] absence
     checks call back into the firmware and therefore always run on the
     submitting domain. *)
+
+val verify_erasure_cert : t -> Firmware.erasure_cert -> (unit, string) result
+(** CA-rooted check of an SCPU-signed erasure certificate on its own,
+    without a record to read it through: verifies the deletion-key
+    signature over the canonical erasure message for this store. This is
+    the tenant's "right to be forgotten" receipt check — [Ok ()] means
+    the store's SCPU really did destroy that tenant's keys no later than
+    serial [upto]. *)
 
 type cache_stats = { cache_hits : int; cache_misses : int; cache_entries : int }
 

@@ -13,6 +13,15 @@ type base_bound = { sn : Serial.t; expires_at : int64; signature : string }
 type deletion_window = { window_id : string; lo : Serial.t; hi : Serial.t; sig_lo : string; sig_hi : string }
 type write_result = { vrd : Vrd.t; vexp_shed : (int64 * Serial.t) list }
 
+type erasure_cert = { tenant : string; erased_at : int64; upto : Serial.t; signature : string }
+
+(* Per-tenant leaf of the key hierarchy. [Tenant_key] holds the 128-bit
+   tenant key in SCPU NVRAM — generated from the device RNG at first
+   use, never derivable from the master key, so destroying this entry
+   destroys every record key under it. [Tenant_gone] is the tombstone:
+   the key is unrecoverable and the certificate is the proof. *)
+type tenant_state = Tenant_key of string | Tenant_gone of erasure_cert
+
 type error =
   | Not_expired of int64
   | On_litigation_hold of string
@@ -28,6 +37,7 @@ type error =
   | Malformed_vrd
   | Retention_shortening
   | Not_deleted
+  | Tenant_erased of string
 
 let error_to_string = function
   | Not_expired t -> Printf.sprintf "retention has not lapsed (runs until %Ld)" t
@@ -44,6 +54,7 @@ let error_to_string = function
   | Malformed_vrd -> "VRD failed to decode"
   | Retention_shortening -> "retention periods may be extended, never shortened"
   | Not_deleted -> "the SCPU has no record of this serial being deleted"
+  | Tenant_erased tenant -> Printf.sprintf "tenant %S was crypto-erased; its keys no longer exist" tenant
 
 (* Freshness tolerance on litigation credentials. *)
 let credential_tolerance_ns = Worm_simclock.Clock.ns_of_min 10.
@@ -66,6 +77,10 @@ type t = {
      otherwise Mallory could replay a pre-hold VRD (whose metasig is
      still cryptographically valid) to get a held record deleted. *)
   holds : (Serial.t, Attr.hold) Hashtbl.t;
+  (* Key hierarchy (NVRAM): master key (device-internal) -> per-tenant
+     keys (this table) -> per-record data keys (HMAC-derived on demand).
+     Erasure replaces a live entry with its tombstone certificate. *)
+  tenants : (string, tenant_state) Hashtbl.t;
 }
 
 let create ~device ~ca ?(vexp_capacity = 4096) () =
@@ -79,6 +94,7 @@ let create ~device ~ca ?(vexp_capacity = 4096) () =
     vexp = Vexp.create ~capacity:vexp_capacity;
     pending_audit = Hashtbl.create 64;
     holds = Hashtbl.create 16;
+    tenants = Hashtbl.create 16;
   }
 
 let device t = t.dev
@@ -204,6 +220,67 @@ let authenticate_vrd t (vrd : Vrd.t) =
 
 let is_deleted t sn = Serial.(sn < t.base) || Serial.Set.mem sn t.deleted
 
+let tenant_erased_cert t tenant =
+  match Hashtbl.find_opt t.tenants tenant with
+  | Some (Tenant_gone cert) -> Some cert
+  | Some (Tenant_key _) | None -> None
+
+let erasure_cert_of t tenant = tenant_erased_cert t tenant
+let tenant_is_erased t tenant = tenant_erased_cert t tenant <> None
+
+let erased_tenants t =
+  Hashtbl.fold (fun _ state acc -> match state with Tenant_gone cert -> cert :: acc | Tenant_key _ -> acc) t.tenants []
+  |> List.sort (fun a b -> String.compare a.tenant b.tenant)
+
+let record_key_input t ~sn =
+  let module C = Worm_util.Codec in
+  C.with_encoder (fun enc ->
+      C.bytes enc "worm:v1:reckey";
+      C.bytes enc t.store_id;
+      Serial.encode enc sn;
+      C.to_string enc)
+
+(* Per-record data key: HMAC(tenant key, store_id || sn) truncated to
+   128 bits. Derived on demand, so only the per-tenant key occupies
+   NVRAM — destroying it orphans every record key under it at once. The
+   tenant key itself comes from the device RNG at first use, never from
+   the master key, so not even the SCPU can re-derive it after erasure. *)
+let record_key t ~tenant ~sn =
+  if String.equal tenant "" then invalid_arg "Firmware.record_key: empty tenant";
+  match Hashtbl.find_opt t.tenants tenant with
+  | Some (Tenant_gone _) -> Error (Tenant_erased tenant)
+  | (Some (Tenant_key _) | None) as entry ->
+      let key =
+        match entry with
+        | Some (Tenant_key key) -> key
+        | _ ->
+            let key = Device.random t.dev 16 in
+            Hashtbl.replace t.tenants tenant (Tenant_key key);
+            Log.debug (fun m -> m "tenant key provisioned for %S" tenant);
+            key
+      in
+      let msg = record_key_input t ~sn in
+      Device.charge_hash_only t.dev ~bytes:(String.length msg + 64);
+      Ok (String.sub (Hmac.sha256 ~key msg) 0 16)
+
+(* O(1) in the tenant's record count: destroy one NVRAM entry, sign one
+   statement. Idempotent — re-erasing hands back the original cert.
+   Erasing a tenant that never wrote still plants the tombstone, which
+   refuses any future writes under that identity. *)
+let erase_tenant t ~tenant =
+  if String.equal tenant "" then invalid_arg "Firmware.erase_tenant: empty tenant";
+  match Hashtbl.find_opt t.tenants tenant with
+  | Some (Tenant_gone cert) -> cert
+  | Some (Tenant_key _) | None ->
+      let erased_at = Device.now t.dev in
+      let upto = t.current in
+      let msg = Wire.erasure_msg ~store_id:t.store_id ~tenant ~erased_at ~upto in
+      let signature = Device.sign_deletion t.dev msg in
+      let cert = { tenant; erased_at; upto; signature } in
+      Hashtbl.replace t.tenants tenant (Tenant_gone cert);
+      Log.info (fun m -> m "tenant %S crypto-erased (upto=%s)" tenant (Serial.to_string upto));
+      cert
+
 let advance_base t =
   while Serial.Set.mem t.base t.deleted do
     t.deleted <- Serial.Set.remove t.base t.deleted;
@@ -267,6 +344,13 @@ let strengthen_validate t ~vrd_bytes ~data =
   else begin
     let* () =
       if not (Hashtbl.mem t.pending_audit vrd.sn) then Ok ()
+      else if tenant_is_erased t vrd.attr.Attr.tenant then begin
+        (* Erased tenant: the plaintext is unrecoverable, so the pending
+           host-hash audit can never be satisfied — and no longer needs
+           to be. Discharge it and let the witnesses strengthen. *)
+        Hashtbl.remove t.pending_audit vrd.sn;
+        Ok ()
+      end
       else begin
         match data with
         | Claimed_hash _ -> Error Data_required
@@ -335,6 +419,12 @@ let audit t ~vrd_bytes ~blocks =
   let* vrd = decode_vrd vrd_bytes in
   let* () = authenticate_vrd t vrd in
   if not (Hashtbl.mem t.pending_audit vrd.sn) then Ok ()
+  else if tenant_is_erased t vrd.attr.Attr.tenant then begin
+    (* The key is gone: the plaintext this audit would re-hash no longer
+       exists anywhere. The obligation is moot — discharge it. *)
+    Hashtbl.remove t.pending_audit vrd.sn;
+    Ok ()
+  end
   else begin
     let total = List.fold_left (fun acc b -> acc + String.length b) 0 blocks in
     Device.charge_dma t.dev ~bytes:total;
@@ -532,6 +622,19 @@ let decode_deletion_window dec =
   let sig_lo = Codec_.read_bytes dec in
   let sig_hi = Codec_.read_bytes dec in
   { window_id; lo; hi; sig_lo; sig_hi }
+
+let encode_erasure_cert enc (c : erasure_cert) =
+  Codec_.bytes enc c.tenant;
+  Codec_.u64 enc c.erased_at;
+  Serial.encode enc c.upto;
+  Codec_.bytes enc c.signature
+
+let decode_erasure_cert dec =
+  let tenant = Codec_.read_bytes dec in
+  let erased_at = Codec_.read_u64 dec in
+  let upto = Serial.decode dec in
+  let signature = Codec_.read_bytes dec in
+  { tenant; erased_at; upto; signature }
 
 let attest_migration t ~target_store_id ~content_hash =
   let msg =

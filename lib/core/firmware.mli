@@ -41,6 +41,16 @@ type base_bound = { sn : Serial.t; expires_at : int64; signature : string }
 
 type deletion_window = { window_id : string; lo : Serial.t; hi : Serial.t; sig_lo : string; sig_hi : string }
 
+type erasure_cert = {
+  tenant : string;
+  erased_at : int64;
+  upto : Serial.t;  (** SN_current when the key was destroyed: every record the tenant ever wrote sits at or below it *)
+  signature : string;  (** [S_d(tenant, erased_at, upto)] — deletion-key signed; see {!Wire.erasure_msg} *)
+}
+(** Proof that a tenant's key hierarchy was destroyed inside the SCPU: a
+    tenant-scoped deletion proof. Verifiable by anyone holding the
+    store's deletion certificate. *)
+
 type write_result = {
   vrd : Vrd.t;
   vexp_shed : (int64 * Serial.t) list;
@@ -63,6 +73,7 @@ type error =
   | Malformed_vrd
   | Retention_shortening  (** retention may be extended, never shortened *)
   | Not_deleted  (** deletion-proof re-issue refused: the SN is not known deleted *)
+  | Tenant_erased of string  (** the tenant's keys were crypto-erased; no key material remains *)
 
 val error_to_string : error -> string
 
@@ -168,6 +179,32 @@ val lit_release :
   t -> vrd_bytes:string -> authority:Worm_crypto.Cert.t -> credential:string -> timestamp:int64 -> (Vrd.t, error) result
 (** Release a hold; only the authority that placed it qualifies. *)
 
+(** {2 Per-tenant key hierarchy (crypto-erasure)}
+
+    Master key (device-internal) → per-tenant keys (SCPU NVRAM) →
+    per-record data keys (derived on demand). Tenant keys come from the
+    device RNG at first use — {e not} from the master key — so erasing a
+    tenant genuinely destroys the only copy: afterwards nobody, the SCPU
+    included, can reconstruct any record key under it. *)
+
+val record_key : t -> tenant:string -> sn:Serial.t -> (string, error) result
+(** 128-bit data key for one record: [HMAC(tenant_key, store_id ‖ sn)]
+    truncated. Provisions the tenant key on first use.
+    [Error (Tenant_erased _)] once the tenant is erased. Raises
+    [Invalid_argument] on the empty tenant id. *)
+
+val erase_tenant : t -> tenant:string -> erasure_cert
+(** Destroy the tenant's key — O(1) in the tenant's record count: one
+    NVRAM update plus one deletion-key signature. Idempotent (re-erasing
+    returns the original certificate). Erasing an unknown tenant plants
+    the tombstone, refusing any future writes under that identity.
+    Raises [Invalid_argument] on the empty tenant id. *)
+
+val erasure_cert_of : t -> string -> erasure_cert option
+val tenant_is_erased : t -> string -> bool
+val erased_tenants : t -> erasure_cert list
+(** All tombstones, sorted by tenant id. *)
+
 (** {2 Retention Monitor} *)
 
 val next_rm_wakeup : t -> int64 option
@@ -215,6 +252,8 @@ val encode_base_bound : Worm_util.Codec.encoder -> base_bound -> unit
 val decode_base_bound : Worm_util.Codec.decoder -> base_bound
 val encode_deletion_window : Worm_util.Codec.encoder -> deletion_window -> unit
 val decode_deletion_window : Worm_util.Codec.decoder -> deletion_window
+val encode_erasure_cert : Worm_util.Codec.encoder -> erasure_cert -> unit
+val decode_erasure_cert : Worm_util.Codec.decoder -> erasure_cert
 
 (** {2 Introspection (host-visible, unprivileged)} *)
 

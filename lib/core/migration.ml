@@ -41,6 +41,11 @@ let migrate ~source ~target =
         end
       | Proof.Proof_deleted _ | Proof.Proof_in_window _ | Proof.Proof_below_base _ ->
           walk (Serial.next sn) mapping (skipped + 1) chain
+      | Proof.Erased _ ->
+          (* Crypto-erased: the plaintext is unrecoverable by design, so
+             there is nothing to move — compliant to skip, like a
+             deleted record. The source retains the erasure cert. *)
+          walk (Serial.next sn) mapping (skipped + 1) chain
       | Proof.Proof_unallocated _ -> Error (Serial.to_string sn ^ " reported unallocated inside the live window")
       | Proof.Refused excuse -> Error (Serial.to_string sn ^ " unreadable during migration: " ^ excuse)
     end

@@ -1,7 +1,7 @@
 module Clock = Worm_simclock.Clock
 module Codec = Worm_util.Codec
 
-type regulation = Sec17a4 | Hipaa | Sox | Dod5015_2 | Ferpa | Glba | Fda21cfr11 | Custom of string
+type regulation = Sec17a4 | Hipaa | Sox | Dod5015_2 | Ferpa | Glba | Fda21cfr11 | Gdpr | Custom of string
 
 type t = { regulation : regulation; retention_ns : int64; shred_passes : int }
 
@@ -17,6 +17,10 @@ let of_regulation regulation =
     | Ferpa -> (years 20., 3)
     | Glba -> (years 5., 3)
     | Fda21cfr11 -> (years 10., 3)
+    (* Storage-limitation principle: keep no longer than needed. One
+       shred pass — erasure for GDPR tenants is cryptographic, not
+       physical (see Firmware.erase_tenant). *)
+    | Gdpr -> (years 3., 1)
     | Custom _ -> (years 1., 1)
   in
   { regulation; retention_ns; shred_passes }
@@ -34,6 +38,7 @@ let regulation_name = function
   | Ferpa -> "FERPA"
   | Glba -> "GLBA"
   | Fda21cfr11 -> "FDA-21-CFR-11"
+  | Gdpr -> "GDPR"
   | Custom name -> "custom:" ^ name
 
 let regulation_tag = function
@@ -45,12 +50,13 @@ let regulation_tag = function
   | Glba -> 5
   | Fda21cfr11 -> 6
   | Custom _ -> 7
+  | Gdpr -> 8
 
 let encode enc t =
   Codec.u8 enc (regulation_tag t.regulation);
   (match t.regulation with
   | Custom name -> Codec.bytes enc name
-  | Sec17a4 | Hipaa | Sox | Dod5015_2 | Ferpa | Glba | Fda21cfr11 -> ());
+  | Sec17a4 | Hipaa | Sox | Dod5015_2 | Ferpa | Glba | Fda21cfr11 | Gdpr -> ());
   Codec.u64 enc t.retention_ns;
   Codec.u16 enc t.shred_passes
 
@@ -59,7 +65,7 @@ let encoded_size t =
   let name_size =
     match t.regulation with
     | Custom name -> 4 + String.length name
-    | Sec17a4 | Hipaa | Sox | Dod5015_2 | Ferpa | Glba | Fda21cfr11 -> 0
+    | Sec17a4 | Hipaa | Sox | Dod5015_2 | Ferpa | Glba | Fda21cfr11 | Gdpr -> 0
   in
   1 + name_size + 8 + 2
 
@@ -74,6 +80,7 @@ let decode dec =
     | 5 -> Glba
     | 6 -> Fda21cfr11
     | 7 -> Custom (Codec.read_bytes dec)
+    | 8 -> Gdpr
     | n -> raise (Codec.Malformed (Printf.sprintf "bad regulation tag %d" n))
   in
   let retention_ns = Codec.read_u64 dec in

@@ -12,6 +12,7 @@ type regulation =
   | Ferpa  (** educational records *)
   | Glba  (** Gramm-Leach-Bliley financial privacy *)
   | Fda21cfr11  (** FDA electronic records *)
+  | Gdpr  (** EU personal data: storage limitation + right to erasure *)
   | Custom of string
 
 type t = {

@@ -4,6 +4,7 @@ type read_response =
   | Proof_in_window of Firmware.deletion_window
   | Proof_below_base of Firmware.base_bound
   | Proof_unallocated of Firmware.current_bound
+  | Erased of { vrd : Vrd.t; cert : Firmware.erasure_cert }
   | Refused of string
 
 let describe = function
@@ -15,4 +16,7 @@ let describe = function
         (Serial.to_string w.Firmware.hi)
   | Proof_below_base b -> Printf.sprintf "below base bound %s" (Serial.to_string b.Firmware.sn)
   | Proof_unallocated c -> Printf.sprintf "above current bound %s" (Serial.to_string c.Firmware.sn)
+  | Erased { vrd; cert } ->
+      Printf.sprintf "%s crypto-erased with tenant %S at %Ld" (Serial.to_string vrd.Vrd.sn)
+        cert.Firmware.tenant cert.Firmware.erased_at
   | Refused excuse -> "refused: " ^ excuse

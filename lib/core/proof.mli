@@ -16,6 +16,11 @@ type read_response =
       (** sn falls inside a collapsed window of expired records *)
   | Proof_below_base of Firmware.base_bound  (** sn < SN_base: expelled long ago *)
   | Proof_unallocated of Firmware.current_bound  (** sn > SN_current: never written *)
+  | Erased of { vrd : Vrd.t; cert : Firmware.erasure_cert }
+      (** the record exists but its tenant's keys were crypto-erased: the
+          VRD (whose metasig still binds sn to the tenant) plus the
+          SCPU-signed erasure certificate prove the ciphertext is
+          unrecoverable — a compliant outcome, not a refusal *)
   | Refused of string
       (** no proof offered — never legitimate; carries the host's excuse
           for the audit log *)

@@ -60,12 +60,20 @@ let create ~primary ~mirror = { primary; mirror; pairs = Hashtbl.create 256; vrd
 let primary t = t.primary
 let mirror t = t.mirror
 
-let write ?witness t ~policy ~blocks =
-  let p = Worm.write ?witness t.primary ~policy ~blocks in
-  let m = Worm.write ?witness t.mirror ~policy ~blocks in
+let write ?witness ?tenant t ~policy ~blocks =
+  (* Each store seals tenanted blocks under its own SCPU's key
+     hierarchy — the key tables are independent device state, so an
+     erasure must reach both sides ({!erase_tenant}). *)
+  let p = Worm.write ?witness ?tenant t.primary ~policy ~blocks in
+  let m = Worm.write ?witness ?tenant t.mirror ~policy ~blocks in
   Hashtbl.replace t.pairs p m;
   backup_vrd t p;
   (p, m)
+
+let erase_tenant t ~tenant =
+  let cert = Worm.erase_tenant t.primary ~tenant in
+  ignore (Worm.erase_tenant t.mirror ~tenant : Firmware.erasure_cert);
+  cert
 
 let mirror_sn t sn = Hashtbl.find_opt t.pairs sn
 
@@ -177,6 +185,13 @@ let resync_mirror t =
      SCPU is about to replace. *)
   let rec drain () = if Worm.strengthen_pending t.primary ~max:256 () > 0 then drain () in
   drain ();
+  (* Propagate erasures before walking records: a tenant forgotten on
+     the primary must be forgotten on the rebuilt mirror too, and the
+     walk below will (rightly) find no plaintext to replicate for it. *)
+  List.iter
+    (fun (cert : Firmware.erasure_cert) ->
+      ignore (Worm.erase_tenant t.mirror ~tenant:cert.Firmware.tenant : Firmware.erasure_cert))
+    (Worm.erased_tenants t.primary);
   let source_cert = Firmware.signing_cert (Worm.firmware t.primary) in
   let source_store_id = Worm.store_id t.primary in
   let sns = List.sort Serial.compare (Vrdt.active_sns (Worm.vrdt t.primary)) in
@@ -185,6 +200,11 @@ let resync_mirror t =
     | sn :: rest when Hashtbl.mem t.pairs sn -> go n rest
     | sn :: rest -> begin
         match Worm.read t.primary sn with
+        | Proof.Erased _ ->
+            (* Plaintext gone by design. The mirror's own tombstone
+               (installed above) answers for the tenant; nothing to
+               replicate, and nothing wrong. *)
+            go n rest
         | Proof.Found { vrd; blocks } -> begin
             match
               Worm.import_record t.mirror ~source_signing_cert:source_cert ~source_store_id

@@ -28,8 +28,22 @@ val primary : t -> Worm.t
 val mirror : t -> Worm.t
 
 val write :
-  ?witness:Firmware.witness_mode -> t -> policy:Policy.t -> blocks:string list -> Serial.t * Serial.t
-(** Write to both stores; returns (primary SN, mirror SN). *)
+  ?witness:Firmware.witness_mode ->
+  ?tenant:string ->
+  t ->
+  policy:Policy.t ->
+  blocks:string list ->
+  Serial.t * Serial.t
+(** Write to both stores; returns (primary SN, mirror SN). A non-empty
+    [tenant] seals each copy under the respective store's own per-tenant
+    key hierarchy. *)
+
+val erase_tenant : t -> tenant:string -> Firmware.erasure_cert
+(** Crypto-erase the tenant on {e both} stores — the key hierarchies are
+    independent SCPU state, so a one-sided erasure would leave the
+    mirror able to decrypt. Returns the primary's certificate (the
+    mirror issues its own, retrievable via
+    {!Worm.erasure_cert_of}). Idempotent, like {!Worm.erase_tenant}. *)
 
 val mirror_sn : t -> Serial.t -> Serial.t option
 (** The mirror serial paired with a primary serial at {!write} time. *)
@@ -45,8 +59,12 @@ val resync_mirror : t -> (int, string) result
     {!heal_missing} in the other direction, used by the cluster's
     failover engine to rebuild a {e fresh} mirror after the old one was
     promoted to primary. Deferred witnesses are strengthened first
-    (import refuses weak/MAC evidence). Returns how many records were
-    replicated; stops at the first record the mirror SCPU refuses. *)
+    (import refuses weak/MAC evidence), and the primary's tenant
+    erasures are re-issued on the mirror before the walk — records of
+    erased tenants are skipped (their plaintext is unrecoverable by
+    design; the mirror's own tombstone answers for them). Returns how
+    many records were replicated; stops at the first record the mirror
+    SCPU refuses. *)
 
 type divergence = {
   primary_sn : Serial.t;

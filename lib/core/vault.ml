@@ -14,6 +14,15 @@ let create fw =
     fingerprint = String.sub (Worm_crypto.Sha256.hex_digest ("worm:vault-fp|" ^ secret)) 0 16;
   }
 
+(* A cipher over a caller-supplied key: used for per-record tenant keys
+   out of the SCPU key hierarchy ({!Firmware.record_key}). *)
+let of_key key_bytes =
+  if String.length key_bytes <> 16 then invalid_arg "Vault.of_key: need a 16-byte key";
+  {
+    key = Aes.key_of_string key_bytes;
+    fingerprint = String.sub (Worm_crypto.Sha256.hex_digest ("worm:vault-fp|" ^ key_bytes)) 0 16;
+  }
+
 let key_fingerprint t = t.fingerprint
 
 let nonce ~sn ~index =

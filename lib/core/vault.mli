@@ -27,6 +27,13 @@ val create : Firmware.t -> t
 (** Derive the store data key from the SCPU; same device and store id
     always yield the same key. *)
 
+val of_key : string -> t
+(** Cipher over a caller-supplied 16-byte key — the sealing end of the
+    SCPU's per-tenant key hierarchy ({!Firmware.record_key}): each
+    tenanted record is sealed under its own derived key, so destroying
+    the tenant key unrecoverably erases every one of them. Raises
+    [Invalid_argument] on any other key length. *)
+
 val key_fingerprint : t -> string
 (** Hex fingerprint for logs (never the key itself). *)
 

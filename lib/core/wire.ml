@@ -63,6 +63,17 @@ let hold_or_release tag =
 let hold_credential_msg = hold_or_release "lit-hold"
 let release_credential_msg = hold_or_release "lit-release"
 
+(* Signed with the deletion key d: the erasure certificate is the
+   cluster-visible successor of a §4.2.2 deletion proof, scoped to a
+   whole tenant. [upto] pins the current bound at destruction time, so
+   the statement covers every serial the tenant could have written. *)
+let erasure_msg ~store_id ~tenant ~erased_at ~upto =
+  stmt "worm:v1:erase" (fun enc ->
+      Codec.bytes enc store_id;
+      Codec.bytes enc tenant;
+      Codec.u64 enc erased_at;
+      Serial.encode enc upto)
+
 let migration_manifest_msg ~source_store_id ~target_store_id ~base ~current ~content_hash =
   stmt "worm:v1:migration" (fun enc ->
       Codec.bytes enc source_store_id;

@@ -39,6 +39,13 @@ val hold_credential_msg : store_id:string -> sn:Serial.t -> timestamp:int64 -> l
 
 val release_credential_msg : store_id:string -> sn:Serial.t -> timestamp:int64 -> lit_id:string -> string
 
+val erasure_msg : store_id:string -> tenant:string -> erased_at:int64 -> upto:Serial.t -> string
+(** [S_d(tenant, erased_at, SN_current)]: the tenant's key hierarchy was
+    destroyed inside the SCPU at [erased_at]; every record the tenant
+    wrote (all of which carry serials at or below [upto]) is
+    cryptographically unrecoverable. Signed with the deletion key d —
+    an erasure certificate is a tenant-scoped deletion proof. *)
+
 val migration_manifest_msg :
   source_store_id:string -> target_store_id:string -> base:Serial.t -> current:Serial.t -> content_hash:string -> string
 (** Source-SCPU attestation that a compliant migration transferred the

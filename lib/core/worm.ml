@@ -39,6 +39,7 @@ type t = {
   journal : Journal.t option;
   vault : Vault.t option;
   vrdt : Vrdt.t;
+  tenants : Tenant_map.t;
   deferred : Deferred.t;
   audit_queue : (Serial.t, unit) Hashtbl.t;
   mutable vexp_backlog : (int64 * Serial.t) list;
@@ -68,6 +69,7 @@ let create ?(config = default_config) ?disk ~device ~ca () =
     journal = (if config.journal then Some (Journal.create fw) else None);
     vault = (if config.encrypt_at_rest then Some (Vault.create fw) else None);
     vrdt = Vrdt.create ();
+    tenants = Tenant_map.create ();
     deferred = Deferred.create ();
     audit_queue = Hashtbl.create 64;
     vexp_backlog = [];
@@ -92,15 +94,52 @@ let record_op t op =
   | Some j -> ignore (Journal.append j op)
   | None -> ()
 
-let seal_blocks t ~sn blocks =
-  match t.vault with
-  | Some v -> List.mapi (fun index b -> Vault.seal v ~sn ~index b) blocks
-  | None -> blocks
+(* The cipher guarding one record's blocks: the SCPU's per-tenant key
+   hierarchy when the record is tenanted, the store vault when
+   encrypt_at_rest is on, neither otherwise. [Error] only once the
+   tenant has been crypto-erased. *)
+let record_cipher t ~(attr : Attr.t) ~sn =
+  let tenant = attr.Attr.tenant in
+  if String.equal tenant "" then Ok t.vault
+  else begin
+    match Firmware.record_key t.fw ~tenant ~sn with
+    | Ok key -> Ok (Some (Vault.of_key key))
+    | Error e -> Error e
+  end
 
-let unseal_blocks t ~sn blocks =
-  match t.vault with
-  | Some v -> List.mapi (fun index b -> Vault.unseal v ~sn ~index b) blocks
+let tenant_erasure t (vrd : Vrd.t) =
+  let tenant = vrd.Vrd.attr.Attr.tenant in
+  if String.equal tenant "" then None else Firmware.erasure_cert_of t.fw tenant
+
+let apply_cipher t ~(attr : Attr.t) cipher ~sn blocks =
+  match cipher with
   | None -> blocks
+  | Some v ->
+      (* Tenant sealing runs on the host CPU (the derived key left the
+         SCPU); the store-vault path keeps its historical free-of-charge
+         accounting. *)
+      let tenanted = not (String.equal attr.Attr.tenant "") in
+      List.mapi
+        (fun index b ->
+          if tenanted then charge_host t (Cost_model.hash_ns t.config.host_profile ~bytes:(String.length b));
+          Vault.seal v ~sn ~index b)
+        blocks
+
+let seal_blocks t ~(attr : Attr.t) ~sn blocks =
+  match record_cipher t ~attr ~sn with
+  | Ok cipher -> apply_cipher t ~attr cipher ~sn blocks
+  | Error e ->
+      (* Writes for erased tenants are refused at admission; reaching
+         the sealing path with a dead key is a host-logic bug. *)
+      invalid_arg ("Worm.seal_blocks: " ^ Firmware.error_to_string e)
+
+(* CTR sealing is an involution, so unsealing is the same transform —
+   but on the read path a dead tenant key is an expected outcome, not a
+   bug, hence the result. *)
+let unseal_blocks t ~(attr : Attr.t) ~sn blocks =
+  match record_cipher t ~attr ~sn with
+  | Ok cipher -> Ok (apply_cipher t ~attr cipher ~sn blocks)
+  | Error e -> Error e
 
 let store_blocks t blocks =
   match t.dedup with
@@ -138,9 +177,10 @@ let deferred_deadline t (vrd : Vrd.t) =
    store the blocks (sealing needs the SCPU-issued serial), activate the
    VRDT entry, and register the deferred/audit obligations. *)
 let finish_write t ~blocks { Firmware.vrd; vexp_shed } =
-  let rdl = store_blocks t (seal_blocks t ~sn:vrd.Vrd.sn blocks) in
+  let rdl = store_blocks t (seal_blocks t ~attr:vrd.Vrd.attr ~sn:vrd.Vrd.sn blocks) in
   let vrd = { vrd with Vrd.rdl } in
   Vrdt.set_active t.vrdt vrd;
+  Tenant_map.note t.tenants ~tenant:vrd.Vrd.attr.Attr.tenant ~sn:vrd.Vrd.sn;
   t.vexp_backlog <- vexp_shed @ t.vexp_backlog;
   (match deferred_deadline t vrd with
   | Some deadline -> Deferred.push t.deferred ~sn:vrd.Vrd.sn ~deadline
@@ -158,23 +198,33 @@ let data_source_of_blocks t blocks =
       let total = List.fold_left (fun acc b -> acc + String.length b) 0 blocks in
       Firmware.Claimed_hash (Chained_hash.value (host_chained_hash t blocks), total)
 
-let write_batch ?witness t entries =
+(* Admission check for tenanted writes: an erased tenant's identity is
+   permanently closed. Checked before the firmware allocates a serial —
+   raising later, mid-seal, would leak a witnessed record with no data. *)
+let tenant_admission t (attr : Attr.t) =
+  let tenant = attr.Attr.tenant in
+  if (not (String.equal tenant "")) && Firmware.tenant_is_erased t.fw tenant then
+    invalid_arg ("Worm.write: " ^ Firmware.error_to_string (Firmware.Tenant_erased tenant))
+
+let write_attr_batch ?witness t entries =
   let witness =
     match witness with
     | Some w -> w
     | None -> t.config.default_witness
   in
-  let prepared =
-    List.map
-      (fun (policy, blocks) ->
-        let attr = Attr.make ~created_at:0L (* stamped by the firmware *) ~policy () in
-        (attr, [], data_source_of_blocks t blocks))
-      entries
-  in
+  List.iter (fun (attr, _) -> tenant_admission t attr) entries;
+  let prepared = List.map (fun (attr, blocks) -> (attr, [], data_source_of_blocks t blocks)) entries in
   let results = Firmware.write_batch t.fw ~mode:witness prepared in
   List.map2 (fun (_, blocks) result -> finish_write t ~blocks result) entries results
 
-let write ?witness ?attr t ~policy ~blocks =
+let write_batch ?witness t entries =
+  write_attr_batch ?witness t
+    (List.map
+       (fun (policy, blocks) ->
+         (Attr.make ~created_at:0L (* stamped by the firmware *) ~policy (), blocks))
+       entries)
+
+let write ?witness ?attr ?tenant t ~policy ~blocks =
   let witness =
     match witness with
     | Some w -> w
@@ -183,8 +233,9 @@ let write ?witness ?attr t ~policy ~blocks =
   let attr =
     match attr with
     | Some a -> a
-    | None -> Attr.make ~created_at:0L (* stamped by the firmware *) ~policy ()
+    | None -> Attr.make ?tenant ~created_at:0L (* stamped by the firmware *) ~policy ()
   in
+  tenant_admission t attr;
   let data = data_source_of_blocks t blocks in
   (* the SCPU issues the serial first; block sealing needs it for nonces *)
   let result = Firmware.write t.fw ~attr ~rdl:[] ~data ~mode:witness in
@@ -268,8 +319,9 @@ let import_record t ~source_signing_cert ~source_store_id ~vrd_bytes ~blocks =
   match Firmware.import t.fw ~source_signing_cert ~source_store_id ~vrd_bytes ~blocks with
   | Error e -> Error e
   | Ok { Firmware.vrd; vexp_shed } ->
-      let rdl = store_blocks t (seal_blocks t ~sn:vrd.Vrd.sn blocks) in
+      let rdl = store_blocks t (seal_blocks t ~attr:vrd.Vrd.attr ~sn:vrd.Vrd.sn blocks) in
       Vrdt.set_active t.vrdt { vrd with Vrd.rdl };
+      Tenant_map.note t.tenants ~tenant:vrd.Vrd.attr.Attr.tenant ~sn:vrd.Vrd.sn;
       t.vexp_backlog <- vexp_shed @ t.vexp_backlog;
       Ok vrd.Vrd.sn
 
@@ -298,9 +350,20 @@ let find_window t sn =
 let read t sn =
   match Vrdt.find t.vrdt sn with
   | Some (Vrdt.Active vrd) -> begin
-      let blocks = List.map (Disk.read t.disk) vrd.Vrd.rdl in
-      if List.exists Option.is_none blocks then Proof.Refused "data blocks unreadable"
-      else Proof.Found { vrd; blocks = unseal_blocks t ~sn (List.filter_map Fun.id blocks) }
+      (* Erasure check first: a provable [Erased] outcome costs no disk
+         I/O at all — the VRD plus the cached certificate suffice, so a
+         post-erasure read is O(1) no matter how much the tenant wrote. *)
+      match tenant_erasure t vrd with
+      | Some cert -> Proof.Erased { vrd; cert }
+      | None -> begin
+          let blocks = List.map (Disk.read t.disk) vrd.Vrd.rdl in
+          if List.exists Option.is_none blocks then Proof.Refused "data blocks unreadable"
+          else begin
+            match unseal_blocks t ~attr:vrd.Vrd.attr ~sn (List.filter_map Fun.id blocks) with
+            | Ok blocks -> Proof.Found { vrd; blocks }
+            | Error e -> Proof.Refused (Firmware.error_to_string e)
+          end
+        end
     end
   | Some (Vrdt.Deleted { proof }) -> Proof.Proof_deleted { sn; proof }
   | None -> begin
@@ -324,6 +387,7 @@ let delete_one t sn =
           let passes = vrd.Vrd.attr.Attr.policy.Policy.shred_passes in
           shred_rdl t ~passes vrd.Vrd.rdl;
           Vrdt.set_deleted t.vrdt sn ~proof;
+          Tenant_map.remove t.tenants ~tenant:vrd.Vrd.attr.Attr.tenant ~sn;
           Deferred.remove t.deferred sn |> ignore;
           Hashtbl.remove t.audit_queue sn;
           record_op t (Journal.Op_delete sn);
@@ -378,14 +442,14 @@ let lit_release t ~sn ~authority ~credential ~timestamp =
           Ok ()
       | Error e -> Error e)
 
-let read_blocks_exn t (vrd : Vrd.t) =
-  unseal_blocks t ~sn:vrd.Vrd.sn
-    (List.map
-       (fun rd ->
-         match Disk.read t.disk rd with
-         | Some b -> b
-         | None -> failwith "Worm: data block unreadable during maintenance")
-       vrd.Vrd.rdl)
+let read_blocks_opt t (vrd : Vrd.t) =
+  let blocks = List.map (Disk.read t.disk) vrd.Vrd.rdl in
+  if List.exists Option.is_none blocks then None
+  else begin
+    match unseal_blocks t ~attr:vrd.Vrd.attr ~sn:vrd.Vrd.sn (List.filter_map Fun.id blocks) with
+    | Ok blocks -> Some blocks
+    | Error _ -> None
+  end
 
 (* Deferred repayment drains in chunks so each trip into the firmware
    amortizes signing setup over a whole burst without holding an
@@ -414,11 +478,21 @@ let strengthen_pending t ?deadline ?(max = max_int) () =
           (fun { Deferred.sn; _ } ->
             match Vrdt.find t.vrdt sn with
             | Some (Vrdt.Active vrd) ->
-                let data =
-                  if Hashtbl.mem t.audit_queue sn then Firmware.Blocks (read_blocks_exn t vrd)
-                  else Firmware.Claimed_hash (vrd.Vrd.data_hash, 0)
-                in
-                Some (sn, vrd, data)
+                if Hashtbl.mem t.audit_queue sn && tenant_erasure t vrd = None then begin
+                  match read_blocks_opt t vrd with
+                  | Some blocks -> Some (sn, vrd, Firmware.Blocks blocks)
+                  | None ->
+                      (* One unreadable record is a classified finding,
+                         not an abort of the whole maintenance pass. *)
+                      Hashtbl.remove t.audit_queue sn;
+                      t.audit_findings <- (sn, Firmware.Data_required) :: t.audit_findings;
+                      None
+                end
+                else
+                  (* No pending audit — or an erased tenant, whose audit
+                     the firmware discharges (the plaintext is gone by
+                     design): strengthen over the claimed hash. *)
+                  Some (sn, vrd, Firmware.Claimed_hash (vrd.Vrd.data_hash, 0))
             | Some (Vrdt.Deleted _) | None -> None)
           batch
       in
@@ -445,11 +519,6 @@ let strengthen_pending t ?deadline ?(max = max_int) () =
 
 type audit_outcome = { audited : int; mismatches : (Serial.t * Firmware.error) list }
 
-let read_blocks_opt t (vrd : Vrd.t) =
-  let blocks = List.map (Disk.read t.disk) vrd.Vrd.rdl in
-  if List.exists Option.is_none blocks then None
-  else Some (unseal_blocks t ~sn:vrd.Vrd.sn (List.filter_map Fun.id blocks))
-
 let run_audits t ?(max = max_int) () =
   let pending = Hashtbl.fold (fun sn () acc -> sn :: acc) t.audit_queue [] |> List.sort Serial.compare in
   let rec go count bad = function
@@ -457,6 +526,11 @@ let run_audits t ?(max = max_int) () =
     | _ when count >= max -> (count, bad)
     | sn :: rest -> begin
         match Vrdt.find t.vrdt sn with
+        | Some (Vrdt.Active vrd) when tenant_erasure t vrd <> None ->
+            (* Crypto-erased tenant: the obligation is moot (and the
+               firmware discharges it); compliant, not a finding. *)
+            Hashtbl.remove t.audit_queue sn;
+            go count bad rest
         | Some (Vrdt.Active vrd) -> begin
             (* Both failure modes below are findings, never crashes: the
                queue keeps draining and the caller gets the classified
@@ -484,6 +558,27 @@ let run_audits t ?(max = max_int) () =
   let mismatches = List.rev bad in
   t.audit_findings <- List.rev_append mismatches t.audit_findings;
   { audited = count; mismatches }
+
+(* ---------- crypto-erasure (right to be forgotten) ---------- *)
+
+(* O(1) in the tenant's record count: one firmware key destruction plus
+   one journal line. Records stay in the VRDT — their ciphertext is now
+   provably unrecoverable, and reads return [Proof.Erased] with the
+   certificate instead of touching the disk. *)
+let erase_tenant t ~tenant =
+  let cert = Firmware.erase_tenant t.fw ~tenant in
+  record_op t (Journal.Op_custom ("erase-tenant:" ^ tenant));
+  cert
+
+let erasure_cert_of t tenant = Firmware.erasure_cert_of t.fw tenant
+let tenant_is_erased t tenant = Firmware.tenant_is_erased t.fw tenant
+let erased_tenants t = Firmware.erased_tenants t.fw
+let tenant_serials t tenant = Tenant_map.serials t.tenants tenant
+let tenant_record_count t tenant = Tenant_map.count t.tenants tenant
+(* "Live" excludes erased tenants: their serials stay indexed (the VRDT
+   still holds the records), but for reporting they are gone. *)
+let live_tenants t =
+  List.filter (fun tenant -> not (tenant_is_erased t tenant)) (Tenant_map.tenants t.tenants)
 
 let drain_audit_findings t =
   let findings = List.rev t.audit_findings in
@@ -626,6 +721,15 @@ let restore ?(config = default_config) ~firmware:fw ~disk ~host_state () =
   | Ok (entries, windows, deferred_entries, audits, backlog) ->
       let vrdt = Vrdt.create () in
       Vrdt.Raw.restore vrdt entries;
+      (* The tenant index is derivable state: rebuilt from VRDT attrs,
+         so the host-state blob format is unchanged. *)
+      let tenants = Tenant_map.create () in
+      List.iter
+        (fun (sn, entry) ->
+          match entry with
+          | Vrdt.Active vrd -> Tenant_map.note tenants ~tenant:vrd.Vrd.attr.Attr.tenant ~sn
+          | Vrdt.Deleted _ -> ())
+        entries;
       let dedup =
         if config.dedup then begin
           let holders =
@@ -653,6 +757,7 @@ let restore ?(config = default_config) ~firmware:fw ~disk ~host_state () =
           journal = (if config.journal then Some (Journal.create fw) else None);
           vault = (if config.encrypt_at_rest then Some (Vault.create fw) else None);
           vrdt;
+          tenants;
           deferred;
           audit_queue;
           vexp_backlog = backlog;

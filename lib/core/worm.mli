@@ -65,10 +65,24 @@ val store_id : t -> string
 
 (** {2 WORM operations} *)
 
-val write : ?witness:Firmware.witness_mode -> ?attr:Attr.t -> t -> policy:Policy.t -> blocks:string list -> Serial.t
+val write :
+  ?witness:Firmware.witness_mode ->
+  ?attr:Attr.t ->
+  ?tenant:string ->
+  t ->
+  policy:Policy.t ->
+  blocks:string list ->
+  Serial.t
 (** Store a new record under [policy] (or fully explicit [attr]); data
     is written to disk, witnessed by the SCPU, and indexed in the VRDT.
-    Returns the SCPU-issued serial number. *)
+    A non-empty [tenant] (ignored when [attr] is given) seals the blocks
+    under the SCPU's per-tenant key hierarchy, making the record
+    crypto-erasable via {!erase_tenant}. Returns the SCPU-issued serial
+    number. @raise Invalid_argument if the record's tenant has already
+    been erased — wire servers refuse such writes before reaching here. *)
+
+val write_attr_batch : ?witness:Firmware.witness_mode -> t -> (Attr.t * string list) list -> Serial.t list
+(** {!write_batch} with fully explicit attributes (tenants, labels). *)
 
 val write_batch : ?witness:Firmware.witness_mode -> t -> (Policy.t * string list) list -> Serial.t list
 (** Store a burst of records through {e one} firmware signing batch
@@ -108,6 +122,28 @@ val expire_due : t -> (Serial.t * (unit, Firmware.error) result) list
     rescheduled. *)
 
 val next_rm_wakeup : t -> int64 option
+
+(** {2 Crypto-erasure (right to be forgotten)} *)
+
+val erase_tenant : t -> tenant:string -> Firmware.erasure_cert
+(** Destroy the tenant's key material inside the SCPU — O(1) in the
+    tenant's record count (one NVRAM update, one deletion-key
+    signature, one journal line). Every record the tenant wrote remains
+    in the VRDT but its ciphertext is unrecoverable; reads return
+    {!Proof.read_response.Erased} carrying the returned certificate.
+    Idempotent. @raise Invalid_argument on the empty tenant id. *)
+
+val erasure_cert_of : t -> string -> Firmware.erasure_cert option
+val tenant_is_erased : t -> string -> bool
+val erased_tenants : t -> Firmware.erasure_cert list
+
+val tenant_serials : t -> string -> Serial.t list
+(** Live serials the tenant wrote (host-side index, ascending). *)
+
+val tenant_record_count : t -> string -> int
+
+val live_tenants : t -> string list
+(** Tenants with at least one indexed record, minus erased ones. *)
 
 val lit_hold :
   t ->

@@ -123,7 +123,8 @@ let read_file t ?version path =
       | Error e -> Error (Store_error ("bad header: " ^ e))
     end
   | Proof.Found { blocks = []; _ } -> Error (Store_error "record has no blocks")
-  | Proof.Proof_deleted _ | Proof.Proof_in_window _ | Proof.Proof_below_base _ -> Error Version_deleted
+  | Proof.Proof_deleted _ | Proof.Proof_in_window _ | Proof.Proof_below_base _ | Proof.Erased _ ->
+      Error Version_deleted
   | Proof.Proof_unallocated _ -> Error (Store_error "index points at an unallocated serial")
   | Proof.Refused excuse -> Error (Store_error excuse)
 
@@ -157,6 +158,7 @@ let verified_read t ~client ?version path =
       | Client.Valid_data { blocks = []; _ } -> Error "record has no blocks"
       | Client.Committed_unverifiable -> Error "committed but not yet client-verifiable (strengthening pending)"
       | Client.Properly_deleted -> Error "version deleted (proof verified)"
+      | Client.Properly_erased -> Error "version crypto-erased (certificate verified)"
       | Client.Never_written -> Error "index points at an unallocated serial"
       | Client.Violation vs ->
           Error ("VIOLATION: " ^ String.concat "; " (List.map Client.violation_to_string vs))

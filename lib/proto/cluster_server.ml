@@ -25,16 +25,20 @@ let create ?(limits = Server.default_limits) router =
 
 let router t = t.router
 
+(* A fenced shard (primary dead, mirror not yet promoted) yields [None]:
+   the dispatcher must surface that as a protocol-level refusal, never
+   an exception — [handle_bytes] is total on adversarial input and a
+   request arriving mid-failover is routine, not a crash. *)
 let shard_server t i =
   match Router.serving_store t.router i with
-  | None -> failwith (Printf.sprintf "shard %d has no serving store" i)
+  | None -> None
   | Some store -> (
       match t.servers.(i) with
-      | Some (cached_store, server) when cached_store == store -> server
+      | Some (cached_store, server) when cached_store == store -> Some server
       | Some _ | None ->
           let server = Server.create ~limits:t.limits store in
           t.servers.(i) <- Some (store, server);
-          server)
+          Some server)
 
 let handle t = function
   | Message.Cluster_hello -> (
@@ -65,17 +69,26 @@ let handle t = function
       match Router.freshness_proof t.router with
       | Ok proof -> Message.Cluster_proof_reply proof
       | Error e -> Message.Protocol_error e)
-  | Message.Write { policy; blocks } -> (
-      match Router.write t.router ~policy ~blocks with
+  | Message.Write { policy; tenant; blocks } -> (
+      match Router.write t.router ~tenant ~policy ~blocks with
       | Ok sn -> Message.Write_ack { sn }
       | Error e -> Message.Protocol_error e)
+  | Message.Erase_tenant tenant -> (
+      if tenant = "" then Message.Protocol_error "erase-tenant: empty tenant id"
+      else
+        match Router.erase_tenant t.router ~tenant with
+        | Ok certs -> Message.Cluster_erasure_reply certs
+        | Error e -> Message.Protocol_error e)
+  | Message.Erasure_cert_get tenant ->
+      if tenant = "" then Message.Protocol_error "erasure-cert-get: empty tenant id"
+      else Message.Cluster_erasure_reply (Router.erasure_certs t.router ~tenant)
   | Message.Hello | Message.Read _ | Message.Read_many _ | Message.Audit_slice _ ->
       Message.Protocol_error "single-store request sent to a cluster front end; use a shard server"
 
 let refresh t =
   for i = 0 to Router.shard_count t.router - 1 do
-    match Router.serving_store t.router i with
-    | Some _ -> Server.refresh (shard_server t i)
+    match shard_server t i with
+    | Some server -> Server.refresh server
     | None -> ()
   done
 
@@ -136,8 +149,14 @@ let handle_bytes t bytes =
   match Message.decode_request bytes with
   | Error e -> Message.encode_response (Message.Protocol_error e)
   | Ok request -> begin
-      refresh t;
-      match encode_response t (handle t request) with
+      (* [refresh] is inside the guard for the same reason as in
+         {!Server.handle_bytes}: it signs through every shard's SCPU,
+         and a device fault mid-refresh must degrade to a protocol
+         error, not kill the dispatcher. *)
+      match
+        refresh t;
+        encode_response t (handle t request)
+      with
       | reply -> reply
       | exception exn ->
           Message.encode_response (Message.Protocol_error ("dispatch failed: " ^ Printexc.to_string exn))

@@ -23,9 +23,11 @@ type t
 val create : ?limits:Server.limits -> Router.t -> t
 val router : t -> Router.t
 
-val shard_server : t -> int -> Server.t
-(** The per-shard dispatcher over the shard's current serving store.
-    @raise Failure if the shard has no serving store. *)
+val shard_server : t -> int -> Server.t option
+(** The per-shard dispatcher over the shard's current serving store, or
+    [None] while the shard is fenced (primary dead, mirror not yet
+    promoted). Callers on the wire path turn [None] into a
+    [Protocol_error]-style refusal — never an exception. *)
 
 val handle : t -> Message.request -> Message.response
 (** Pure dispatch of the cluster vocabulary (plus routed [Write]s).

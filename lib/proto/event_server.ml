@@ -43,7 +43,7 @@ type job = {
   j_on_reply : (completion -> unit) option;
 }
 
-type pending_write = { pw_job : job; pw_policy : Policy.t; pw_blocks : string list }
+type pending_write = { pw_job : job; pw_policy : Policy.t; pw_tenant : string; pw_blocks : string list }
 
 type event = Arrival of job | Flush of int
 
@@ -168,6 +168,21 @@ let flush t ~now =
     t.batch_gen <- t.batch_gen + 1;
     let start = Int64.max now t.free_at in
     Clock.advance_to t.clock start;
+    (* A tenant can be erased by an interleaved request between a
+       write's admission and its flush; re-check here so the batch
+       never reaches the firmware with a write it would refuse — the
+       refused client gets a protocol error, everyone else's batch
+       proceeds. *)
+    let refused, batch =
+      List.partition (fun pw -> pw.pw_tenant <> "" && Worm.tenant_is_erased t.worm pw.pw_tenant) batch
+    in
+    List.iter
+      (fun pw ->
+        deliver t pw.pw_job ~attempts:(pw.pw_job.j_attempts + 1) ~finished_ns:start
+          (Message.Protocol_error (Printf.sprintf "tenant %S has been erased; writes refused" pw.pw_tenant)))
+      refused;
+    if batch = [] then ()
+    else begin
     let before = busy_total t in
     Server.refresh t.server;
     let witness =
@@ -175,7 +190,14 @@ let flush t ~now =
       | Fixed mode -> mode
       | Adaptive a -> Adaptive.recommend a ~now:start ~deferred_backlog:(Worm.deferred_length t.worm)
     in
-    let sns = Worm.write_batch ~witness t.worm (List.map (fun pw -> (pw.pw_policy, pw.pw_blocks)) batch) in
+    let sns =
+      Worm.write_attr_batch ~witness t.worm
+        (List.map
+           (fun pw ->
+             ( Attr.make ~tenant:pw.pw_tenant ~created_at:0L (* stamped by the firmware *) ~policy:pw.pw_policy (),
+               pw.pw_blocks ))
+           batch)
+    in
     let finished = Int64.add start (Int64.sub (busy_total t) before) in
     t.free_at <- finished;
     t.stats <- { t.stats with flushes = t.stats.flushes + 1; batched_writes = t.stats.batched_writes + List.length batch };
@@ -197,6 +219,7 @@ let flush t ~now =
           (Message.Write_ack { sn }))
       batch
       (List.combine sns ack_lens)
+    end
   end
 
 (* Admission control: the deferred-strengthening ledger is the debt this
@@ -241,7 +264,13 @@ let process_arrival t ~now job =
         let backoff = Int64.mul (Int64.of_int attempts) t.config.retry_backoff_ns in
         enqueue t ~at:(Int64.add start backoff) (Arrival { job with j_attempts = attempts })
       end
-  | Some (Message.Write { policy; blocks }) ->
+  | Some (Message.Write { policy = _; tenant; blocks = _ }) when tenant <> "" && Worm.tenant_is_erased t.worm tenant ->
+      (* Refuse at admission: an erased tenant's write must never enter
+         a batch (it would mint a record no key can decrypt). *)
+      t.free_at <- start;
+      deliver t job ~attempts ~finished_ns:start
+        (Message.Protocol_error (Printf.sprintf "tenant %S has been erased; writes refused" tenant))
+  | Some (Message.Write { policy; tenant; blocks }) ->
       (match t.config.witness with
       | Adaptive a -> Adaptive.note_write a ~now:start
       | Fixed _ -> ());
@@ -249,7 +278,7 @@ let process_arrival t ~now job =
          shed retry both reconstruct attempts as [j_attempts + 1] *)
       if Worm.deferred_length t.worm > t.config.debt_ceiling then shed_write t job ~start
       else begin
-        t.pending <- { pw_job = job; pw_policy = policy; pw_blocks = blocks } :: t.pending;
+        t.pending <- { pw_job = job; pw_policy = policy; pw_tenant = tenant; pw_blocks = blocks } :: t.pending;
         t.pending_count <- t.pending_count + 1;
         if t.pending_count = 1 then enqueue t ~at:(Int64.add start t.config.batch_deadline_ns) (Flush t.batch_gen);
         if t.pending_count >= t.config.batch_size then flush t ~now:start

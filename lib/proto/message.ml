@@ -8,11 +8,13 @@ type request =
   | Read of Serial.t
   | Read_many of Serial.t list
   | Audit_slice of { cursor : Serial.t; max : int }
-  | Write of { policy : Policy.t; blocks : string list }
+  | Write of { policy : Policy.t; tenant : string; blocks : string list }
   | Cluster_hello
   | Cluster_read of Serial.t
   | Cluster_read_many of Serial.t list
   | Cluster_proof_get
+  | Erase_tenant of string
+  | Erasure_cert_get of string
 
 type response =
   | Hello_ack of { store_id : string; signing_cert : Cert.t; deletion_cert : Cert.t }
@@ -31,6 +33,11 @@ type response =
   | Cluster_read_reply of { sn : Serial.t; shard : int; response : Proof.read_response }
   | Cluster_read_many_reply of (Serial.t * int * Proof.read_response) list
   | Cluster_proof_reply of Worm_cluster.Cluster_proof.t
+  | Erasure_cert_reply of Firmware.erasure_cert option
+      (** [None]: the tenant has not been erased on this store *)
+  | Cluster_erasure_reply of (int * string * Firmware.erasure_cert) list
+      (** one (shard index, store id, cert) per shard — every shard must
+          attest before a cluster-wide erasure counts *)
 
 (* One-line renderings for fault traces and console output. *)
 
@@ -39,12 +46,17 @@ let describe_request = function
   | Read sn -> Printf.sprintf "read %s" (Serial.to_string sn)
   | Read_many sns -> Printf.sprintf "read-many [%d sns]" (List.length sns)
   | Audit_slice { cursor; max } -> Printf.sprintf "audit-slice %s max=%d" (Serial.to_string cursor) max
-  | Write { policy; blocks } ->
-      Printf.sprintf "write %s [%d blocks]" (Policy.regulation_name policy.Policy.regulation) (List.length blocks)
+  | Write { policy; tenant; blocks } ->
+      Printf.sprintf "write %s%s [%d blocks]"
+        (Policy.regulation_name policy.Policy.regulation)
+        (if String.equal tenant "" then "" else " tenant=" ^ tenant)
+        (List.length blocks)
   | Cluster_hello -> "cluster-hello"
   | Cluster_read sn -> Printf.sprintf "cluster-read %s" (Serial.to_string sn)
   | Cluster_read_many sns -> Printf.sprintf "cluster-read-many [%d sns]" (List.length sns)
   | Cluster_proof_get -> "cluster-proof-get"
+  | Erase_tenant tenant -> Printf.sprintf "erase-tenant %S" tenant
+  | Erasure_cert_get tenant -> Printf.sprintf "erasure-cert-get %S" tenant
 
 let describe_response = function
   | Hello_ack { store_id; _ } -> Printf.sprintf "hello-ack %s" (Worm_util.Hex.encode store_id)
@@ -63,6 +75,10 @@ let describe_response = function
       Printf.sprintf "cluster-proof-reply %d shards epoch=%d %s" proof.Worm_cluster.Cluster_proof.n_shards
         proof.Worm_cluster.Cluster_proof.epoch
         (Worm_cluster.Cluster_proof.fingerprint proof)
+  | Erasure_cert_reply None -> "erasure-cert-reply none"
+  | Erasure_cert_reply (Some cert) ->
+      Printf.sprintf "erasure-cert-reply %S erased_at=%Ld" cert.Firmware.tenant cert.Firmware.erased_at
+  | Cluster_erasure_reply certs -> Printf.sprintf "cluster-erasure-reply [%d shards]" (List.length certs)
 
 (* ---------- proof payloads ---------- *)
 
@@ -95,6 +111,10 @@ let encode_read_response enc (r : Proof.read_response) =
   | Proof.Refused excuse ->
       Codec.u8 enc 5;
       Codec.bytes enc excuse
+  | Proof.Erased { vrd; cert } ->
+      Codec.u8 enc 6;
+      Vrd.encode enc vrd;
+      Firmware.encode_erasure_cert enc cert
 
 let decode_read_response dec =
   match Codec.read_u8 dec with
@@ -110,6 +130,10 @@ let decode_read_response dec =
   | 3 -> Proof.Proof_below_base (decode_base_bound dec)
   | 4 -> Proof.Proof_unallocated (decode_current_bound dec)
   | 5 -> Proof.Refused (Codec.read_bytes dec)
+  | 6 ->
+      let vrd = Vrd.decode dec in
+      let cert = Firmware.decode_erasure_cert dec in
+      Proof.Erased { vrd; cert }
   | n -> raise (Codec.Malformed (Printf.sprintf "bad read_response tag %d" n))
 
 (* ---------- requests ---------- *)
@@ -127,9 +151,10 @@ let encode_request_into enc r =
           Codec.u8 enc 3;
           Serial.encode enc cursor;
           Codec.int_as_u64 enc max
-      | Write { policy; blocks } ->
+      | Write { policy; tenant; blocks } ->
           Codec.u8 enc 4;
           Policy.encode enc policy;
+          Codec.bytes enc tenant;
           Codec.list (fun enc b -> Codec.bytes enc b) enc blocks
       | Cluster_hello -> Codec.u8 enc 5
       | Cluster_read sn ->
@@ -139,6 +164,12 @@ let encode_request_into enc r =
           Codec.u8 enc 7;
           Codec.list (fun enc sn -> Serial.encode enc sn) enc sns
       | Cluster_proof_get -> Codec.u8 enc 8
+      | Erase_tenant tenant ->
+          Codec.u8 enc 9;
+          Codec.bytes enc tenant
+      | Erasure_cert_get tenant ->
+          Codec.u8 enc 10;
+          Codec.bytes enc tenant
 
 let encode_request r = Codec.encode encode_request_into r
 
@@ -157,12 +188,15 @@ let decode_request s =
           Audit_slice { cursor; max }
       | 4 ->
           let policy = Policy.decode dec in
+          let tenant = Codec.read_bytes dec in
           let blocks = Codec.read_list Codec.read_bytes dec in
-          Write { policy; blocks }
+          Write { policy; tenant; blocks }
       | 5 -> Cluster_hello
       | 6 -> Cluster_read (Serial.decode dec)
       | 7 -> Cluster_read_many (Codec.read_list Serial.decode dec)
       | 8 -> Cluster_proof_get
+      | 9 -> Erase_tenant (Codec.read_bytes dec)
+      | 10 -> Erasure_cert_get (Codec.read_bytes dec)
       | n -> raise (Codec.Malformed (Printf.sprintf "bad request tag %d" n)))
     s
 
@@ -235,6 +269,17 @@ let encode_response_into ?(read_response = encode_read_response) enc r =
   | Cluster_proof_reply proof ->
       Codec.u8 enc 10;
       Worm_cluster.Cluster_proof.encode enc proof
+  | Erasure_cert_reply cert ->
+      Codec.u8 enc 11;
+      Codec.option Firmware.encode_erasure_cert enc cert
+  | Cluster_erasure_reply certs ->
+      Codec.u8 enc 12;
+      Codec.list
+        (fun enc (shard, store_id, cert) ->
+          Codec.u32 enc shard;
+          Codec.bytes enc store_id;
+          Firmware.encode_erasure_cert enc cert)
+        enc certs
 
 let encode_response ?read_response r =
   Codec.encode (fun enc r -> encode_response_into ?read_response enc r) r
@@ -307,5 +352,15 @@ let decode_response s =
                  (sn, shard, response))
                dec)
       | 10 -> Cluster_proof_reply (Worm_cluster.Cluster_proof.decode dec)
+      | 11 -> Erasure_cert_reply (Codec.read_option Firmware.decode_erasure_cert dec)
+      | 12 ->
+          Cluster_erasure_reply
+            (Codec.read_list
+               (fun dec ->
+                 let shard = Codec.read_u32 dec in
+                 let store_id = Codec.read_bytes dec in
+                 let cert = Firmware.decode_erasure_cert dec in
+                 (shard, store_id, cert))
+               dec)
       | n -> raise (Codec.Malformed (Printf.sprintf "bad response tag %d" n)))
     s

@@ -18,14 +18,25 @@ type request =
   | Audit_slice of { cursor : Serial.t; max : int }
       (** one increment of a remote full-store audit: proofs for up to
           [max] serials starting at [cursor] *)
-  | Write of { policy : Policy.t; blocks : string list }
+  | Write of { policy : Policy.t; tenant : string; blocks : string list }
       (** ingest a new record under [policy]; answered with {!Write_ack}
           once the SCPU has witnessed it, or {!Busy} when admission
-          control sheds the request under deferred-witness debt *)
+          control sheds the request under deferred-witness debt. A
+          non-empty [tenant] seals the record under the SCPU's
+          per-tenant key hierarchy (crypto-erasable); writes for an
+          already-erased tenant are refused with {!Protocol_error} *)
   | Cluster_hello  (** fetch cluster shape and every shard's certificates *)
   | Cluster_read of Serial.t  (** read one {e global} serial through the router *)
   | Cluster_read_many of Serial.t list
   | Cluster_proof_get  (** fetch the aggregated cluster freshness proof *)
+  | Erase_tenant of string
+      (** right to be forgotten: destroy the tenant's keys — O(1) in
+          record count. Answered with {!Erasure_cert_reply} (single
+          store) or {!Cluster_erasure_reply} (cluster: every shard and
+          mirror erases) *)
+  | Erasure_cert_get of string
+      (** fetch the erasure certificate(s) for a previously erased
+          tenant *)
 
 type response =
   | Hello_ack of {
@@ -67,6 +78,12 @@ type response =
           partition themselves and treat a mismatch as a violation *)
   | Cluster_read_many_reply of (Serial.t * int * Proof.read_response) list
   | Cluster_proof_reply of Worm_cluster.Cluster_proof.t
+  | Erasure_cert_reply of Firmware.erasure_cert option
+      (** [None]: the tenant has not been erased on this store *)
+  | Cluster_erasure_reply of (int * string * Firmware.erasure_cert) list
+      (** per shard, in index order: (shard, store id, cert). A client
+          accepts a cluster-wide erasure only when {e every} shard
+          attests — see {!Worm_cluster.Cluster_proof.verify_erasure} *)
 
 val describe_request : request -> string
 val describe_response : response -> string

@@ -160,7 +160,8 @@ let connect ~ca ~clock ?max_bound_age_ns ?retry ?netsim transport =
   | Ok
       ( Message.Read_reply _ | Message.Read_many_reply _ | Message.Audit_slice_reply _ | Message.Write_ack _
       | Message.Busy _ | Message.Cluster_hello_ack _ | Message.Cluster_read_reply _
-      | Message.Cluster_read_many_reply _ | Message.Cluster_proof_reply _ ) ->
+      | Message.Cluster_read_many_reply _ | Message.Cluster_proof_reply _ | Message.Erasure_cert_reply _
+      | Message.Cluster_erasure_reply _ ) ->
       Error "handshake failed: unexpected response"
 
 let store_id t = t.store_id
@@ -210,6 +211,32 @@ let confirm t sn verdict =
       t.wire.reverifications <- t.wire.reverifications + 1;
       read t sn
   | v -> v
+
+(* Erasure over the wire: the request is trivial, the receipt is what
+   matters. A served certificate is verified under the store's deletion
+   certificate before the caller ever sees it — a host claiming "I
+   forgot the tenant" without its SCPU's signature proves nothing. *)
+let erase_tenant t tenant =
+  match roundtrip t (Message.Erase_tenant tenant) with
+  | Ok (Message.Erasure_cert_reply (Some cert)) -> (
+      match Client.verify_erasure_cert t.client cert with
+      | Ok () -> Ok cert
+      | Error e -> Error ("erasure certificate rejected: " ^ e))
+  | Ok (Message.Erasure_cert_reply None) -> Error "server did not issue an erasure certificate"
+  | Ok (Message.Protocol_error e) -> Error ("server refused erasure: " ^ e)
+  | Ok _ -> Error "unexpected response to erase-tenant"
+  | Error e -> Error e
+
+let erasure_cert t tenant =
+  match roundtrip t (Message.Erasure_cert_get tenant) with
+  | Ok (Message.Erasure_cert_reply None) -> Ok None
+  | Ok (Message.Erasure_cert_reply (Some cert)) -> (
+      match Client.verify_erasure_cert t.client cert with
+      | Ok () -> Ok (Some cert)
+      | Error e -> Error ("erasure certificate rejected: " ^ e))
+  | Ok (Message.Protocol_error e) -> Error ("server error: " ^ e)
+  | Ok _ -> Error "unexpected response to erasure-cert-get"
+  | Error e -> Error e
 
 let audit_sweep ?pool t ~lo ~hi =
   let sns = Serial.range lo hi in

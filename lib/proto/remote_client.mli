@@ -79,6 +79,18 @@ val read : t -> Serial.t -> Worm_core.Client.verdict
     proves nothing, exactly like a refusing one — after the retry
     policy's attempts and confirming re-reads are exhausted. *)
 
+val erase_tenant : t -> string -> (Worm_core.Firmware.erasure_cert, string) result
+(** Request crypto-erasure of a tenant and verify the served receipt:
+    the returned certificate has been checked under the store's
+    deletion certificate ({!Worm_core.Client.verify_erasure_cert}) — a
+    host claiming erasure without its SCPU's signature is an error, not
+    a receipt. Idempotent: re-erasing returns the original
+    certificate. *)
+
+val erasure_cert : t -> string -> (Worm_core.Firmware.erasure_cert option, string) result
+(** Fetch (and verify) the erasure certificate for a tenant; [Ok None]
+    when the tenant has not been erased on this store. *)
+
 val audit_sweep :
   ?pool:Worm_util.Pool.t -> t -> lo:Serial.t -> hi:Serial.t -> (Serial.t * Worm_core.Client.verdict) list
 (** Batched verified reads over an inclusive serial range (the

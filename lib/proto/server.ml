@@ -53,7 +53,8 @@ let memo_fragment ~get ~set key response =
 
 (* The default encoder for anything not worth caching: [Found] carries
    the data blocks (large, and the audit walk touches each live SN
-   once), [Refused] is an error path. *)
+   once), [Refused] is an error path, [Erased] is cheap to re-encode
+   and rare enough that caching it would only grow the memo. *)
 let memo_read_response memo enc response =
   match response with
   | Proof.Proof_unallocated current ->
@@ -75,7 +76,7 @@ let memo_read_response memo enc response =
           Hashtbl.replace memo.m_deleted sn (proof, frag);
           Codec.raw enc frag
     end
-  | Proof.Found _ | Proof.Refused _ -> Message.encode_read_response enc response
+  | Proof.Found _ | Proof.Refused _ | Proof.Erased _ -> Message.encode_read_response enc response
 
 (* The cluster front end shares one read memo across all its shards:
    physical keys never collide between stores, so per-shard segregation
@@ -149,11 +150,15 @@ let handle t = function
       if n > t.limits.max_read_many then
         Message.Protocol_error (Printf.sprintf "read-many of %d sns exceeds limit %d" n t.limits.max_read_many)
       else Message.Read_many_reply (List.map (fun sn -> (sn, Worm.read t.worm sn)) sns)
-  | Message.Write { policy; blocks } ->
+  | Message.Write { policy; tenant; blocks } ->
       (* Synchronous ingest — the unbatched baseline. The event server
          never routes writes here; it coalesces them across connections
-         into {!Worm_core.Worm.write_batch} flushes instead. *)
-      Message.Write_ack { sn = Worm.write t.worm ~policy ~blocks }
+         into {!Worm_core.Worm.write_batch} flushes instead. Erased
+         tenants are refused at the protocol layer: admitting the write
+         would mint a record no key can ever decrypt. *)
+      if tenant <> "" && Worm.tenant_is_erased t.worm tenant then
+        Message.Protocol_error (Printf.sprintf "tenant %S has been erased; writes refused" tenant)
+      else Message.Write_ack { sn = Worm.write t.worm ~tenant ~policy ~blocks }
   | Message.Audit_slice { cursor; max } ->
       let base = Worm.peek_base_bound t.worm in
       let current = Worm.peek_current_bound t.worm in
@@ -175,6 +180,14 @@ let handle t = function
         let next = if Serial.(stopped > current.Firmware.sn) then None else Some stopped in
         Message.Audit_slice_reply { replies; next; base; current }
       end
+  | Message.Erase_tenant tenant ->
+      (* Right to be forgotten: one SCPU key destruction, O(1) in record
+         count. Idempotent — re-erasing returns the original cert. *)
+      if tenant = "" then Message.Protocol_error "erase-tenant: empty tenant id"
+      else Message.Erasure_cert_reply (Some (Worm.erase_tenant t.worm ~tenant))
+  | Message.Erasure_cert_get tenant ->
+      if tenant = "" then Message.Protocol_error "erasure-cert-get: empty tenant id"
+      else Message.Erasure_cert_reply (Worm.erasure_cert_of t.worm tenant)
   | Message.Cluster_hello | Message.Cluster_read _ | Message.Cluster_read_many _ | Message.Cluster_proof_get ->
       (* The cluster vocabulary only makes sense against a router front
          end ({!Cluster_server}); a single store has no shards to route
@@ -192,8 +205,13 @@ let handle_bytes t bytes =
   match Message.decode_request bytes with
   | Error e -> Message.encode_response (Message.Protocol_error e)
   | Ok request -> begin
-      refresh t;
-      match encode_response t (handle t request) with
+      (* [refresh] sits inside the guard: it signs through the SCPU, and
+         a device fault (ledger exhaustion, clock refusal) mid-refresh
+         must degrade to a protocol error, not kill the dispatcher. *)
+      match
+        refresh t;
+        encode_response t (handle t request)
+      with
       | reply -> reply
       | exception exn ->
           Message.encode_response (Message.Protocol_error ("dispatch failed: " ^ Printexc.to_string exn))

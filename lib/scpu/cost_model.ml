@@ -70,8 +70,12 @@ let rsa_sign_sec profile ~bits =
   let anchors = profile.rsa_sign_anchors in
   let time_of_rate r = 1. /. r in
   let b = float_of_int bits in
+  (* [profile] is an open record a caller can build by hand, so an empty
+     anchor list is a caller error worth naming — not an impossible
+     state to assert away. [locate] only ever recurses on non-empty
+     tails, so the branch fires exactly for an anchorless profile. *)
   let rec locate = function
-    | [] -> assert false
+    | [] -> invalid_arg (Printf.sprintf "Cost_model.rsa_sign: profile %S has no RSA anchors" profile.name)
     | [ (bn, rn) ] ->
         (* above the top anchor: cubic extrapolation *)
         time_of_rate rn *. ((b /. float_of_int bn) ** 3.)

@@ -54,6 +54,8 @@ val of_measurements :
 
 val rsa_sign_ns : profile -> bits:int -> int64
 val rsa_sign_per_sec : profile -> bits:int -> float
+(** @raise Invalid_argument on non-positive [bits], or on a
+    hand-constructed profile whose [rsa_sign_anchors] list is empty. *)
 
 val rsa_verify_ns : profile -> bits:int -> int64
 (** Public-key operation with e = 65537: a small constant number of

@@ -479,6 +479,70 @@ let audit_overhead env ?(records = 150) ?(record_bytes = 1024) ?(budgets_ms = [ 
       })
     budgets_ms
 
+type erasure_row = {
+  tenant_records : int;
+  erase_scpu_us : float;
+  erase_host_us : float;
+  shred_disk_us : float;
+}
+
+(* The right to be forgotten: destroying one per-tenant key inside the
+   SCPU erases every record the tenant ever wrote, in time independent
+   of how many there are. Sweep the tenant's volume across three or
+   more orders of magnitude; the shred baseline (overwrite every block
+   through the disk, as a key-less design must) grows linearly while
+   the crypto-erasure columns stay flat. Each row is gated: the
+   SCPU-signed erasure certificate must verify against the CA-rooted
+   deletion certificate, every erased read must come back
+   properly-erased, and a bystander tenant's end-to-end verdicts must
+   be identical before and after the neighbour's erasure. *)
+let tenant_erasure env ?(volumes = [ 10; 100; 1_000; 10_000 ]) ?(record_bytes = 256) () =
+  let policy = Policy.of_regulation Policy.Sec17a4 in
+  List.map
+    (fun volume ->
+      let disk = Disk.create ~latency:Disk.fast_latency () in
+      let store = Worm.create ~disk ~device:env.dev ~ca:(Rsa.public_of env.ca) () in
+      let client = Client.for_store ~ca:(Rsa.public_of env.ca) ~clock:env.clk store in
+      let write tenant =
+        Worm.write store ~tenant ~policy ~blocks:(Worm_workload.Workload.record env.rng ~bytes:record_bytes)
+      in
+      let control = List.init 8 (fun _ -> write "control") in
+      let subject = List.init volume (fun _ -> write "subject") in
+      let fingerprint () =
+        List.map (fun sn -> Client.verdict_name (Client.verify_read client ~sn (Worm.read store sn))) control
+      in
+      let pre = fingerprint () in
+      (* The linear baseline first: walk the tenant's records and
+         overwrite each block on the platter. This destroys ciphertext
+         the erased read path never touches again, so measuring it on
+         the same store is safe. *)
+      Disk.reset_busy disk;
+      List.iter
+        (fun sn ->
+          match Vrdt.find (Worm.vrdt store) sn with
+          | Some (Vrdt.Active vrd) -> List.iter (fun rd -> ignore (Disk.shred disk ~passes:1 rd)) vrd.Vrd.rdl
+          | _ -> failwith "tenant-erasure: subject record missing from the VRDT")
+        subject;
+      let shred_disk_us = sec (Disk.busy_ns disk) *. 1e6 in
+      Device.reset_busy env.dev;
+      Worm.reset_host_busy store;
+      let cert = Worm.erase_tenant store ~tenant:"subject" in
+      let erase_scpu_us = sec (Device.busy_ns env.dev) *. 1e6 in
+      let erase_host_us = sec (Worm.host_busy_ns store) *. 1e6 in
+      (match Client.verify_erasure_cert client cert with
+      | Ok () -> ()
+      | Error e -> failwith ("tenant-erasure: certificate rejected: " ^ e));
+      List.iter
+        (fun sn ->
+          match Client.verdict_name (Client.verify_read client ~sn (Worm.read store sn)) with
+          | "properly-erased" -> ()
+          | v -> failwith (Printf.sprintf "tenant-erasure: erased read came back %s" v))
+        subject;
+      if not (List.equal String.equal pre (fingerprint ())) then
+        failwith "tenant-erasure: bystander tenant's verdicts changed across the erasure";
+      { tenant_records = volume; erase_scpu_us; erase_host_us; shred_disk_us })
+    volumes
+
 (* ------------------------------------------------------------------ *)
 (* Remote audits over a misbehaving wire: how much retry traffic and
    virtual wire time each fault regime costs, and whether the verdicts
@@ -739,7 +803,7 @@ let multi_client ?(phases = default_day) ?(fault_rate = 0.08) ?(batch_size = 32)
   List.iteri
     (fun i (at, payload) ->
       Event_server.submit es ~client:i ~at
-        (Message.Write { policy; blocks = payload })
+        (Message.Write { policy; tenant = ""; blocks = payload })
         ~on_reply:(fun (c : Event_server.completion) ->
           match c.Event_server.outcome with
           | Event_server.Replied (Message.Write_ack { sn }) ->
@@ -783,7 +847,7 @@ let multi_client ?(phases = default_day) ?(fault_rate = 0.08) ?(batch_size = 32)
   List.iteri
     (fun i (at, payload) ->
       Clock.advance_to benv.clk at;
-      let reply = Server.handle_bytes bserver (Message.encode_request (Message.Write { policy; blocks = payload })) in
+      let reply = Server.handle_bytes bserver (Message.encode_request (Message.Write { policy; tenant = ""; blocks = payload })) in
       match Message.decode_response reply with
       | Ok (Message.Write_ack { sn }) ->
           backs.(i) <- Some sn;
@@ -902,7 +966,7 @@ let cluster_scaling ?(record_bytes = 1024) ?(records = 48) ?(strong_bits = 1024)
     let server = Server.create store in
     Array.iter
       (fun blocks ->
-        ignore (Server.handle_bytes server (Message.encode_request (Message.Write { policy; blocks }))))
+        ignore (Server.handle_bytes server (Message.encode_request (Message.Write { policy; tenant = ""; blocks }))))
       payloads;
     Clock.advance env.clk (Clock.ns_of_sec 1.);
     Worm.idle_tick store;
@@ -948,7 +1012,12 @@ let cluster_scaling ?(record_bytes = 1024) ?(records = 48) ?(strong_bits = 1024)
     let wire_words = ref 0. and requests = ref 0 in
     let cpu0 = Sys.time () in
     for s = 0 to n - 1 do
-      let es = Event_server.create ~config:es_config ~clock:clk ~net (Cluster_server.shard_server front s) in
+      let shard_srv =
+        match Cluster_server.shard_server front s with
+        | Some srv -> srv
+        | None -> failwith (Printf.sprintf "scaling workload: shard %d unexpectedly fenced" s)
+      in
+      let es = Event_server.create ~config:es_config ~clock:clk ~net shard_srv in
       let t0 = Clock.now clk in
       let gap = Clock.ns_of_us 100. in
       for i = 0 to records - 1 do
@@ -956,7 +1025,7 @@ let cluster_scaling ?(record_bytes = 1024) ?(records = 48) ?(strong_bits = 1024)
           let at = Int64.add t0 (Int64.mul (Int64.of_int shard_records.(s)) gap) in
           shard_records.(s) <- shard_records.(s) + 1;
           Event_server.submit es ~client:i ~at
-            (Message.Write { policy; blocks = payloads.(i) })
+            (Message.Write { policy; tenant = ""; blocks = payloads.(i) })
             ~on_reply:(fun (c : Event_server.completion) ->
               match c.Event_server.outcome with
               | Event_server.Replied (Message.Write_ack { sn }) ->

@@ -289,6 +289,26 @@ val audit_overhead : env -> ?records:int -> ?record_bytes:int -> ?budgets_ms:flo
     knob trades audit latency against per-tick jitter, not total
     overhead. *)
 
+type erasure_row = {
+  tenant_records : int;  (** records the erased tenant owned *)
+  erase_scpu_us : float;  (** SCPU busy time for the whole erasure (flat) *)
+  erase_host_us : float;  (** host busy time for the whole erasure (flat) *)
+  shred_disk_us : float;  (** disk busy time to shred the same records (linear) *)
+}
+
+val tenant_erasure : env -> ?volumes:int list -> ?record_bytes:int -> unit -> erasure_row list
+(** O(1) crypto-erasure versus per-record shredding: for each volume in
+    [volumes] (default spans 10 to 10,000 — three orders of magnitude),
+    seal that many records under one tenant's key hierarchy, measure
+    the disk time a key-less design would spend overwriting them, then
+    measure {!Worm_core.Worm.erase_tenant} on the busy ledgers. Every
+    row is gated before it is returned: the SCPU-signed erasure
+    certificate must verify against the CA-rooted deletion certificate,
+    every erased serial must read back as a provable properly-erased
+    verdict, and a bystander tenant's end-to-end verdicts must be
+    identical before and after the erasure.
+    @raise Failure if any gate fails. *)
+
 type fault_row = {
   fault_label : string;  (** fault kind, ["clean"] for the baseline *)
   injected_rate : float;

@@ -323,16 +323,21 @@ let test_cluster_server_routes_and_survives_failover () =
   let front = Cluster_server.create router in
   let policy = short_policy ~retention_s:10_000. () in
   for i = 1 to 6 do
-    match Cluster_server.handle front (Message.Write { policy; blocks = [ Printf.sprintf "w%d" i ] }) with
+    match Cluster_server.handle front (Message.Write { policy; tenant = ""; blocks = [ Printf.sprintf "w%d" i ] }) with
     | Message.Write_ack { sn } -> Alcotest.(check int) "dense globals via the front end" i (Serial.to_int sn)
     | r -> Alcotest.fail (Message.describe_response r)
   done;
   (* shard servers expose the per-shard stores; failover swaps them out *)
-  let s0 = Cluster_server.shard_server front 0 in
+  let shard_server_exn i =
+    match Cluster_server.shard_server front i with
+    | Some s -> s
+    | None -> Alcotest.failf "shard %d has no serving store" i
+  in
+  let s0 = shard_server_exn 0 in
   Router.kill router 0;
   (match Router.fence router 0 with Ok () -> () | Error e -> Alcotest.fail e);
   (match Router.recover router 0 with Ok _ -> () | Error e -> Alcotest.fail e);
-  let s0' = Cluster_server.shard_server front 0 in
+  let s0' = shard_server_exn 0 in
   Alcotest.(check bool) "failover invalidates the cached shard server" false (s0 == s0');
   (* and the routed read path still answers with verifiable content *)
   match Cluster_server.handle front (Message.Cluster_read (Serial.of_int 1)) with

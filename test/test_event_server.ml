@@ -167,7 +167,7 @@ let test_event_server_batches () =
   for i = 0 to 9 do
     Event_server.submit es ~client:i
       ~at:(Int64.mul (Int64.of_int i) (Clock.ns_of_ms 0.1))
-      (Message.Write { policy; blocks = [ Printf.sprintf "c%d" i ] })
+      (Message.Write { policy; tenant = ""; blocks = [ Printf.sprintf "c%d" i ] })
       ~on_reply:(fun c ->
         match c.Event_server.outcome with
         | Event_server.Replied (Message.Write_ack { sn }) ->
@@ -206,7 +206,7 @@ let test_event_server_backpressure () =
   for i = 0 to 5 do
     Event_server.submit es ~client:i
       ~at:(Int64.mul (Int64.of_int i) (Clock.ns_of_ms 5.))
-      (Message.Write { policy; blocks = [ Printf.sprintf "c%d" i ] })
+      (Message.Write { policy; tenant = ""; blocks = [ Printf.sprintf "c%d" i ] })
       ~on_reply:(fun c ->
         match c.Event_server.outcome with
         | Event_server.Replied (Message.Write_ack _) -> incr acked

@@ -160,6 +160,17 @@ let test_of_measurements () =
         (Cost_model.of_measurements ~name:"bad" ~rsa_sign_anchors:[ (1024, 900.); (512, 4000.) ]
            ~hash_small:(1024, 50e6) ~hash_large:(65536, 200e6) ()))
 
+(* A hand-built profile with no RSA anchors is a caller error with a
+   named exception, not an [assert false] crash. *)
+let test_anchorless_profile () =
+  let p = { Cost_model.ibm_4764 with Cost_model.name = "anchorless"; rsa_sign_anchors = [] } in
+  Alcotest.check_raises "empty anchors named"
+    (Invalid_argument "Cost_model.rsa_sign: profile \"anchorless\" has no RSA anchors") (fun () ->
+      ignore (Cost_model.rsa_sign_per_sec p ~bits:1024));
+  Alcotest.check_raises "non-positive bits still checked first"
+    (Invalid_argument "Cost_model.rsa_sign: non-positive bits") (fun () ->
+      ignore (Cost_model.rsa_sign_per_sec p ~bits:0))
+
 let test_hmac_internal () =
   let dev, _ = fresh_device () in
   let tag = Device.hmac_tag dev "record" in
@@ -206,6 +217,7 @@ let suite =
     ("ledger and stats", `Quick, test_ledger_and_stats);
     ("batch signing", `Quick, test_batch_signing);
     ("profile from measurements", `Quick, test_of_measurements);
+    ("anchorless profile refused", `Quick, test_anchorless_profile);
     ("internal hmac", `Quick, test_hmac_internal);
     ("deterministic provisioning", `Quick, test_deterministic_provisioning);
     ("tamper response", `Quick, test_tamper_response);

@@ -156,6 +156,25 @@ let test_multi_scpu_scaling () =
       Alcotest.(check string) "still scpu-bound at 4" "scpu" r4.Sim.scaling_bottleneck
   | _ -> Alcotest.fail "rows"
 
+(* ---------- O(1) crypto-erasure ---------- *)
+
+let test_tenant_erasure_flat () =
+  (* three orders of magnitude, scaled down to test size; the workload
+     itself gates cert verification, erased verdicts, and the bystander
+     fingerprint, so reaching the rows means those held *)
+  let rows = Sim.tenant_erasure (Lazy.force env) ~volumes:[ 2; 20; 200; 2_000 ] ~record_bytes:64 () in
+  match rows with
+  | [ r1; _; _; r4 ] as rows ->
+      let erase r = r.Sim.erase_scpu_us +. r.Sim.erase_host_us in
+      let lo = List.fold_left (fun acc r -> Float.min acc (erase r)) infinity rows in
+      let hi = List.fold_left (fun acc r -> Float.max acc (erase r)) 0. rows in
+      Alcotest.(check bool) "erasure cost is flat across 3 orders" true (hi <= 1.5 *. lo);
+      (* the shred baseline grows with the data, erasure does not *)
+      Alcotest.(check bool) "shred baseline is linear" true
+        (r4.Sim.shred_disk_us > 100. *. r1.Sim.shred_disk_us);
+      Alcotest.(check bool) "erasure beats shredding at volume" true (erase r4 < r4.Sim.shred_disk_us)
+  | _ -> Alcotest.fail "rows"
+
 (* ---------- storage reduction & burst sustainability ---------- *)
 
 let test_storage_reduction_shape () =
@@ -227,6 +246,7 @@ let suite =
     ("ablation window vs merkle", `Quick, test_window_vs_merkle_ablation);
     ("multi-SCPU scaling", `Quick, test_multi_scpu_scaling);
     ("reads cost no SCPU", `Quick, test_reads_cost_no_scpu);
+    ("tenant erasure is O(1)", `Quick, test_tenant_erasure_flat);
     ("storage reduction", `Quick, test_storage_reduction_shape);
     ("burst sustainability", `Quick, test_burst_sustainability_shape);
     ("adaptive day", `Quick, test_adaptive_day);
